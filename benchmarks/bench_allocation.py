@@ -1,0 +1,68 @@
+"""Sec. VI-D / Eq. 9-10 — optimal TCBF allocation under a memory bound.
+
+Regenerates the allocation trade-off: for a range of memory bounds,
+the optimal filter count h, the fill-ratio threshold, and the joint
+FPR — demonstrating that the binary-searched maximum h minimises the
+joint FPR among all feasible h.
+"""
+
+import pytest
+
+from repro.core.allocation import plan_allocation
+from repro.core.analysis import joint_false_positive_rate, multi_filter_memory_bytes
+from repro.experiments.report import format_table
+
+from .conftest import emit
+
+TOTAL_KEYS = 150  # a busy broker's collected interests
+BOUNDS = (300, 500, 800, 1200, 2000, 4000)
+
+
+def test_allocation_table(benchmark):
+    plans = benchmark.pedantic(
+        lambda: [plan_allocation(TOTAL_KEYS, b) for b in BOUNDS],
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        [
+            bound,
+            plan.num_filters,
+            plan.keys_per_filter,
+            plan.fill_ratio_threshold,
+            plan.joint_fpr,
+            plan.memory_bytes,
+        ]
+        for bound, plan in zip(BOUNDS, plans)
+    ]
+    text = format_table(
+        ["bound (B)", "h*", "keys/filter", "F_t", "joint FPR", "memory (B)"],
+        rows,
+        title=f"Eq. 9-10 — optimal allocation for {TOTAL_KEYS} keys (m=256, k=4)",
+    )
+    emit("allocation", text)
+
+    # more memory -> more filters -> lower joint FPR (Eq. 10's monotonicity)
+    fprs = [p.joint_fpr for p in plans]
+    assert fprs == sorted(fprs, reverse=True)
+    hs = [p.num_filters for p in plans]
+    assert hs == sorted(hs)
+
+
+def test_allocation_optimality_exhaustive(benchmark):
+    """The binary-searched h beats every other feasible h on joint FPR."""
+    bound = 1000.0
+
+    plan = benchmark.pedantic(
+        lambda: plan_allocation(TOTAL_KEYS, bound), rounds=3, iterations=1
+    )
+    feasible = [
+        h
+        for h in range(1, 64)
+        if multi_filter_memory_bytes(h, TOTAL_KEYS, 256, 4) < bound
+    ]
+    assert plan.num_filters == max(feasible)
+    best = min(
+        joint_false_positive_rate([TOTAL_KEYS / h] * h, 256, 4) for h in feasible
+    )
+    assert plan.joint_fpr == pytest.approx(best)

@@ -1,0 +1,30 @@
+"""Engine throughput — contacts per second of simulated replay.
+
+Not a paper artefact, but the number that bounds every other bench:
+how fast the trace-driven engine plus each protocol chews through
+contact events.  Useful as a performance-regression tripwire.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+from .conftest import bench_config
+
+
+@pytest.mark.parametrize("protocol", ["PUSH", "B-SUB", "PULL"])
+def test_engine_throughput(benchmark, haggle_trace, protocol):
+    config = bench_config(ttl_min=300.0)
+
+    def replay():
+        return run_experiment(haggle_trace, protocol, config)
+
+    result = benchmark.pedantic(replay, rounds=1, iterations=1)
+    contacts_per_s = haggle_trace.num_contacts / max(
+        benchmark.stats.stats.mean, 1e-9
+    )
+    benchmark.extra_info["contacts_per_second"] = round(contacts_per_s)
+    benchmark.extra_info["contacts"] = haggle_trace.num_contacts
+    assert result.engine.num_contacts == haggle_trace.num_contacts
+    # a laptop should replay at least a few hundred contacts/second
+    assert contacts_per_s > 100

@@ -1,0 +1,43 @@
+"""Table II — the top-4 key distribution of the Twitter-trend workload.
+
+Regenerates the published key-weight rows and validates the workload's
+secondary properties (38 keys, ≈11.5-byte mean length, ≤5 bytes per
+encoded key at m = 256 / k = 4).
+"""
+
+import pytest
+
+from repro.core.analysis import filter_memory_bytes
+from repro.experiments.tables import format_table_ii, table_ii_rows
+from repro.workload.keys import twitter_trends_2009
+
+from .conftest import emit
+
+
+def test_table2_key_distribution(benchmark):
+    rows = benchmark.pedantic(table_ii_rows, rounds=1, iterations=1)
+    dist = twitter_trends_2009()
+    text = format_table_ii()
+    text += (
+        f"\n\nkeys: {len(dist)}   "
+        f"average key length: {dist.average_key_length():.2f} bytes "
+        "(paper: 11.5)"
+    )
+    emit("table2", text)
+
+    assert rows == [
+        ("NewMoon", 0.132),
+        ("Twitter'sNew", 0.103),
+        ("funnybutnotcool", 0.0887),
+        ("openwebawards", 0.0739),
+    ]
+    assert len(dist) == 38
+    assert dist.average_key_length() == pytest.approx(11.5, abs=0.5)
+
+
+def test_table2_encoding_bound(benchmark):
+    """Sec. VII-A: 'at most 5 bytes are used to encode a single key'."""
+    per_key = benchmark.pedantic(
+        lambda: filter_memory_bytes(4, 256, "identical"), rounds=1, iterations=1
+    )
+    assert per_key <= 5.0

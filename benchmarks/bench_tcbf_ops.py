@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the TCBF primitives.
+
+The paper's efficiency argument (Sec. V-A): "the operations performed
+are only hashing and table lookup" — insert, query, merge, and decay
+must all be cheap enough to run on every contact of a human network.
+These are real timed benchmarks (multiple rounds), not one-shot runs.
+"""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import TemporalCountingBloomFilter
+from repro.workload.keys import twitter_trends_2009
+
+FAMILY = HashFamily(4, 256)
+KEYS = twitter_trends_2009().keys
+
+
+@pytest.fixture
+def loaded_tcbf():
+    return TemporalCountingBloomFilter.of(KEYS, family=FAMILY, initial_value=50)
+
+
+def test_bench_insert_38_keys(benchmark):
+    def build():
+        t = TemporalCountingBloomFilter(family=FAMILY, initial_value=50)
+        t.insert_all(KEYS)
+        return t
+
+    result = benchmark(build)
+    assert len(result) > 0
+
+
+def test_bench_existential_query(benchmark, loaded_tcbf):
+    result = benchmark(lambda: loaded_tcbf.query("NewMoon"))
+    assert result is True
+
+
+def test_bench_query_uncached_keys(benchmark, loaded_tcbf):
+    """Query cost including the blake2b hash (cache misses)."""
+    counter = iter(range(10**9))
+
+    def probe():
+        return loaded_tcbf.query(f"probe-{next(counter)}")
+
+    benchmark(probe)
+
+
+def test_bench_preferential_query(benchmark, loaded_tcbf):
+    other = TemporalCountingBloomFilter.of(
+        KEYS[:10], family=FAMILY, initial_value=30
+    )
+    value = benchmark(lambda: loaded_tcbf.preference("NewMoon", other))
+    assert value != 0.0
+
+
+def test_bench_m_merge(benchmark, loaded_tcbf):
+    other = TemporalCountingBloomFilter.of(KEYS[:19], family=FAMILY)
+
+    def merge():
+        target = loaded_tcbf.copy()
+        target.m_merge(other)
+        return target
+
+    benchmark(merge)
+
+
+def test_bench_a_merge(benchmark, loaded_tcbf):
+    other = TemporalCountingBloomFilter.of(KEYS[:19], family=FAMILY)
+
+    def merge():
+        target = loaded_tcbf.copy()
+        target.a_merge(other)
+        return target
+
+    benchmark(merge)
+
+
+def test_bench_decay_full_filter(benchmark, loaded_tcbf):
+    def decay():
+        target = loaded_tcbf.copy()
+        target.decay(1.0)
+        return target
+
+    benchmark(decay)
+
+
+def test_bench_bloom_query_baseline(benchmark):
+    bf = BloomFilter.of(KEYS, family=FAMILY)
+    benchmark(lambda: bf.query("NewMoon"))

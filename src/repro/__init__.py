@@ -1,0 +1,73 @@
+"""B-SUB: a Bloom-filter-based publish-subscribe system for human networks.
+
+A complete reproduction of Zhao & Wu, "B-SUB: A Practical
+Bloom-Filter-Based Publish-Subscribe System for Human Networks"
+(ICDCS 2010), as a reusable Python library:
+
+* :mod:`repro.core` — the Temporal Counting Bloom Filter (the paper's
+  primary contribution), the classic BF/CBF, closed-form analysis, the
+  optimal multi-filter allocation, and a compact wire encoding.
+* :mod:`repro.pubsub` — the B-SUB protocol (broker election, interest
+  propagation, preferential forwarding) and the PUSH/PULL baselines.
+* :mod:`repro.dtn` — a trace-driven discrete-event DTN simulator with
+  per-contact bandwidth budgeting.
+* :mod:`repro.traces` — the contact-trace model, synthetic Haggle/MIT
+  analogues, and real-trace loaders.
+* :mod:`repro.social` — contact graph, centrality, community detection.
+* :mod:`repro.workload` — the Table II Twitter-trend key set, interest
+  assignment, centrality-scaled message generation.
+* :mod:`repro.experiments` — the harness that regenerates every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import TemporalCountingBloomFilter
+
+    interests = TemporalCountingBloomFilter(decay_factor=0.1)
+    interests.insert("NewMoon")
+    assert "NewMoon" in interests
+    interests.advance(now=600.0)          # decays the counters
+    assert "NewMoon" not in interests     # temporal deletion
+
+or run a full pub-sub simulation::
+
+    from repro.traces import haggle_like
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    result = run_experiment(haggle_like(scale=0.1), "B-SUB",
+                            ExperimentConfig(ttl_min=600))
+    print(result.summary.delivery_ratio)
+"""
+
+from .core import (
+    BloomFilter,
+    CountingBloomFilter,
+    HashFamily,
+    TCBFCollection,
+    TemporalCountingBloomFilter,
+)
+from .pubsub import (
+    BsubConfig,
+    BsubProtocol,
+    Message,
+    MetricsCollector,
+    PullProtocol,
+    PushProtocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BloomFilter",
+    "BsubConfig",
+    "BsubProtocol",
+    "CountingBloomFilter",
+    "HashFamily",
+    "Message",
+    "MetricsCollector",
+    "PullProtocol",
+    "PushProtocol",
+    "TCBFCollection",
+    "TemporalCountingBloomFilter",
+    "__version__",
+]

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the whole evaluation pipeline without writing
+code:
+
+* ``run``       — one simulation, one protocol, printed summary.
+* ``sweep-ttl`` — the Fig. 7/8 TTL sweep as series tables.
+* ``sweep-df``  — the Fig. 9 DF sweep as series tables.
+* ``tables``    — regenerate Table I and Table II.
+* ``stats``     — contact-trace statistics.
+* ``export``    — write a synthetic trace to CSV (for other tools).
+
+Traces come from the built-in generators (``haggle``, ``mit``,
+``mobility``) or from a file (``csv:PATH`` / ``txt:PATH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    DF_SWEEP_TTL_MIN,
+    ascii_chart,
+    PAPER_DF_VALUES_PER_MIN,
+    PAPER_TTL_VALUES_MIN,
+    ExperimentConfig,
+    df_sweep,
+    figure_series,
+    format_table,
+    format_table_i,
+    format_table_ii,
+    metric_series,
+    run_experiment,
+    series_table,
+    ttl_sweep,
+)
+from .traces import (
+    ContactTrace,
+    compute_stats,
+    haggle_like,
+    load_csv_trace,
+    load_whitespace_trace,
+    mit_reality_like,
+)
+from .traces.mobility import MobilityConfig, simulate_mobility
+
+__all__ = ["main", "build_parser", "resolve_trace"]
+
+
+def resolve_trace(spec: str, scale: float, seed: int) -> ContactTrace:
+    """Turn a ``--trace`` argument into a ContactTrace.
+
+    ``haggle`` / ``mit`` / ``mobility`` use the built-in generators;
+    ``csv:PATH`` and ``txt:PATH`` load recorded traces.
+    """
+    if spec == "haggle":
+        return haggle_like(scale=scale, seed=seed)
+    if spec == "mit":
+        return mit_reality_like(scale=scale, seed=seed)
+    if spec == "mobility":
+        config = MobilityConfig(
+            num_nodes=max(2, round(50 * max(scale, 0.04))),
+            duration_s=scale * 3 * 86_400.0,
+            seed=seed,
+            name=f"mobility@{scale:g}",
+        )
+        return simulate_mobility(config)
+    if spec.startswith("csv:"):
+        return load_csv_trace(spec[4:])
+    if spec.startswith("txt:"):
+        return load_whitespace_trace(spec[4:])
+    raise SystemExit(
+        f"unknown trace {spec!r}: use haggle, mit, mobility, csv:PATH or txt:PATH"
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default="haggle",
+        help="haggle | mit | mobility | csv:PATH | txt:PATH (default: haggle)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="synthetic trace scale, 1.0 = the paper's contact volume",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="trace seed")
+    parser.add_argument(
+        "--min-rate", type=float, default=1 / 1800.0,
+        help="minimum per-node message rate, msgs/s (paper: 1/1800)",
+    )
+
+
+def _config(args, **overrides) -> ExperimentConfig:
+    defaults = dict(min_rate_per_s=args.min_rate)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _cmd_run(args) -> int:
+    trace = resolve_trace(args.trace, args.scale, args.seed)
+    config = _config(
+        args, ttl_min=args.ttl_min, decay_factor_per_min=args.df
+    )
+    result = run_experiment(trace, args.protocol, config)
+    s = result.summary
+    rows = [
+        ["trace", trace.name],
+        ["protocol", result.protocol],
+        ["TTL (min)", result.ttl_min],
+        ["DF (/min)", round(result.decay_factor_per_min, 4)],
+        ["messages", s.num_messages],
+        ["intended pairs", s.num_intended_pairs],
+        ["delivery ratio", round(s.delivery_ratio, 4)],
+        ["mean delay (min)", round(s.mean_delay_min, 1)],
+        ["forwardings/delivered", round(s.forwardings_per_delivered, 2)],
+        ["false positive ratio", round(s.false_positive_ratio, 4)],
+        ["broker fraction", round(result.broker_fraction, 2)],
+        ["bytes transferred", round(result.engine.bytes_transferred)],
+    ]
+    print(format_table(["metric", "value"], rows, title="Run summary"))
+    return 0
+
+
+def _cmd_sweep_ttl(args) -> int:
+    trace = resolve_trace(args.trace, args.scale, args.seed)
+    ttls = args.ttl or list(PAPER_TTL_VALUES_MIN)
+    sweep = ttl_sweep(trace, ttl_values_min=ttls, base_config=_config(args))
+    for metric, title in [
+        ("delivery_ratio", "Delivery ratio"),
+        ("delay_min", "Delay (minutes)"),
+        ("forwardings", "Forwardings per delivered message"),
+    ]:
+        data = figure_series(sweep, metric)
+        print(series_table("TTL(min)", ttls, data,
+                           title=f"{title} — {trace.name}"))
+        print()
+        print(ascii_chart(ttls, data, title=f"{title} (chart)"))
+        print()
+    return 0
+
+
+def _cmd_sweep_df(args) -> int:
+    trace = resolve_trace(args.trace, args.scale, args.seed)
+    dfs = args.df_values or list(PAPER_DF_VALUES_PER_MIN)
+    results = df_sweep(
+        trace, df_values_per_min=dfs, ttl_min=args.ttl_min,
+        base_config=_config(args),
+    )
+    for metric, title in [
+        ("delivery_ratio", "Delivery ratio"),
+        ("delay_min", "Delay (minutes)"),
+        ("forwardings", "Forwardings per delivered message"),
+        ("useless_injection", "False-positive traffic (useless-injection ratio)"),
+        ("fpr", "Falsely delivered ratio"),
+    ]:
+        print(series_table(
+            "DF(/min)", dfs, {"B-SUB": metric_series(results, metric)},
+            title=f"{title} — {trace.name}, TTL = {args.ttl_min:g} min",
+        ))
+        print()
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    traces = [
+        haggle_like(scale=args.scale, seed=args.seed),
+        mit_reality_like(scale=args.scale, seed=args.seed),
+    ]
+    print(format_table_i(traces))
+    print()
+    print(format_table_ii())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = resolve_trace(args.trace, args.scale, args.seed)
+    stats = compute_stats(trace)
+    rows = [
+        ["name", stats.name],
+        ["nodes", stats.num_nodes],
+        ["contacts", stats.num_contacts],
+        ["duration (days)", round(stats.duration_days, 3)],
+        ["contacts/day", round(stats.contacts_per_day, 1)],
+        ["mean contact duration (s)", round(stats.mean_contact_duration_s, 1)],
+        ["median contact duration (s)", round(stats.median_contact_duration_s, 1)],
+        ["mean degree", round(stats.mean_degree, 1)],
+        ["max degree", stats.max_degree],
+        ["median inter-contact (min)", round(stats.median_inter_contact_s / 60, 1)],
+    ]
+    print(format_table(["statistic", "value"], rows, title="Trace statistics"))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    trace = resolve_trace(args.trace, args.scale, args.seed)
+    with open(args.output, "w") as fh:
+        fh.write("a,b,start,end\n")
+        for contact in trace:
+            fh.write(
+                f"{contact.a},{contact.b},{contact.start:.3f},{contact.end:.3f}\n"
+            )
+    print(f"wrote {trace.num_contacts} contacts to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="B-SUB (ICDCS 2010) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="one simulation run")
+    _add_common(run)
+    run.add_argument("--protocol", default="B-SUB",
+                     choices=["PUSH", "B-SUB", "PULL", "SPRAY"])
+    run.add_argument("--ttl-min", type=float, default=600.0)
+    run.add_argument("--df", type=float, default=None,
+                     help="DF per minute (default: derive via Eq. 5)")
+    run.set_defaults(func=_cmd_run)
+
+    sweep_ttl = commands.add_parser("sweep-ttl", help="Fig. 7/8 TTL sweep")
+    _add_common(sweep_ttl)
+    sweep_ttl.add_argument("--ttl", type=float, nargs="+",
+                           help="TTL values in minutes")
+    sweep_ttl.set_defaults(func=_cmd_sweep_ttl)
+
+    sweep_df = commands.add_parser("sweep-df", help="Fig. 9 DF sweep")
+    _add_common(sweep_df)
+    sweep_df.add_argument("--df-values", type=float, nargs="+")
+    sweep_df.add_argument("--ttl-min", type=float, default=DF_SWEEP_TTL_MIN)
+    sweep_df.set_defaults(func=_cmd_sweep_df)
+
+    tables = commands.add_parser("tables", help="regenerate Tables I and II")
+    tables.add_argument("--scale", type=float, default=0.05)
+    tables.add_argument("--seed", type=int, default=1)
+    tables.set_defaults(func=_cmd_tables)
+
+    stats = commands.add_parser("stats", help="contact-trace statistics")
+    _add_common(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    export = commands.add_parser("export", help="write a trace to CSV")
+    _add_common(export)
+    export.add_argument("--output", required=True)
+    export.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Core data structures: Bloom filter family and the TCBF.
+
+This package implements the paper's primary contribution — the Temporal
+Counting Bloom Filter (Sec. IV) — together with its classic BF/CBF
+background (Sec. III), the closed-form analysis (Sec. III, VI), the
+optimal multi-filter allocation (Sec. VI-D), and the compact wire
+encoding (Sec. VI-C).
+"""
+
+from .analysis import (
+    expected_min_collisions,
+    expected_set_bits,
+    expected_unique_keys,
+    false_positive_rate,
+    fill_ratio,
+    filter_memory_bytes,
+    joint_false_positive_rate,
+    keys_from_fill_ratio,
+    multi_filter_memory_bytes,
+    raw_string_memory_bytes,
+    recommended_decay_factor,
+)
+from .allocation import AllocationPlan, TCBFCollection, plan_allocation
+from .bloom import BloomFilter
+from .counting_bloom import CountingBloomFilter
+from .hashing import DEFAULT_SEED, HashFamily
+from .serialization import (
+    decode_bloom,
+    decode_tcbf,
+    encode_bloom,
+    encode_tcbf,
+    encoded_bloom_size,
+    encoded_tcbf_size,
+)
+from .tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
+
+__all__ = [
+    "AllocationPlan",
+    "BloomFilter",
+    "CountingBloomFilter",
+    "DEFAULT_INITIAL_VALUE",
+    "DEFAULT_SEED",
+    "HashFamily",
+    "TCBFCollection",
+    "TemporalCountingBloomFilter",
+    "decode_bloom",
+    "decode_tcbf",
+    "encode_bloom",
+    "encode_tcbf",
+    "encoded_bloom_size",
+    "encoded_tcbf_size",
+    "expected_min_collisions",
+    "expected_set_bits",
+    "expected_unique_keys",
+    "false_positive_rate",
+    "fill_ratio",
+    "filter_memory_bytes",
+    "joint_false_positive_rate",
+    "keys_from_fill_ratio",
+    "multi_filter_memory_bytes",
+    "plan_allocation",
+    "raw_string_memory_bytes",
+    "recommended_decay_factor",
+]

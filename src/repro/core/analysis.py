@@ -1,0 +1,335 @@
+"""Closed-form analysis of BF/TCBF behaviour (paper Sec. III and VI).
+
+Implements every numbered equation in the paper:
+
+* Eq. 1 — false-positive rate of a BF with ``m`` bits, ``k`` hashes and
+  ``n`` stored keys.
+* Eq. 2 — expected number of set bits.
+* Eq. 3 — fill ratio and its inversion (keys from an observed FR).
+* Eq. 4 — expected minimum, over a key's ``k`` counters, of the number
+  of *other* keys accidentally hashing onto the same bit (a min of
+  ``k`` binomial variables).
+* Eq. 5 — the decaying-factor rule DF(τ) derived from Eq. 4.
+* Eq. 6 — expected number of *unique* keys among ``ℕ`` collected
+  interests (collisions between nodes sharing interests).
+* Eq. 7 — joint FPR of a collection of ``h`` filters.
+* Eq. 8 — total memory of ``h`` TCBFs under the compact encoding of
+  Sec. VI-C.
+
+Each function offers the paper's exponential approximation by default
+and the exact ``(1 - 1/m)^{kn}`` form via ``exact=True``; the two agree
+to within O(1/m), which the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = [
+    "false_positive_rate",
+    "expected_set_bits",
+    "fill_ratio",
+    "keys_from_fill_ratio",
+    "expected_min_collisions",
+    "recommended_decay_factor",
+    "expected_unique_keys",
+    "joint_false_positive_rate",
+    "filter_memory_bytes",
+    "multi_filter_memory_bytes",
+    "raw_string_memory_bytes",
+]
+
+
+def _validate_geometry(num_bits: int, num_hashes: int) -> None:
+    if num_bits < 2:
+        raise ValueError(f"num_bits must be >= 2, got {num_bits}")
+    if num_hashes < 1:
+        raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+
+
+def false_positive_rate(
+    num_keys: float, num_bits: int, num_hashes: int, exact: bool = False
+) -> float:
+    """Eq. 1: FPR = (1 - (1 - 1/m)^{kn})^k ≈ (1 - e^{-kn/m})^k."""
+    _validate_geometry(num_bits, num_hashes)
+    if num_keys < 0:
+        raise ValueError(f"num_keys must be >= 0, got {num_keys}")
+    if num_keys == 0:
+        return 0.0
+    if exact:
+        p_unset = (1.0 - 1.0 / num_bits) ** (num_hashes * num_keys)
+    else:
+        p_unset = math.exp(-num_hashes * num_keys / num_bits)
+    return (1.0 - p_unset) ** num_hashes
+
+
+def expected_set_bits(
+    num_keys: float, num_bits: int, num_hashes: int, exact: bool = False
+) -> float:
+    """Eq. 2: S = m(1 - (1 - 1/m)^{kn}) ≈ m(1 - e^{-kn/m})."""
+    return num_bits * fill_ratio(num_keys, num_bits, num_hashes, exact=exact)
+
+
+def fill_ratio(
+    num_keys: float, num_bits: int, num_hashes: int, exact: bool = False
+) -> float:
+    """Eq. 3: FR = 1 - (1 - 1/m)^{kn} ≈ 1 - e^{-kn/m}."""
+    _validate_geometry(num_bits, num_hashes)
+    if num_keys < 0:
+        raise ValueError(f"num_keys must be >= 0, got {num_keys}")
+    if exact:
+        return 1.0 - (1.0 - 1.0 / num_bits) ** (num_hashes * num_keys)
+    return 1.0 - math.exp(-num_hashes * num_keys / num_bits)
+
+
+def keys_from_fill_ratio(
+    observed_fill_ratio: float, num_bits: int, num_hashes: int
+) -> float:
+    """Invert Eq. 3: estimate ``n`` from an observed fill ratio.
+
+    The paper uses this (Sec. VI-B) to estimate how many interests a
+    broker has collected — ``ℕ = -m/k · ln(1 - FR)``.
+    """
+    _validate_geometry(num_bits, num_hashes)
+    if not 0.0 <= observed_fill_ratio < 1.0:
+        raise ValueError(
+            f"fill ratio must be in [0, 1), got {observed_fill_ratio}"
+        )
+    return -num_bits / num_hashes * math.log(1.0 - observed_fill_ratio)
+
+
+def _binomial_cdf(x: int, n: int, p: float) -> float:
+    """P(X <= x) for X ~ Binomial(n, p), computed iteratively.
+
+    Exact summation in float; for the parameter sizes B-SUB meets
+    (n up to a few thousand) this is both fast and accurate, and avoids
+    a scipy dependency in the core package.
+    """
+    if x < 0:
+        return 0.0
+    if x >= n:
+        return 1.0
+    q = 1.0 - p
+    # term for j = 0
+    term = q ** n
+    total = term
+    for j in range(1, x + 1):
+        term *= (n - j + 1) / j * (p / q)
+        total += term
+    return min(total, 1.0)
+
+
+def expected_min_collisions(
+    num_keys: int, num_bits: int, num_hashes: int
+) -> float:
+    """Eq. 4: E[min(X_0, …, X_{k-1})] with X_i ~ Binomial(ℕ, k/m).
+
+    ``X_i`` counts the other keys that accidentally hash onto the same
+    bit as the *i*-th bit of a given key (the paper approximates each
+    key as having ``k`` chances to land on a fixed location).  Because a
+    key survives only while *all* of its counters are positive, its
+    effective lifetime is governed by the minimum.  Using
+    E[min] = Σ_{c≥1} P(min ≥ c) = Σ_{c≥1} (1 - F(c-1))^k.
+    """
+    _validate_geometry(num_bits, num_hashes)
+    if num_keys < 0:
+        raise ValueError(f"num_keys must be >= 0, got {num_keys}")
+    if num_keys == 0:
+        return 0.0
+    p = min(1.0, num_hashes / num_bits)
+    expectation = 0.0
+    for c in range(1, num_keys + 1):
+        survival = 1.0 - _binomial_cdf(c - 1, num_keys, p)
+        if survival <= 0.0:
+            break
+        expectation += survival ** num_hashes
+    return expectation
+
+
+def recommended_decay_factor(
+    delay_limit: float,
+    initial_value: float,
+    num_keys: int,
+    num_bits: int,
+    num_hashes: int,
+    delta: float = 0.0,
+) -> float:
+    """Eq. 5: DF = C·(1 + E[min collisions]) / τ + Δ.
+
+    Sets the decay rate so that an interest inserted once is removed
+    after the message delay limit ``τ`` even when its counters were
+    accidentally topped up by other keys' insertions (A-merges from
+    producers; the broker-merge case is folded into the small constant
+    ``Δ``, as in the paper).
+
+    Parameters
+    ----------
+    delay_limit:
+        τ — the maximum tolerable message delay, in the same time unit
+        the decay factor is expressed per.
+    initial_value:
+        C — the TCBF counter initial value.
+    num_keys:
+        ℕ — keys a broker collects within τ (measurable online by
+        counting met nodes).
+    delta:
+        The paper's small additive correction Δ.
+    """
+    if delay_limit <= 0:
+        raise ValueError(f"delay_limit must be positive, got {delay_limit}")
+    if initial_value <= 0:
+        raise ValueError(f"initial_value must be positive, got {initial_value}")
+    if delta < 0:
+        raise ValueError(f"delta must be >= 0, got {delta}")
+    e_min = expected_min_collisions(num_keys, num_bits, num_hashes)
+    return initial_value * (1.0 + e_min) / delay_limit + delta
+
+
+def expected_unique_keys(
+    num_collected: float,
+    total_keys: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> float:
+    """Eq. 6: expected number of *unique* keys among ℕ collected interests.
+
+    Different nodes share interests, so the ``ℕ`` interests a broker
+    collects within τ contain duplicates.  For interests drawn
+    independently from a distribution over ``K`` keys, the expected
+    distinct count is ``Σ_i (1 - (1 - w_i)^ℕ)``, which for the uniform
+    case reduces to ``K(1 - (1 - 1/K)^ℕ)``.
+
+    Pass either ``total_keys`` (uniform weights, the paper's closed
+    form) or explicit ``weights`` (e.g. the Table II Twitter-trend
+    distribution).
+    """
+    if num_collected < 0:
+        raise ValueError(f"num_collected must be >= 0, got {num_collected}")
+    if (total_keys is None) == (weights is None):
+        raise ValueError("pass exactly one of total_keys or weights")
+    if weights is not None:
+        total = math.fsum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return math.fsum(
+            1.0 - (1.0 - w / total) ** num_collected for w in weights
+        )
+    if total_keys < 1:
+        raise ValueError(f"total_keys must be >= 1, got {total_keys}")
+    return total_keys * (1.0 - (1.0 - 1.0 / total_keys) ** num_collected)
+
+
+def joint_false_positive_rate(
+    key_counts: Sequence[float],
+    num_bits: int,
+    num_hashes: int,
+    exact: bool = False,
+) -> float:
+    """Eq. 7: FPR of querying a key against ``h`` filters jointly.
+
+    A query against the collection reports a (possibly false) hit if
+    *any* filter does, so the joint FPR is the complement of all ``h``
+    filters answering correctly:
+    ``1 - Π_i (1 - (1 - e^{-k n_i / m})^k)``.
+    """
+    joint_correct = 1.0
+    for n_i in key_counts:
+        joint_correct *= 1.0 - false_positive_rate(
+            n_i, num_bits, num_hashes, exact=exact
+        )
+    return 1.0 - joint_correct
+
+
+def _location_bits(num_bits: int) -> int:
+    """Bits needed to encode one set-bit location: ⌈log2 m⌉."""
+    return max(1, math.ceil(math.log2(num_bits)))
+
+
+def filter_memory_bytes(
+    num_set_bits: float,
+    num_bits: int,
+    counters: str = "full",
+) -> float:
+    """Sec. VI-C: wire/storage size of one filter, in bytes.
+
+    The compact encoding records each set bit as a ⌈log2 m⌉-bit
+    location (for m = 256 exactly one byte) plus, depending on
+    *counters*:
+
+    * ``"full"`` — a 1-byte counter per set bit (relay filters):
+      ``S × (1 + ⌈log2 m⌉/8)`` bytes.
+    * ``"identical"`` — all counters equal, one shared byte (a freshly
+      inserted genuine filter): ``S × ⌈log2 m⌉/8 + 1`` bytes.
+    * ``"none"`` — counters stripped (broker requesting messages from a
+      producer): ``S × ⌈log2 m⌉/8`` bytes.
+
+    Falls back to the raw ``m/8``-byte bit-vector when the compact form
+    would be larger (the paper's condition ``S × ⌈log2 m⌉ < m``).
+    """
+    if num_set_bits < 0:
+        raise ValueError(f"num_set_bits must be >= 0, got {num_set_bits}")
+    loc_bytes = _location_bits(num_bits) / 8.0
+    raw_bytes = num_bits / 8.0
+    if counters == "full":
+        compact = num_set_bits * (1.0 + loc_bytes)
+        fallback = raw_bytes + num_set_bits  # raw vector + counters
+    elif counters == "identical":
+        compact = num_set_bits * loc_bytes + 1.0
+        fallback = raw_bytes + 1.0
+    elif counters == "none":
+        compact = num_set_bits * loc_bytes
+        fallback = raw_bytes
+    else:
+        raise ValueError(
+            f"counters must be 'full', 'identical' or 'none', got {counters!r}"
+        )
+    return min(compact, fallback)
+
+
+def multi_filter_memory_bytes(
+    num_filters: int,
+    total_keys: float,
+    num_bits: int,
+    num_hashes: int,
+    per_filter_overhead_bytes: float = 9.0,
+) -> float:
+    """Eq. 8: total memory of ``h`` TCBFs splitting ``n`` keys evenly.
+
+    ``M = Σ_i m(1 - e^{-k n_i / m}) × (1 + ⌈log2 m⌉/8)`` bytes, with
+    ``n_i = n / h`` (the even split maximises per-filter headroom and is
+    the configuration Eq. 9's optimum uses).
+
+    Deviation from the paper: we add the fixed per-filter wire header
+    (*per_filter_overhead_bytes*, 9 bytes in our encoding).  Without it
+    Eq. 8 *saturates* as h grows — splitting n keys ever finer keeps
+    total set bits constant at ≈ kn — so "the largest feasible h" would
+    be unbounded once the bound exceeds ≈ 2kn bytes, and the Eq. 10
+    optimisation degenerates.  The real header restores the strict
+    monotonicity the paper's binary search assumes.
+    """
+    if num_filters < 1:
+        raise ValueError(f"num_filters must be >= 1, got {num_filters}")
+    if per_filter_overhead_bytes < 0:
+        raise ValueError("per_filter_overhead_bytes must be >= 0")
+    per_filter_keys = total_keys / num_filters
+    set_bits = expected_set_bits(per_filter_keys, num_bits, num_hashes)
+    return num_filters * (
+        per_filter_overhead_bytes
+        + filter_memory_bytes(set_bits, num_bits, counters="full")
+    )
+
+
+def raw_string_memory_bytes(
+    key_lengths: Sequence[int], per_key_overhead: int = 2
+) -> float:
+    """Memory for the raw-string interest representation (Sec. VI-C).
+
+    Summing the byte length of every interest string plus the
+    per-entry control information (length prefix / separator —
+    2 bytes by default).  Compared against the TCBF encoding in the
+    memory benchmark; the paper reports the TCBF uses about half the
+    space.
+    """
+    if per_key_overhead < 0:
+        raise ValueError("per_key_overhead must be >= 0")
+    return float(sum(key_lengths) + per_key_overhead * len(key_lengths))

@@ -1,0 +1,162 @@
+"""Counting Bloom filter (paper Sec. III, after [22] Fan et al.).
+
+The CBF associates a counter with each bit so that keys can be deleted:
+insertion increments the counters at the key's hashed positions,
+deletion decrements them, and a bit counts as *set* while its counter is
+positive.  The paper presents the CBF only as background for the TCBF —
+the TCBF reuses the counter layout but gives the counters an entirely
+different meaning (remaining lifetime rather than reference count).
+
+Repeated hash positions for one key are counted once per insertion, so
+insert/delete of the same key always round-trips even when ``k`` probes
+collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .bloom import BloomFilter
+from .hashing import DEFAULT_SEED, HashFamily
+
+__all__ = ["CountingBloomFilter"]
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter supporting insert, delete, and query."""
+
+    __slots__ = ("family", "_counters")
+
+    def __init__(
+        self,
+        num_bits: int = 256,
+        num_hashes: int = 4,
+        seed: int = DEFAULT_SEED,
+        family: Optional[HashFamily] = None,
+    ):
+        self.family = family if family is not None else HashFamily(
+            num_hashes, num_bits, seed
+        )
+        # Sparse map position -> count; absent means zero.
+        self._counters: Dict[int, int] = {}
+
+    @property
+    def num_bits(self) -> int:
+        return self.family.num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    def counter(self, position: int) -> int:
+        """The counter value at *position* (0 if never set)."""
+        if not 0 <= position < self.num_bits:
+            raise IndexError(f"bit position {position} out of range")
+        return self._counters.get(position, 0)
+
+    def bit(self, position: int) -> bool:
+        """Whether the bit at *position* is set (counter > 0)."""
+        return self.counter(position) > 0
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits with positive counters."""
+        return len(self._counters) / self.num_bits
+
+    def __len__(self) -> int:
+        """Number of set bits."""
+        return len(self._counters)
+
+    def is_empty(self) -> bool:
+        return not self._counters
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key: str) -> None:
+        """Insert *key*: increment the counter of each distinct hashed bit."""
+        for position in self.family.distinct_positions(key):
+            self._counters[position] = self._counters.get(position, 0) + 1
+
+    def insert_all(self, keys: Iterable[str]) -> None:
+        for key in keys:
+            self.insert(key)
+
+    def delete(self, key: str) -> None:
+        """Delete one insertion of *key*.
+
+        Raises
+        ------
+        KeyError
+            If any of the key's bits already has a zero counter, i.e. the
+            key is definitely not present.  (Deleting a key that was
+            never inserted but happens to be a false positive silently
+            corrupts a CBF; callers should query first — the classic CBF
+            caveat.)
+        """
+        positions = self.family.distinct_positions(key)
+        if any(self._counters.get(p, 0) <= 0 for p in positions):
+            raise KeyError(f"key {key!r} is not present in the filter")
+        for position in positions:
+            remaining = self._counters[position] - 1
+            if remaining:
+                self._counters[position] = remaining
+            else:
+                del self._counters[position]
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self.query(key)
+
+    def query(self, key: str) -> bool:
+        """Membership query (same FPR as the classic BF)."""
+        return all(
+            self._counters.get(p, 0) > 0 for p in self.family.positions(key)
+        )
+
+    def query_all(self, keys: Iterable[str]) -> List[str]:
+        return [key for key in keys if self.query(key)]
+
+    def min_counter(self, key: str) -> int:
+        """Minimum counter among *key*'s hashed bits.
+
+        An upper bound on how many times *key* was inserted.
+        """
+        return min(self._counters.get(p, 0) for p in self.family.positions(key))
+
+    # -- conversion ---------------------------------------------------------------
+
+    def to_bloom(self) -> BloomFilter:
+        """The plain Bloom filter with the same set bits."""
+        return BloomFilter.from_bits(self._counters.keys(), self.family)
+
+    @classmethod
+    def of(
+        cls,
+        keys: Iterable[str],
+        num_bits: int = 256,
+        num_hashes: int = 4,
+        seed: int = DEFAULT_SEED,
+        family: Optional[HashFamily] = None,
+    ) -> "CountingBloomFilter":
+        cbf = cls(num_bits, num_hashes, seed, family=family)
+        cbf.insert_all(keys)
+        return cbf
+
+    def copy(self) -> "CountingBloomFilter":
+        clone = CountingBloomFilter(family=self.family)
+        clone._counters = dict(self._counters)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountingBloomFilter):
+            return NotImplemented
+        return self.family == other.family and self._counters == other._counters
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(m={self.num_bits}, k={self.num_hashes}, "
+            f"set_bits={len(self._counters)})"
+        )

@@ -1,0 +1,134 @@
+"""Hash-function families for Bloom filters.
+
+The paper (Sec. III) assumes ``k`` independent hash functions, each
+mapping a key uniformly into ``[0, m - 1]``.  We implement the standard
+Kirsch--Mitzenmacher double-hashing construction: two base hashes
+``h1, h2`` derived from a single keyed blake2b digest, combined as
+``h1 + i * h2 (mod m)`` for the *i*-th function.  This preserves the
+asymptotic false-positive behaviour of ``k`` independent functions while
+hashing each key only once, which matters because B-SUB hashes keys on
+every contact event.
+
+All functions are deterministic for a given ``seed`` so that two nodes
+in a simulated network (or two devices in a deployment) agree on bit
+locations without any coordination beyond the shared seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["HashFamily", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 0x5B5B  # arbitrary but fixed: "B-SUB" nodes must agree on it
+
+
+class HashFamily:
+    """A family of ``k`` hash functions onto ``[0, num_bits - 1]``.
+
+    Parameters
+    ----------
+    num_hashes:
+        Number of hash functions ``k`` (the paper uses 4).
+    num_bits:
+        Size of the target bit-vector ``m`` (the paper uses 256).
+    seed:
+        Integer seed shared by all parties; different seeds give
+        independent families.
+    """
+
+    __slots__ = ("num_hashes", "num_bits", "seed", "_salt", "_cache")
+
+    #: Upper bound on the per-family memoisation cache.  Pub-sub
+    #: workloads reuse a small universe of keys on every contact event,
+    #: so caching turns the dominant hashing cost into a dict lookup.
+    _CACHE_LIMIT = 65_536
+
+    def __init__(self, num_hashes: int, num_bits: int, seed: int = DEFAULT_SEED):
+        if num_hashes < 1:
+            raise ValueError(f"num_hashes must be >= 1, got {num_hashes}")
+        if num_bits < 2:
+            raise ValueError(f"num_bits must be >= 2, got {num_bits}")
+        self.num_hashes = num_hashes
+        self.num_bits = num_bits
+        self.seed = seed
+        self._salt = seed.to_bytes(8, "little", signed=False)
+        self._cache: dict = {}
+
+    def _base_hashes(self, key: str) -> Tuple[int, int]:
+        """Return the two 64-bit base hashes for *key*."""
+        digest = hashlib.blake2b(
+            key.encode("utf-8"), digest_size=16, salt=self._salt
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little")
+        # h2 must be odd so that, for power-of-two m, the probe sequence
+        # cycles through distinct offsets.
+        return h1, h2 | 1
+
+    def positions(self, key: str) -> List[int]:
+        """Bit positions that *key* hashes to (length ``num_hashes``).
+
+        Positions may repeat for small ``m`` — exactly as with truly
+        independent functions; the paper explicitly "omit[s] the
+        probability that multiple hash functions return the same
+        location" in its analysis, and the filter implementations
+        handle repeats correctly regardless.
+        """
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+        h1, h2 = self._base_hashes(key)
+        m = self.num_bits
+        result = [(h1 + i * h2) % m for i in range(self.num_hashes)]
+        if len(self._cache) < self._CACHE_LIMIT:
+            self._cache[key] = tuple(result)
+        return result
+
+    def distinct_positions(self, key: str) -> List[int]:
+        """Sorted, de-duplicated bit positions for *key*."""
+        return sorted(set(self.positions(key)))
+
+    def positions_for(self, keys: Iterable[str]) -> List[List[int]]:
+        """Positions for each key in *keys*, in order."""
+        return [self.positions(key) for key in keys]
+
+    def compatible_with(self, other: "HashFamily") -> bool:
+        """True if two families produce identical positions for any key."""
+        return (
+            self.num_hashes == other.num_hashes
+            and self.num_bits == other.num_bits
+            and self.seed == other.seed
+        )
+
+    def spawn(self, num_bits: int) -> "HashFamily":
+        """A family with the same ``k`` and seed but a different ``m``.
+
+        Used by the dynamic TCBF allocation (Sec. VI-D) when re-sizing
+        filters.
+        """
+        return HashFamily(self.num_hashes, num_bits, self.seed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self.compatible_with(other)
+
+    def __hash__(self) -> int:
+        return hash((self.num_hashes, self.num_bits, self.seed))
+
+    def __repr__(self) -> str:
+        return (
+            f"HashFamily(num_hashes={self.num_hashes}, "
+            f"num_bits={self.num_bits}, seed={self.seed:#x})"
+        )
+
+
+def positions_cover(positions: Sequence[int], bit_getter) -> bool:
+    """True if every position in *positions* satisfies *bit_getter*.
+
+    Helper shared by the filter implementations: ``bit_getter`` is a
+    callable ``int -> bool`` reporting whether a bit is set.
+    """
+    return all(bit_getter(p) for p in positions)

@@ -1,0 +1,243 @@
+"""Compact wire encoding for BF/TCBF exchange (paper Sec. VI-C).
+
+Because the fill ratio is usually low, a filter is cheaper to transmit
+as a list of set-bit *locations* (⌈log2 m⌉ bits each; exactly one byte
+for the paper's m = 256) than as the raw m-bit vector.  Counters are
+1 byte each and can be elided in two ways the paper calls out:
+
+* all counters identical (a freshly inserted genuine filter) — send one
+  shared counter value;
+* counters not needed by the receiver (a broker requesting messages
+  from a producer) — strip them entirely, leaving a plain BF.
+
+The encoder picks the compact form unless the raw bit-vector is
+smaller, mirroring the ``S·⌈log2 m⌉ < m`` condition.
+
+Counters are floats internally (lazy decay) but 1 byte on the wire: the
+encoder scales them by ``counter_scale`` — with the paper's 24-hour
+maximum delay and C = 50 this gives the "5.6-minute granularity" noted
+in Sec. VI-C.  Quantisation only affects transmitted copies; local
+filters keep full precision.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Optional, Tuple
+
+from .bloom import BloomFilter
+from .hashing import HashFamily
+from .tcbf import TemporalCountingBloomFilter
+
+__all__ = [
+    "encode_bloom",
+    "decode_bloom",
+    "encode_tcbf",
+    "decode_tcbf",
+    "encoded_bloom_size",
+    "encoded_tcbf_size",
+]
+
+# Wire format tags.
+_TAG_LOCATIONS = 0x01         # set-bit locations, no counters
+_TAG_RAW_BITS = 0x02          # raw bit-vector
+_TAG_FULL_COUNTERS = 0x03     # locations + per-bit quantised counter
+_TAG_SHARED_COUNTER = 0x04    # locations + one shared quantised counter
+_TAG_RAW_FULL_COUNTERS = 0x05  # raw bit-vector + counters in position order
+
+_HEADER = struct.Struct("<BHH")  # tag, num_bits, num_set_bits
+_SCALE = struct.Struct("<f")
+
+
+def _location_bytes(num_bits: int) -> int:
+    """Whole bytes used per location on the wire (ceil of ⌈log2 m⌉/8)."""
+    return max(1, math.ceil(math.ceil(math.log2(num_bits)) / 8))
+
+
+def _pack_locations(positions, width: int) -> bytes:
+    return b"".join(p.to_bytes(width, "little") for p in sorted(positions))
+
+
+def _unpack_locations(data: bytes, count: int, width: int) -> Tuple[int, ...]:
+    return tuple(
+        int.from_bytes(data[i * width : (i + 1) * width], "little")
+        for i in range(count)
+    )
+
+
+def _pack_raw_bits(positions, num_bits: int) -> bytes:
+    vector = bytearray((num_bits + 7) // 8)
+    for p in positions:
+        vector[p // 8] |= 1 << (p % 8)
+    return bytes(vector)
+
+
+def _unpack_raw_bits(data: bytes, num_bits: int) -> Tuple[int, ...]:
+    return tuple(
+        p for p in range(num_bits) if data[p // 8] & (1 << (p % 8))
+    )
+
+
+def encode_bloom(bf: BloomFilter) -> bytes:
+    """Encode a plain BF: locations if compact, raw bits otherwise."""
+    width = _location_bytes(bf.num_bits)
+    positions = bf.set_bits
+    compact_size = len(positions) * width
+    raw_size = (bf.num_bits + 7) // 8
+    if compact_size <= raw_size:
+        header = _HEADER.pack(_TAG_LOCATIONS, bf.num_bits, len(positions))
+        return header + _pack_locations(positions, width)
+    header = _HEADER.pack(_TAG_RAW_BITS, bf.num_bits, len(positions))
+    return header + _pack_raw_bits(positions, bf.num_bits)
+
+
+def decode_bloom(data: bytes, family: HashFamily) -> BloomFilter:
+    """Decode :func:`encode_bloom` output against a known hash family."""
+    tag, num_bits, count = _HEADER.unpack_from(data)
+    if num_bits != family.num_bits:
+        raise ValueError(
+            f"encoded filter has m={num_bits}, family expects {family.num_bits}"
+        )
+    body = data[_HEADER.size :]
+    if tag == _TAG_LOCATIONS:
+        positions = _unpack_locations(body, count, _location_bytes(num_bits))
+    elif tag == _TAG_RAW_BITS:
+        positions = _unpack_raw_bits(body, num_bits)
+    else:
+        raise ValueError(f"unexpected wire tag {tag:#x} for a plain BF")
+    return BloomFilter.from_bits(positions, family)
+
+
+def _quantise(value: float, scale: float) -> int:
+    """Map a positive counter onto 1..255 (0 is reserved for 'unset')."""
+    return max(1, min(255, round(value / scale)))
+
+
+def encode_tcbf(
+    tcbf: TemporalCountingBloomFilter,
+    counters: str = "full",
+    counter_scale: Optional[float] = None,
+) -> bytes:
+    """Encode a TCBF for transmission.
+
+    Parameters
+    ----------
+    counters:
+        ``"full"`` (per-bit counters), ``"identical"`` (one shared
+        value — valid only when all counters are equal, e.g. a freshly
+        inserted genuine filter), or ``"none"`` (strip counters; the
+        receiver gets a plain BF).
+    counter_scale:
+        Counter units per quantisation step.  Defaults to
+        ``max(largest counter, C) / 255`` so the full byte range covers
+        the filter — A-merge reinforcement pushes counters well above
+        the initial value, and clipping them would erase exactly the
+        relationship the preferential query compares.  The scale is
+        carried in the frame, so receivers adapt automatically.
+    """
+    items = tcbf.items()
+    if counter_scale is not None:
+        scale = counter_scale
+    else:
+        peak = max((v for _, v in items), default=tcbf.initial_value)
+        scale = max(peak, tcbf.initial_value, 1e-9) / 255.0
+    width = _location_bytes(tcbf.num_bits)
+
+    if counters == "none":
+        return encode_bloom(tcbf.to_bloom())
+
+    if counters == "identical":
+        values = {q for _, v in items for q in (_quantise(v, scale),)}
+        if len(values) > 1:
+            raise ValueError(
+                "counters='identical' requires all counters equal "
+                f"(after quantisation); found {len(values)} distinct values"
+            )
+        shared = values.pop() if values else _quantise(tcbf.initial_value, scale)
+        header = _HEADER.pack(_TAG_SHARED_COUNTER, tcbf.num_bits, len(items))
+        body = _pack_locations((p for p, _ in items), width)
+        return header + _SCALE.pack(scale) + bytes([shared]) + body
+
+    if counters != "full":
+        raise ValueError(
+            f"counters must be 'full', 'identical' or 'none', got {counters!r}"
+        )
+    values = bytes(_quantise(v, scale) for _, v in items)
+    # The Sec. VI-C fallback: once the filter is dense enough that the
+    # location list outgrows the raw m-bit vector, send the vector and
+    # the counters in ascending-position order.
+    if len(items) * width > (tcbf.num_bits + 7) // 8:
+        header = _HEADER.pack(_TAG_RAW_FULL_COUNTERS, tcbf.num_bits, len(items))
+        bits = _pack_raw_bits((p for p, _ in items), tcbf.num_bits)
+        return header + _SCALE.pack(scale) + bits + values
+    header = _HEADER.pack(_TAG_FULL_COUNTERS, tcbf.num_bits, len(items))
+    locations = _pack_locations((p for p, _ in items), width)
+    return header + _SCALE.pack(scale) + locations + values
+
+
+def decode_tcbf(
+    data: bytes,
+    family: HashFamily,
+    initial_value: float,
+    decay_factor: float = 0.0,
+    time: float = 0.0,
+) -> TemporalCountingBloomFilter:
+    """Decode :func:`encode_tcbf` output (``full`` or ``identical`` forms).
+
+    The resulting filter is marked *merged* — a received filter is never
+    an insertion target (Sec. IV-A), only a merge operand.
+    """
+    tag, num_bits, count = _HEADER.unpack_from(data)
+    if num_bits != family.num_bits:
+        raise ValueError(
+            f"encoded filter has m={num_bits}, family expects {family.num_bits}"
+        )
+    width = _location_bytes(num_bits)
+    body = data[_HEADER.size :]
+    tcbf = TemporalCountingBloomFilter(
+        family=family,
+        initial_value=initial_value,
+        decay_factor=decay_factor,
+        time=time,
+    )
+    if tag == _TAG_FULL_COUNTERS:
+        (scale,) = _SCALE.unpack_from(body)
+        body = body[_SCALE.size :]
+        positions = _unpack_locations(body, count, width)
+        values = body[count * width : count * width + count]
+        for position, raw in zip(positions, values):
+            tcbf._counters[position] = raw * scale
+    elif tag == _TAG_RAW_FULL_COUNTERS:
+        (scale,) = _SCALE.unpack_from(body)
+        body = body[_SCALE.size :]
+        vector_len = (num_bits + 7) // 8
+        positions = _unpack_raw_bits(body[:vector_len], num_bits)
+        values = body[vector_len : vector_len + count]
+        for position, raw in zip(positions, values):  # ascending order
+            tcbf._counters[position] = raw * scale
+    elif tag == _TAG_SHARED_COUNTER:
+        (scale,) = _SCALE.unpack_from(body)
+        shared = body[_SCALE.size]
+        positions = _unpack_locations(body[_SCALE.size + 1 :], count, width)
+        for position in positions:
+            tcbf._counters[position] = shared * scale
+    else:
+        raise ValueError(
+            f"unexpected wire tag {tag:#x} for a TCBF (use decode_bloom "
+            "for counter-stripped filters)"
+        )
+    tcbf._merged = True
+    return tcbf
+
+
+def encoded_bloom_size(bf: BloomFilter) -> int:
+    """Wire size of :func:`encode_bloom` output, in bytes."""
+    return len(encode_bloom(bf))
+
+
+def encoded_tcbf_size(
+    tcbf: TemporalCountingBloomFilter, counters: str = "full"
+) -> int:
+    """Wire size of :func:`encode_tcbf` output, in bytes."""
+    return len(encode_tcbf(tcbf, counters=counters))

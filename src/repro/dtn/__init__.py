@@ -1,0 +1,23 @@
+"""DTN simulation substrate: engine, events, and bandwidth model."""
+
+from .bandwidth import (
+    BLUETOOTH_EFFECTIVE_BPS,
+    BLUETOOTH_PEAK_BPS,
+    ContactChannel,
+)
+from .energy import BLUETOOTH_CLASS2_MODEL, EnergyModel, EnergyReport
+from .events import MessageEvent
+from .simulator import Protocol, Simulation, SimulationReport
+
+__all__ = [
+    "BLUETOOTH_EFFECTIVE_BPS",
+    "BLUETOOTH_PEAK_BPS",
+    "BLUETOOTH_CLASS2_MODEL",
+    "ContactChannel",
+    "EnergyModel",
+    "EnergyReport",
+    "MessageEvent",
+    "Protocol",
+    "Simulation",
+    "SimulationReport",
+]

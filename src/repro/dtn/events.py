@@ -1,0 +1,40 @@
+"""Simulation event types.
+
+The trace-driven simulator processes two kinds of events in global time
+order: *contacts* (from the trace) and *message creations* (from the
+workload generator).  Contacts are :class:`~repro.traces.model.Contact`
+instances; message creations are :class:`MessageEvent` wrappers around
+an opaque payload object, so the engine stays independent of the
+pub-sub layer's message type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageEvent"]
+
+
+@dataclass(frozen=True, order=True)
+class MessageEvent:
+    """A message-creation event.
+
+    Attributes
+    ----------
+    time:
+        Creation time in seconds from trace origin.
+    node:
+        The producer node creating the message.
+    message:
+        The payload object handed to the protocol (opaque to the
+        engine; excluded from ordering comparisons).
+    """
+
+    time: float
+    node: int
+    message: Any = field(compare=False)
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")

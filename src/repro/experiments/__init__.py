@@ -1,0 +1,60 @@
+"""Experiment harness: configs, runner, sweeps, and report formatting."""
+
+from .config import (
+    DF_SWEEP_TTL_MIN,
+    PAPER_DF_VALUES_PER_MIN,
+    PAPER_TTL_VALUES_MIN,
+    ExperimentConfig,
+)
+from .replication import MetricStats, ReplicatedResult, run_replicated
+from .report import (
+    ascii_chart,
+    figure_series,
+    format_table,
+    metric_series,
+    series_table,
+)
+from .runner import (
+    ALL_PROTOCOLS,
+    PROTOCOL_NAMES,
+    RunResult,
+    average_peers_met_within,
+    derive_decay_factor,
+    run_experiment,
+)
+from .sweeps import df_sweep, ttl_sweep
+from .tables import (
+    PAPER_TABLE_I,
+    format_table_i,
+    format_table_ii,
+    table_i_rows,
+    table_ii_rows,
+)
+
+__all__ = [
+    "DF_SWEEP_TTL_MIN",
+    "ExperimentConfig",
+    "PAPER_DF_VALUES_PER_MIN",
+    "PAPER_TABLE_I",
+    "PAPER_TTL_VALUES_MIN",
+    "MetricStats",
+    "PROTOCOL_NAMES",
+    "ReplicatedResult",
+    "RunResult",
+    "ALL_PROTOCOLS",
+    "ascii_chart",
+    "average_peers_met_within",
+    "derive_decay_factor",
+    "df_sweep",
+    "figure_series",
+    "format_table",
+    "format_table_i",
+    "format_table_ii",
+    "metric_series",
+    "run_experiment",
+    "run_replicated",
+    "series_table",
+    "table_i_rows",
+    "table_ii_rows",
+    "ttl_sweep",
+]

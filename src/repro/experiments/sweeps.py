@@ -1,0 +1,61 @@
+"""Parameter sweeps: the TTL sweep (Figs. 7–8) and DF sweep (Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..traces.model import ContactTrace
+from ..workload.keys import KeyDistribution
+from .config import (
+    DF_SWEEP_TTL_MIN,
+    PAPER_DF_VALUES_PER_MIN,
+    PAPER_TTL_VALUES_MIN,
+    ExperimentConfig,
+)
+from .runner import PROTOCOL_NAMES, RunResult, run_experiment
+
+__all__ = ["ttl_sweep", "df_sweep"]
+
+
+def ttl_sweep(
+    trace: ContactTrace,
+    ttl_values_min: Sequence[float] = PAPER_TTL_VALUES_MIN,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    base_config: Optional[ExperimentConfig] = None,
+    distribution: Optional[KeyDistribution] = None,
+) -> Dict[str, List[RunResult]]:
+    """Figs. 7/8: every protocol at every TTL.
+
+    B-SUB's DF is re-derived from Eq. 5 at each TTL (``τ = TTL``),
+    exactly as the paper does for this sweep.  Returns
+    protocol -> results ordered like *ttl_values_min*.
+    """
+    base = base_config or ExperimentConfig()
+    results: Dict[str, List[RunResult]] = {name: [] for name in protocols}
+    for ttl_min in ttl_values_min:
+        config = base.with_ttl(ttl_min).with_df(None)
+        for name in protocols:
+            results[name].append(
+                run_experiment(trace, name, config, distribution)
+            )
+    return results
+
+
+def df_sweep(
+    trace: ContactTrace,
+    df_values_per_min: Sequence[float] = PAPER_DF_VALUES_PER_MIN,
+    ttl_min: float = DF_SWEEP_TTL_MIN,
+    base_config: Optional[ExperimentConfig] = None,
+    distribution: Optional[KeyDistribution] = None,
+) -> List[RunResult]:
+    """Fig. 9: B-SUB across explicit DF values at a fixed 20-hour TTL.
+
+    DF = 0 disables decay (interests flood, the Fig. 9 left endpoint);
+    large DFs confine interests until B-SUB degenerates towards PULL.
+    """
+    base = base_config or ExperimentConfig()
+    results: List[RunResult] = []
+    for df in df_values_per_min:
+        config = base.with_ttl(ttl_min).with_df(df)
+        results.append(run_experiment(trace, "B-SUB", config, distribution))
+    return results

@@ -1,0 +1,33 @@
+"""The B-SUB publish-subscribe system and its baselines."""
+
+from .adaptive import AdaptiveDecayConfig, AdaptiveDecayController
+from .baselines import PullProtocol, PushProtocol
+from .broker_allocation import FIVE_HOURS_S, BrokerElection, StaticBrokerSet
+from .exact import ExactInterestRelay, raw_interest_wire_bytes
+from .extra_baselines import SprayAndWaitProtocol
+from .messages import DEFAULT_COPY_LIMIT, MAX_MESSAGE_BYTES, Message
+from .metrics import DeliveryRecord, MetricsCollector, MetricsSummary
+from .node import BsubNodeState
+from .protocol import BsubConfig, BsubProtocol
+
+__all__ = [
+    "AdaptiveDecayConfig",
+    "AdaptiveDecayController",
+    "BrokerElection",
+    "BsubConfig",
+    "BsubNodeState",
+    "BsubProtocol",
+    "DEFAULT_COPY_LIMIT",
+    "DeliveryRecord",
+    "ExactInterestRelay",
+    "raw_interest_wire_bytes",
+    "FIVE_HOURS_S",
+    "MAX_MESSAGE_BYTES",
+    "Message",
+    "MetricsCollector",
+    "MetricsSummary",
+    "PullProtocol",
+    "PushProtocol",
+    "SprayAndWaitProtocol",
+    "StaticBrokerSet",
+]

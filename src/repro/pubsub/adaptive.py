@@ -1,0 +1,143 @@
+"""Online decaying-factor adaptation (paper Sec. VI-B).
+
+"In practice, we can not get a close-form function of the DF and the
+FPR.  However, we can tentatively adjust the DF, then re-adjust its
+value by observing the resultant FPR; until a desirable FPR is
+achieved."
+
+The controller implements exactly that loop, decentralised per broker:
+
+* the broker's relay-filter *fill ratio* is an observable; by Eq. 1/3
+  the filter's own false-positive rate is ``FR^k``, so no probe traffic
+  is needed;
+* every ``interval_s`` of simulated time the controller compares the
+  observed FPR against the target band and adjusts the DF
+  multiplicatively — up when the filter is too full (too many stale
+  interests -> false positives), down when it is emptier than needed
+  (delivery scope is being strangled for no FPR benefit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AdaptiveDecayConfig", "AdaptiveDecayController"]
+
+
+@dataclass(frozen=True)
+class AdaptiveDecayConfig:
+    """Parameters of the Sec. VI-B adaptation loop.
+
+    Attributes
+    ----------
+    target_fpr:
+        The "desirable FPR" the broker steers towards.
+    band:
+        Relative tolerance around the target within which the DF is
+        left alone (avoids oscillation).
+    adjust_factor:
+        Multiplicative step (> 1) applied per adjustment.
+    min_df_per_s, max_df_per_s:
+        Clamp range for the decaying factor.
+    interval_s:
+        Minimum simulated time between adjustments.
+    """
+
+    target_fpr: float = 0.02
+    band: float = 0.25
+    adjust_factor: float = 1.3
+    min_df_per_s: float = 1e-5
+    max_df_per_s: float = 10.0
+    interval_s: float = 1800.0
+
+    def __post_init__(self):
+        if not 0.0 < self.target_fpr < 1.0:
+            raise ValueError(f"target_fpr must be in (0, 1), got {self.target_fpr}")
+        if self.band < 0:
+            raise ValueError("band must be >= 0")
+        if self.adjust_factor <= 1.0:
+            raise ValueError("adjust_factor must be > 1")
+        if not 0 < self.min_df_per_s <= self.max_df_per_s:
+            raise ValueError("need 0 < min_df_per_s <= max_df_per_s")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+class AdaptiveDecayController:
+    """One broker's DF-tuning loop.
+
+    Call :meth:`observe` with the broker's relay filter on every
+    contact; the controller estimates the filter's FPR from its fill
+    ratio and, at most once per ``interval_s``, writes an adjusted
+    ``decay_factor`` back into the filter.
+    """
+
+    def __init__(self, config: AdaptiveDecayConfig, initial_df_per_s: float):
+        self.config = config
+        self._df = self._clamp(initial_df_per_s)
+        self._last_adjust_time: Optional[float] = None
+        self.adjustments = 0
+
+    @property
+    def df_per_s(self) -> float:
+        """The currently commanded decaying factor."""
+        return self._df
+
+    def _clamp(self, df: float) -> float:
+        return min(max(df, self.config.min_df_per_s), self.config.max_df_per_s)
+
+    @staticmethod
+    def estimate_fpr(relay) -> float:
+        """The relay filter's own FPR from its observable state.
+
+        By Eq. 1 and Eq. 3, ``FPR = FR^k`` — the fill ratio raised to
+        the number of hash functions.  Works for a single TCBF and for
+        a Sec. VI-D collection (joint FPR over the constituent
+        filters, Eq. 7).
+        """
+        filters = getattr(relay, "filters", None)
+        if filters is None:
+            filters = [relay]
+        joint_correct = 1.0
+        for filt in filters:
+            if not hasattr(filt, "fill_ratio"):
+                continue  # exact relays have no false positives at all
+            joint_correct *= 1.0 - filt.fill_ratio() ** filt.num_hashes
+        return 1.0 - joint_correct
+
+    def observe(self, relay, now: float) -> bool:
+        """Inspect *relay* at time *now*; returns True if the DF changed.
+
+        The new DF is written into the relay filter(s) so the lazy
+        decay picks it up from this instant onwards.
+        """
+        if (
+            self._last_adjust_time is not None
+            and now - self._last_adjust_time < self.config.interval_s
+        ):
+            return False
+        self._last_adjust_time = now
+        fpr = self.estimate_fpr(relay)
+        target = self.config.target_fpr
+        if fpr > target * (1.0 + self.config.band):
+            new_df = self._clamp(self._df * self.config.adjust_factor)
+        elif fpr < target * (1.0 - self.config.band):
+            new_df = self._clamp(self._df / self.config.adjust_factor)
+        else:
+            return False
+        if new_df == self._df:
+            return False
+        self._df = new_df
+        self._apply(relay)
+        self.adjustments += 1
+        return True
+
+    def _apply(self, relay) -> None:
+        filters = getattr(relay, "filters", None)
+        if filters is None:
+            relay.decay_factor = self._df
+        else:
+            for filt in filters:
+                filt.decay_factor = self._df
+            relay.decay_factor = self._df

@@ -1,0 +1,241 @@
+"""Decentralised broker allocation (paper Sec. V-B).
+
+B-SUB elects a swarm of socially-active nodes as brokers.  Each
+*non-broker* node tracks the brokers it has met within a sliding time
+window ``W`` and holds two thresholds:
+
+* if the number of distinct brokers met in ``W`` drops below the lower
+  bound ``T_l``, it designates the next node it meets as a broker;
+* if it exceeds the upper bound ``T_u``, it tries to demote the broker
+  it is currently meeting back to a normal node — but only if that
+  broker's *degree* (distinct nodes met in ``W``) is below the average
+  degree of the brokers the user knows, so that "less popular nodes are
+  more likely to be removed from the brokers set".
+
+Brokers themselves do not run the election.  The paper's simulation
+uses ``T_l = 3``, ``T_u = 5`` and ``W = 5`` hours, which keeps roughly
+30 % of nodes acting as brokers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Set, Tuple
+
+__all__ = ["BrokerElection", "StaticBrokerSet"]
+
+FIVE_HOURS_S = 5 * 3600.0
+
+
+class _WindowedMeetings:
+    """A node's meeting log pruned to the trailing window."""
+
+    __slots__ = ("window_s", "_events", "_counts")
+
+    def __init__(self, window_s: float):
+        self.window_s = window_s
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._counts: Dict[int, int] = {}
+
+    def record(self, time: float, peer: int) -> None:
+        self._events.append((time, peer))
+        self._counts[peer] = self._counts.get(peer, 0) + 1
+
+    def prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        counts = self._counts
+        while events and events[0][0] < horizon:
+            _, peer = events.popleft()
+            remaining = counts[peer] - 1
+            if remaining:
+                counts[peer] = remaining
+            else:
+                del counts[peer]
+
+    def distinct_peers(self) -> Set[int]:
+        return set(self._counts)
+
+    def degree(self) -> int:
+        """Distinct nodes met within the window (the paper's degree)."""
+        return len(self._counts)
+
+
+class BrokerElection:
+    """The election state of the whole population.
+
+    Per-node state is strictly partitioned (each node only ever reads
+    its own meeting log and the degree its *contacted* peer would
+    report), so the algorithm remains faithfully decentralised even
+    though one object holds everyone's state.
+
+    Parameters
+    ----------
+    nodes:
+        The node population.
+    lower_bound, upper_bound:
+        ``T_l`` and ``T_u``.
+    window_s:
+        ``W`` in seconds.
+    initial_brokers:
+        Optional broker seed set (default: start with none and let the
+        lower-bound rule bootstrap brokers from first meetings).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        lower_bound: int = 3,
+        upper_bound: int = 5,
+        window_s: float = FIVE_HOURS_S,
+        initial_brokers: Iterable[int] = (),
+    ):
+        if lower_bound < 0:
+            raise ValueError(f"lower_bound must be >= 0, got {lower_bound}")
+        if upper_bound < lower_bound:
+            raise ValueError(
+                f"upper_bound {upper_bound} < lower_bound {lower_bound}"
+            )
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s}")
+        self.lower_bound = lower_bound
+        self.upper_bound = upper_bound
+        self.window_s = window_s
+        self._nodes = tuple(sorted(set(nodes)))
+        node_set = set(self._nodes)
+        self._is_broker: Dict[int, bool] = {n: False for n in self._nodes}
+        for broker in initial_brokers:
+            if broker not in node_set:
+                raise ValueError(f"initial broker {broker} not in population")
+            self._is_broker[broker] = True
+        self._meetings: Dict[int, _WindowedMeetings] = {
+            n: _WindowedMeetings(window_s) for n in self._nodes
+        }
+        # node -> broker -> degree that broker reported at their last meeting
+        self._known_broker_degrees: Dict[int, Dict[int, int]] = {
+            n: {} for n in self._nodes
+        }
+        self._promotions = 0
+        self._demotions = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_broker(self, node: int) -> bool:
+        return self._is_broker[node]
+
+    def brokers(self) -> Set[int]:
+        return {n for n, b in self._is_broker.items() if b}
+
+    def broker_fraction(self) -> float:
+        return len(self.brokers()) / len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    @property
+    def promotions(self) -> int:
+        """Total designations of a node as broker."""
+        return self._promotions
+
+    @property
+    def demotions(self) -> int:
+        """Total designations of a broker back to normal user."""
+        return self._demotions
+
+    def degree_of(self, node: int) -> int:
+        """The degree *node* would currently report."""
+        return self._meetings[node].degree()
+
+    # -- the election step --------------------------------------------------------
+
+    def on_contact(self, a: int, b: int, now: float) -> None:
+        """Update meeting logs and run both endpoints' election rules.
+
+        The identity exchange happens first (Sec. V-C), so both sides
+        decide against the *pre-contact* roles; decisions then apply
+        simultaneously — when two broker-less users first meet, each
+        designates the other.
+        """
+        for node in (a, b):
+            self._meetings[node].prune(now)
+        self._meetings[a].record(now, b)
+        self._meetings[b].record(now, a)
+        decisions = [self._decide(user=a, peer=b), self._decide(user=b, peer=a)]
+        for decision in decisions:
+            if decision is None:
+                continue
+            action, user, peer = decision
+            if action == "promote" and not self._is_broker[peer]:
+                self._is_broker[peer] = True
+                self._known_broker_degrees[user][peer] = self.degree_of(peer)
+                self._promotions += 1
+            elif action == "demote" and self._is_broker[peer]:
+                self._is_broker[peer] = False
+                self._known_broker_degrees[user].pop(peer, None)
+                self._demotions += 1
+
+    def _decide(self, user: int, peer: int):
+        """The user's election decision for this contact, if any."""
+        if self._is_broker[user]:
+            return None  # brokers do not perform election operations
+        known = self._known_broker_degrees[user]
+        if self._is_broker[peer]:
+            known[peer] = self.degree_of(peer)
+        # Brokers met within the window, per the user's own log.
+        met_brokers = {
+            p for p in self._meetings[user].distinct_peers() if self._is_broker[p]
+        }
+        # Forget degree reports from brokers outside the window or demoted.
+        for stale in [p for p in known if p not in met_brokers]:
+            del known[stale]
+        count = len(met_brokers)
+        if count < self.lower_bound and not self._is_broker[peer]:
+            return ("promote", user, peer)
+        if count > self.upper_bound and self._is_broker[peer]:
+            average = sum(known.values()) / len(known) if known else 0.0
+            if self.degree_of(peer) < average:
+                return ("demote", user, peer)
+        return None
+
+
+class StaticBrokerSet:
+    """A fixed broker assignment (ablation baseline for the election).
+
+    Useful for isolating forwarding behaviour from election dynamics,
+    e.g. "top 30 % of nodes by trace centrality are brokers".
+    """
+
+    def __init__(self, nodes: Iterable[int], brokers: Iterable[int]):
+        self._nodes = tuple(sorted(set(nodes)))
+        self._brokers = set(brokers)
+        unknown = self._brokers - set(self._nodes)
+        if unknown:
+            raise ValueError(f"brokers outside population: {sorted(unknown)}")
+
+    @classmethod
+    def top_fraction(
+        cls, centrality: Dict[int, float], fraction: float
+    ) -> "StaticBrokerSet":
+        """The *fraction* most central nodes become brokers."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        ranked = sorted(centrality, key=lambda n: -centrality[n])
+        count = max(1, round(len(ranked) * fraction))
+        return cls(centrality.keys(), ranked[:count])
+
+    def is_broker(self, node: int) -> bool:
+        return node in self._brokers
+
+    def brokers(self) -> Set[int]:
+        return set(self._brokers)
+
+    def broker_fraction(self) -> float:
+        return len(self._brokers) / len(self._nodes)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    def on_contact(self, a: int, b: int, now: float) -> None:
+        """No-op: the assignment is static."""

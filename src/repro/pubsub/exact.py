@@ -1,0 +1,180 @@
+"""Exact (raw-string) interest relay — the TCBF's ablation twin.
+
+Sec. IV-B claims the TCBF "reduces storage for representing interests"
+and "reduces bandwidth requirements in interests propagation" relative
+to raw strings, at the price of false positives.  To measure that claim
+*inside the protocol* (not just statically), this module provides a
+drop-in replacement for the relay filter that keeps interests as exact
+strings with per-key counters — the representation the paper's
+string-matching strawman [1] implies:
+
+* same temporal semantics (insertion value ``C``, decay, A-/M-merge,
+  preferential queries) so the forwarding behaviour is comparable;
+* exact membership — no false positives, no falsely injected messages;
+* wire size = the raw-string encoding of Sec. VI-C
+  (Σ key bytes + per-key control overhead), which is what the contact
+  bandwidth gets charged.
+
+Run B-SUB with ``BsubConfig(interest_encoding="raw")`` to reproduce the
+trade-off: zero FPR, larger control traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.analysis import raw_string_memory_bytes
+
+__all__ = ["ExactInterestRelay", "raw_interest_wire_bytes"]
+
+#: Per-key control overhead on the wire (length prefix + separator).
+PER_KEY_OVERHEAD_BYTES = 2
+
+
+def raw_interest_wire_bytes(keys: Iterable[str], with_counters: bool = False) -> float:
+    """Wire size of a raw-string interest list (Sec. VI-C comparison).
+
+    One byte per key is added for the counter when *with_counters*.
+    """
+    lengths = [len(k.encode("utf-8")) for k in keys]
+    size = raw_string_memory_bytes(lengths, per_key_overhead=PER_KEY_OVERHEAD_BYTES)
+    if with_counters:
+        size += len(lengths)
+    return size
+
+
+class ExactInterestRelay:
+    """A relay 'filter' storing interests as exact keyed counters.
+
+    Mirrors the TCBF interface the protocol uses (``advance``, ``copy``,
+    ``a_merge``/``m_merge``, ``query``, ``min_counter``, ``preference``,
+    ``is_empty``, ``time``) with exact semantics: one counter per key,
+    no hashing, no collisions, no false positives.
+    """
+
+    __slots__ = ("initial_value", "decay_factor", "_counters", "_time")
+
+    def __init__(
+        self,
+        initial_value: float = 50.0,
+        decay_factor: float = 0.0,
+        time: float = 0.0,
+    ):
+        if initial_value <= 0:
+            raise ValueError(f"initial_value must be positive, got {initial_value}")
+        if decay_factor < 0:
+            raise ValueError(f"decay_factor must be >= 0, got {decay_factor}")
+        self.initial_value = float(initial_value)
+        self.decay_factor = float(decay_factor)
+        self._counters: Dict[str, float] = {}
+        self._time = float(time)
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def advance(self, now: float) -> None:
+        if now < self._time:
+            raise ValueError(
+                f"cannot advance backwards: relay at t={self._time}, got {now}"
+            )
+        elapsed = now - self._time
+        self._time = now
+        if self.decay_factor > 0 and elapsed > 0:
+            self.decay(self.decay_factor * elapsed)
+
+    def decay(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"decay amount must be >= 0, got {amount}")
+        if amount == 0 or not self._counters:
+            return
+        self._counters = {
+            key: value - amount
+            for key, value in self._counters.items()
+            if value > amount
+        }
+
+    # -- merges ----------------------------------------------------------------
+
+    def announce(self, keys: Iterable[str]) -> None:
+        """A-merge a consumer's interest announcement (counters += C)."""
+        for key in keys:
+            self._counters[key] = (
+                self._counters.get(key, 0.0) + self.initial_value
+            )
+
+    def a_merge(self, other: "ExactInterestRelay") -> None:
+        """Additive merge of another exact relay."""
+        self._align(other)
+        for key, value in other._decayed_counters(self._time).items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def m_merge(self, other: "ExactInterestRelay") -> None:
+        """Maximum merge of another exact relay (broker ↔ broker)."""
+        self._align(other)
+        for key, value in other._decayed_counters(self._time).items():
+            self._counters[key] = max(self._counters.get(key, 0.0), value)
+
+    def _align(self, other: "ExactInterestRelay") -> None:
+        if other._time > self._time:
+            self.advance(other._time)
+
+    def _decayed_counters(self, at_time: float) -> Dict[str, float]:
+        lag = (at_time - self._time) * self.decay_factor
+        if lag <= 0:
+            return dict(self._counters)
+        return {k: v - lag for k, v in self._counters.items() if v > lag}
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(self, key: str) -> bool:
+        """Exact membership — never a false positive."""
+        return self._counters.get(key, 0.0) > 0.0
+
+    def __contains__(self, key: str) -> bool:
+        return self.query(key)
+
+    def min_counter(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def preference(self, key: str, other) -> float:
+        """P_{self,other}(key) with the Sec. IV-A zero-case rule."""
+        a = self.min_counter(key)
+        b = other.min_counter(key)
+        return a if b == 0.0 else a - b
+
+    def is_empty(self) -> bool:
+        return not self._counters
+
+    def __len__(self) -> int:
+        """Number of stored keys."""
+        return len(self._counters)
+
+    def keys(self) -> List[str]:
+        return sorted(self._counters)
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self._counters.items())
+
+    # -- wire ----------------------------------------------------------------
+
+    def wire_bytes(self, with_counters: bool = True) -> float:
+        """Transmission size of this relay's interest list."""
+        return raw_interest_wire_bytes(self._counters, with_counters)
+
+    def copy(self) -> "ExactInterestRelay":
+        clone = ExactInterestRelay(
+            initial_value=self.initial_value,
+            decay_factor=self.decay_factor,
+            time=self._time,
+        )
+        clone._counters = dict(self._counters)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactInterestRelay(keys={len(self._counters)}, "
+            f"DF={self.decay_factor}, t={self._time})"
+        )

@@ -1,0 +1,134 @@
+"""Additional DTN baselines beyond the paper's PUSH/PULL.
+
+**Extension, not reproduction**: the paper compares B-SUB only against
+flooding and one-hop collection.  The classic quota-based DTN scheme —
+binary *Spray and Wait* (Spyropoulos et al., WDTN'05) — sits between
+those extremes and makes the comparison landscape more informative:
+like B-SUB it bounds per-message copies; unlike B-SUB it is content- and
+social-agnostic, so the gap between them isolates what B-SUB's
+interest-driven, socially-aware relaying actually buys.
+
+Adaptation to the pub-sub setting: destinations are unknown, so the
+*wait*-phase direct delivery targets any encountered node whose
+interests match the message (exact matching — like PUSH/PULL, this
+baseline uses no Bloom filters and never delivers falsely).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..dtn.bandwidth import ContactChannel
+from ..dtn.simulator import Protocol
+from ..traces.model import Contact, ContactTrace
+from .messages import Message
+from .metrics import MetricsCollector
+
+__all__ = ["SprayAndWaitProtocol"]
+
+
+class SprayAndWaitProtocol(Protocol):
+    """Binary Spray and Wait, content-delivery flavoured.
+
+    Each message starts with ``initial_copies`` logical copies at its
+    producer.  A carrier holding ``c > 1`` copies that meets a node
+    without the message hands over ``⌊c/2⌋`` of them (*spray*); a
+    carrier down to one copy only passes the message to genuinely
+    interested consumers (*wait*).  Interested consumers always get the
+    message on contact, regardless of phase.
+    """
+
+    name = "SPRAY"
+
+    def __init__(
+        self,
+        interests: Dict[int, FrozenSet[str]],
+        metrics: MetricsCollector,
+        initial_copies: int = 8,
+    ):
+        if initial_copies < 1:
+            raise ValueError(
+                f"initial_copies must be >= 1, got {initial_copies}"
+            )
+        self.interests = interests
+        self.metrics = metrics
+        self.initial_copies = initial_copies
+        # node -> message id -> (message, copies held)
+        self.carried: Dict[int, Dict[int, Tuple[Message, int]]] = {}
+        self.received: Dict[int, Set[int]] = {}
+        self._expiry: Dict[int, List[Tuple[float, int]]] = {}
+
+    def setup(self, trace: ContactTrace) -> None:
+        self.carried = {node: {} for node in trace.nodes}
+        self.received = {node: set() for node in trace.nodes}
+        self._expiry = {node: [] for node in trace.nodes}
+
+    def on_message_created(self, node: int, message: Message, now: float) -> None:
+        self.metrics.register_message(message)
+        self.carried[node][message.id] = (message, self.initial_copies)
+        self.received[node].add(message.id)
+        heapq.heappush(self._expiry[node], (message.expires_at, message.id))
+
+    def _purge(self, node: int, now: float) -> None:
+        heap = self._expiry[node]
+        while heap and heap[0][0] < now:
+            _, message_id = heapq.heappop(heap)
+            self.carried[node].pop(message_id, None)
+
+    def on_contact(
+        self, contact: Contact, channel: ContactChannel, now: float
+    ) -> None:
+        a, b = contact.a, contact.b
+        self._purge(a, now)
+        self._purge(b, now)
+        self._exchange(a, b, channel, now)
+        self._exchange(b, a, channel, now)
+
+    def _exchange(
+        self, sender: int, receiver: int, channel: ContactChannel, now: float
+    ) -> None:
+        receiver_interests = self.interests.get(receiver, frozenset())
+        receiver_received = self.received[receiver]
+        receiver_carried = self.carried[receiver]
+        for message_id in sorted(self.carried[sender]):
+            entry = self.carried[sender].get(message_id)
+            if entry is None:
+                continue
+            message, copies = entry
+            interested = bool(message.keys & receiver_interests)
+            already_has = message_id in receiver_received
+            if already_has:
+                continue
+            if interested:
+                # direct delivery — costs a transmission, not a copy
+                if not channel.send(
+                    message.size_bytes, sender=sender, receiver=receiver
+                ):
+                    return
+                self.metrics.record_forwarding(message)
+                receiver_received.add(message_id)
+                self.metrics.record_delivery(message, receiver, now)
+                continue
+            if copies > 1:
+                # spray half the quota to the uninfected peer
+                if not channel.send(
+                    message.size_bytes, sender=sender, receiver=receiver
+                ):
+                    return
+                self.metrics.record_forwarding(message)
+                handed = copies // 2
+                self.carried[sender][message_id] = (message, copies - handed)
+                receiver_carried[message_id] = (message, handed)
+                receiver_received.add(message_id)
+                heapq.heappush(
+                    self._expiry[receiver], (message.expires_at, message_id)
+                )
+
+    def total_copies_in_flight(self) -> int:
+        """Sum of copy quotas across all carriers (bounded by L per msg)."""
+        return sum(
+            copies
+            for per_node in self.carried.values()
+            for _, copies in per_node.values()
+        )

@@ -1,0 +1,107 @@
+"""Messages and their content keys.
+
+In B-SUB "the content of a message is identified by a single key, which
+is a string that indicates the content of the message" (Sec. V-A); the
+paper scopes its presentation to single-key messages but notes the
+multi-key extension is straightforward — the library supports both
+(``keys`` is a frozenset, usually of size one).
+
+Messages are small (Twitter-post scale, ≤ 140 bytes), have a TTL equal
+to their maximum tolerable delay, and producers may replicate at most
+``ℂ`` copies to brokers (direct deliveries to consumers don't count as
+copies, Sec. V-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Union
+
+__all__ = ["Message", "MAX_MESSAGE_BYTES", "DEFAULT_COPY_LIMIT"]
+
+MAX_MESSAGE_BYTES = 140   # Twitter post limit (Sec. V-A / VII-A)
+DEFAULT_COPY_LIMIT = 3    # the paper's ℂ (Sec. VII-A)
+
+_next_id = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable pub-sub message.
+
+    Attributes
+    ----------
+    id:
+        Unique message id (auto-assigned by :meth:`create`).
+    keys:
+        Content keys (usually a single key).
+    source:
+        Producer node id.
+    created_at:
+        Creation time, seconds from trace origin.
+    ttl_s:
+        Time-to-live in seconds — "identical to their maximum tolerable
+        delay", counted from creation.
+    size_bytes:
+        Payload size charged to contact bandwidth.
+    """
+
+    id: int
+    keys: FrozenSet[str]
+    source: int
+    created_at: float
+    ttl_s: float
+    size_bytes: int
+
+    @classmethod
+    def create(
+        cls,
+        keys: Union[str, Iterable[str]],
+        source: int,
+        created_at: float,
+        ttl_s: float,
+        size_bytes: int = MAX_MESSAGE_BYTES,
+    ) -> "Message":
+        """Create a message with a fresh id and validated fields."""
+        if isinstance(keys, str):
+            key_set = frozenset([keys])
+        else:
+            key_set = frozenset(keys)
+        if not key_set:
+            raise ValueError("a message needs at least one content key")
+        if any(not k for k in key_set):
+            raise ValueError("content keys must be non-empty strings")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_s}")
+        if not 1 <= size_bytes:
+            raise ValueError(f"size must be >= 1 byte, got {size_bytes}")
+        return cls(
+            id=next(_next_id),
+            keys=key_set,
+            source=source,
+            created_at=float(created_at),
+            ttl_s=float(ttl_s),
+            size_bytes=int(size_bytes),
+        )
+
+    @property
+    def key(self) -> str:
+        """The single content key (raises if the message is multi-key)."""
+        if len(self.keys) != 1:
+            raise ValueError(
+                f"message {self.id} has {len(self.keys)} keys; use .keys"
+            )
+        return next(iter(self.keys))
+
+    @property
+    def expires_at(self) -> float:
+        return self.created_at + self.ttl_s
+
+    def expired(self, now: float) -> bool:
+        """True once *now* exceeds the TTL horizon."""
+        return now > self.expires_at
+
+    def matches(self, interests: FrozenSet[str]) -> bool:
+        """Ground-truth interest match (no Bloom-filter involvement)."""
+        return bool(self.keys & interests)

@@ -1,0 +1,268 @@
+"""Evaluation metrics (paper Sec. VII).
+
+The paper evaluates three metrics — *delivery ratio*, *delay*, and
+*overhead* (forwardings per delivered message) — plus the *false
+positive rate* of delivered messages (Fig. 9(d)).  Definitions used
+here, matching the paper's wording:
+
+* A message's *intended recipients* are the consumers whose interests
+  ground-truth-match its keys (excluding the producer itself).
+* **Delivery ratio** — delivered (message, intended-recipient) pairs
+  over all intended pairs.
+* **Delay** — time from message creation to delivery, averaged over
+  delivered intended pairs ("we only consider the delay of delivered
+  messages").
+* **Forwardings per delivered message** — total message transmissions
+  in the network divided by the number of deliveries.
+* **False positive rate** — "the ratio of the number of falsely
+  delivered messages to the total number of delivered messages": a
+  delivery to a node *not* interested in the message is false (it can
+  only happen through Bloom-filter false positives).
+* **False injection rate** — the Sec. VI-B quantity: the fraction of
+  producer-to-broker replications carrying a message *no consumer is
+  interested in*.  Such messages enter the network purely through
+  relay-filter false positives ("B-SUB may falsely inject useless
+  messages into the network", Sec. I); this is the observable whose
+  worst case Eq. 1 bounds at ≈ 0.04 for the 38-key workload, because
+  the injection decision queries a many-key relay filter, whereas the
+  final delivery decision queries a single-interest consumer filter
+  whose false-positive probability is negligible (~1e-7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .messages import Message
+
+__all__ = ["DeliveryRecord", "MetricsCollector", "MetricsSummary"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery of a message to a node."""
+
+    message_id: int
+    node: int
+    time: float
+    delay_s: float
+    intended: bool
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregated results of one simulation run."""
+
+    protocol: str
+    num_messages: int
+    num_intended_pairs: int
+    num_deliveries: int
+    num_intended_deliveries: int
+    num_false_deliveries: int
+    num_forwardings: int
+    num_injections: int
+    num_false_injections: int
+    num_useless_injections: int
+    delivery_ratio: float
+    mean_delay_s: float
+    median_delay_s: float
+    forwardings_per_delivered: float
+    false_positive_ratio: float
+    false_injection_ratio: float
+    useless_injection_ratio: float
+
+    @property
+    def mean_delay_min(self) -> float:
+        """Mean delay in minutes (the paper's Fig. 7/8/9(b) unit)."""
+        return self.mean_delay_s / 60.0
+
+
+class MetricsCollector:
+    """Accumulates deliveries and transmissions during a run.
+
+    Parameters
+    ----------
+    interests:
+        Ground-truth node -> interest-set map, used to classify
+        deliveries as intended or false.
+    protocol_name:
+        Label carried into the summary.
+    """
+
+    def __init__(
+        self,
+        interests: Dict[int, FrozenSet[str]],
+        protocol_name: str = "protocol",
+    ):
+        self.interests = interests
+        self.protocol_name = protocol_name
+        self._all_interest_keys: FrozenSet[str] = frozenset(
+            key for keys in interests.values() for key in keys
+        )
+        self._intended_recipients: Dict[int, FrozenSet[int]] = {}
+        self._messages: Dict[int, Message] = {}
+        self._delivered_pairs: Set[Tuple[int, int]] = set()
+        self._records: List[DeliveryRecord] = []
+        self._num_forwardings = 0
+        self._num_injections = 0
+        self._num_false_injections = 0
+        self._num_useless_injections = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def register_message(self, message: Message) -> None:
+        """Declare a newly created message (computes intended recipients)."""
+        if message.id in self._messages:
+            raise ValueError(f"message {message.id} registered twice")
+        self._messages[message.id] = message
+        self._intended_recipients[message.id] = frozenset(
+            node
+            for node, keys in self.interests.items()
+            if node != message.source and message.keys & keys
+        )
+
+    def record_forwarding(self, message: Message, count: int = 1) -> None:
+        """Count *count* transmissions of *message*."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._num_forwardings += count
+
+    def record_injection(self, message: Message) -> None:
+        """Count one producer-to-broker replication of *message*.
+
+        Two flavours of waste are distinguished:
+
+        * *false* — no node in the network, not even the producer, is
+          interested in any of the message's keys: such a key was never
+          announced, so the relay filter can only have matched through
+          a Bloom-filter false positive (the Sec. VI-B quantity);
+        * *useless* — the message has no intended recipients (the
+          superset: it also covers keys only the producer itself is
+          interested in, which genuinely sit in relay filters but can
+          never produce a delivery — wasted bandwidth either way).
+        """
+        if message.id not in self._messages:
+            raise ValueError(
+                f"message {message.id} injected but never registered"
+            )
+        self._num_injections += 1
+        if not message.keys & self._all_interest_keys:
+            self._num_false_injections += 1
+        if not self._intended_recipients[message.id]:
+            self._num_useless_injections += 1
+
+    def record_delivery(self, message: Message, node: int, now: float) -> bool:
+        """Record a delivery; returns False for duplicate (message, node) pairs.
+
+        Duplicates are not an error — protocols may legitimately hand a
+        node a copy it already has — but they count neither as
+        deliveries nor as false positives.
+        """
+        if message.id not in self._messages:
+            raise ValueError(
+                f"message {message.id} delivered but never registered"
+            )
+        pair = (message.id, node)
+        if pair in self._delivered_pairs:
+            return False
+        self._delivered_pairs.add(pair)
+        intended = node in self._intended_recipients[message.id]
+        self._records.append(
+            DeliveryRecord(
+                message_id=message.id,
+                node=node,
+                time=now,
+                delay_s=now - message.created_at,
+                intended=intended,
+            )
+        )
+        return True
+
+    def was_delivered_to(self, message: Message, node: int) -> bool:
+        """Whether (message, node) has already been recorded."""
+        return (message.id, node) in self._delivered_pairs
+
+    # -- aggregation ---------------------------------------------------------------
+
+    @property
+    def num_messages(self) -> int:
+        return len(self._messages)
+
+    @property
+    def num_intended_pairs(self) -> int:
+        return sum(len(r) for r in self._intended_recipients.values())
+
+    @property
+    def deliveries(self) -> List[DeliveryRecord]:
+        return list(self._records)
+
+    @property
+    def num_forwardings(self) -> int:
+        return self._num_forwardings
+
+    @property
+    def num_injections(self) -> int:
+        return self._num_injections
+
+    @property
+    def num_false_injections(self) -> int:
+        return self._num_false_injections
+
+    @property
+    def num_useless_injections(self) -> int:
+        return self._num_useless_injections
+
+    def summary(self) -> MetricsSummary:
+        """Aggregate everything recorded so far."""
+        intended_records = [r for r in self._records if r.intended]
+        false_records = [r for r in self._records if not r.intended]
+        delays = sorted(r.delay_s for r in intended_records)
+        num_deliveries = len(self._records)
+        intended_pairs = self.num_intended_pairs
+        if delays:
+            mean_delay = sum(delays) / len(delays)
+            mid = len(delays) // 2
+            median_delay = (
+                delays[mid]
+                if len(delays) % 2
+                else (delays[mid - 1] + delays[mid]) / 2.0
+            )
+        else:
+            mean_delay = median_delay = math.nan
+        return MetricsSummary(
+            protocol=self.protocol_name,
+            num_messages=len(self._messages),
+            num_intended_pairs=intended_pairs,
+            num_deliveries=num_deliveries,
+            num_intended_deliveries=len(intended_records),
+            num_false_deliveries=len(false_records),
+            num_forwardings=self._num_forwardings,
+            num_injections=self._num_injections,
+            num_false_injections=self._num_false_injections,
+            num_useless_injections=self._num_useless_injections,
+            delivery_ratio=(
+                len(intended_records) / intended_pairs if intended_pairs else math.nan
+            ),
+            mean_delay_s=mean_delay,
+            median_delay_s=median_delay,
+            forwardings_per_delivered=(
+                self._num_forwardings / len(intended_records)
+                if intended_records
+                else math.nan
+            ),
+            false_positive_ratio=(
+                len(false_records) / num_deliveries if num_deliveries else 0.0
+            ),
+            false_injection_ratio=(
+                self._num_false_injections / self._num_injections
+                if self._num_injections
+                else 0.0
+            ),
+            useless_injection_ratio=(
+                self._num_useless_injections / self._num_injections
+                if self._num_injections
+                else 0.0
+            ),
+        )

@@ -1,0 +1,515 @@
+"""The B-SUB protocol (paper Sec. V).
+
+One :class:`BsubProtocol` instance manages every node's state and
+implements the full contact procedure:
+
+1. **Identity exchange & election** — both endpoints learn each other's
+   role and run the Sec. V-B broker-allocation rules.
+2. **Interest propagation** (Sec. V-C) — any node meeting a broker
+   uploads its genuine filter, which the broker **A-merges** into its
+   relay filter (repeat meetings *reinforce* the counters); two brokers
+   exchange relay filters and **M-merge** them (max counters prevent
+   the Fig. 6 bogus-counter loop).
+3. **Message forwarding** (Sec. V-D) —
+
+   * *direct*: each endpoint sends its interests as a counter-stripped
+     BF; the peer forwards matching buffered messages (false positives
+     in this BF are exactly the falsely-delivered messages Fig. 9(d)
+     measures);
+   * *producer → broker*: the broker sends its relay filter stripped of
+     counters; the producer replicates matching own messages, up to the
+     copy limit ℂ, to distinct brokers;
+   * *broker → broker*: carried messages are ranked by the
+     **preferential query** against the peer's pre-merge relay filter
+     and forwarded largest-positive-preference-first; forwarded
+     messages leave the sender's buffer.
+
+Every transmission — filters included — is charged to the contact's
+bandwidth budget; what doesn't fit doesn't happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.analysis import filter_memory_bytes
+from ..core.hashing import DEFAULT_SEED, HashFamily
+from ..core.tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
+from ..dtn.bandwidth import ContactChannel
+from ..dtn.simulator import Protocol
+from ..traces.model import Contact, ContactTrace
+from .adaptive import AdaptiveDecayConfig, AdaptiveDecayController
+from .broker_allocation import FIVE_HOURS_S, BrokerElection, StaticBrokerSet
+from .exact import raw_interest_wire_bytes
+from .messages import DEFAULT_COPY_LIMIT, Message
+from .metrics import MetricsCollector
+from .node import BsubNodeState
+
+__all__ = ["BsubConfig", "BsubProtocol"]
+
+#: Fixed per-filter wire header (format tag + geometry + counter scale).
+_FILTER_HEADER_BYTES = 9.0
+
+
+@dataclass(frozen=True)
+class BsubConfig:
+    """Tunable parameters of B-SUB (defaults = the paper's Sec. VII-A).
+
+    Attributes
+    ----------
+    num_bits, num_hashes:
+        Filter geometry (256 bits, 4 hashes).
+    seed:
+        Hash-family seed shared network-wide.
+    initial_value:
+        TCBF counter initial value ``C`` (50).
+    decay_factor_per_min:
+        DF, in counter units per *minute* (the paper's Fig. 9 axis
+        unit).  0 disables decay.
+    copy_limit:
+        ℂ — max replicas a producer hands to brokers (3).
+    election_lower, election_upper:
+        ``T_l`` / ``T_u`` broker-election thresholds (3 and 5).
+    election_window_s:
+        ``W`` (5 hours).
+    broker_broker_additive_merge:
+        Ablation switch: use A-merge instead of M-merge between brokers
+        to reproduce the Fig. 6 bogus-counter pathology.
+    static_brokers:
+        When set, disables the election and pins exactly these nodes as
+        brokers for the whole run (tests and election ablations).
+    relay_fill_threshold, relay_max_filters:
+        When ``relay_fill_threshold`` is set, relays use the Sec. VI-D
+        dynamic multi-TCBF allocation: a new filter is grown whenever
+        the current one's fill ratio exceeds the threshold, up to
+        ``relay_max_filters``.  Use :func:`repro.core.plan_allocation`
+        to derive both from a memory bound.
+    adaptive_df:
+        When set, each broker runs the Sec. VI-B online DF-adjustment
+        loop (:class:`~repro.pubsub.adaptive.AdaptiveDecayController`)
+        seeded from ``decay_factor_per_min``.
+    carried_capacity, eviction:
+        Broker buffer bound and its policy (``"oldest"`` evicts the
+        earliest-expiring carried message, ``"reject"`` refuses
+        incoming); ``None`` capacity = unbounded, the paper's implicit
+        setting.
+    interest_encoding:
+        ``"tcbf"`` (the paper's design) or ``"raw"`` — the Sec. IV-B
+        ablation where interests travel as exact strings: zero false
+        positives, but control traffic pays full raw-string sizes.
+    """
+
+    num_bits: int = 256
+    num_hashes: int = 4
+    seed: int = DEFAULT_SEED
+    initial_value: float = DEFAULT_INITIAL_VALUE
+    decay_factor_per_min: float = 0.0
+    copy_limit: int = DEFAULT_COPY_LIMIT
+    election_lower: int = 3
+    election_upper: int = 5
+    election_window_s: float = FIVE_HOURS_S
+    broker_broker_additive_merge: bool = False
+    static_brokers: Optional[Tuple[int, ...]] = None
+    relay_fill_threshold: Optional[float] = None
+    relay_max_filters: Optional[int] = None
+    adaptive_df: Optional[AdaptiveDecayConfig] = None
+    carried_capacity: Optional[int] = None
+    eviction: str = "oldest"
+    interest_encoding: str = "tcbf"
+
+    def __post_init__(self):
+        if self.decay_factor_per_min < 0:
+            raise ValueError("decay_factor_per_min must be >= 0")
+        if self.interest_encoding not in ("tcbf", "raw"):
+            raise ValueError(
+                f"interest_encoding must be 'tcbf' or 'raw', got "
+                f"{self.interest_encoding!r}"
+            )
+
+    @property
+    def decay_factor_per_s(self) -> float:
+        return self.decay_factor_per_min / 60.0
+
+
+class BsubProtocol(Protocol):
+    """B-SUB over a trace-driven DTN simulation."""
+
+    name = "B-SUB"
+
+    def __init__(
+        self,
+        interests: Dict[int, FrozenSet[str]],
+        metrics: MetricsCollector,
+        config: Optional[BsubConfig] = None,
+    ):
+        self.config = config or BsubConfig()
+        self.interests = interests
+        self.metrics = metrics
+        self.family = HashFamily(
+            self.config.num_hashes, self.config.num_bits, self.config.seed
+        )
+        self.states: Dict[int, BsubNodeState] = {}
+        self.election: Optional[BrokerElection] = None
+        self.df_controllers: Dict[int, AdaptiveDecayController] = {}
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def setup(self, trace: ContactTrace) -> None:
+        """Build per-node state and the broker election for *trace*."""
+        cfg = self.config
+        start = trace.start_time
+        self.states = {
+            node: BsubNodeState(
+                node_id=node,
+                interests=self.interests.get(node, frozenset()),
+                family=self.family,
+                initial_value=cfg.initial_value,
+                decay_factor=cfg.decay_factor_per_s,
+                copy_limit=cfg.copy_limit,
+                start_time=start,
+                relay_fill_threshold=cfg.relay_fill_threshold,
+                relay_max_filters=cfg.relay_max_filters,
+                carried_capacity=cfg.carried_capacity,
+                eviction=cfg.eviction,
+                interest_encoding=cfg.interest_encoding,
+            )
+            for node in trace.nodes
+        }
+        if cfg.adaptive_df is not None:
+            self.df_controllers = {
+                node: AdaptiveDecayController(
+                    cfg.adaptive_df, initial_df_per_s=cfg.decay_factor_per_s
+                )
+                for node in trace.nodes
+            }
+        if cfg.static_brokers is not None:
+            self.election = StaticBrokerSet(trace.nodes, cfg.static_brokers)
+        else:
+            self.election = BrokerElection(
+                trace.nodes,
+                lower_bound=cfg.election_lower,
+                upper_bound=cfg.election_upper,
+                window_s=cfg.election_window_s,
+            )
+
+    def on_message_created(self, node: int, message: Message, now: float) -> None:
+        """A producer creates *message*: buffer it with a ℂ-copy budget."""
+        self.metrics.register_message(message)
+        self.states[node].produce(message)
+
+    def on_contact(
+        self, contact: Contact, channel: ContactChannel, now: float
+    ) -> None:
+        """Run the full Sec. V contact procedure between the endpoints:
+        election, interest propagation, and the three forwarding
+        exchanges (see the module docstring for the walkthrough)."""
+        a, b = contact.a, contact.b
+        self.election.on_contact(a, b, now)
+        sa, sb = self.states[a], self.states[b]
+        sa.purge_expired(now)
+        sb.purge_expired(now)
+        sa.relay.advance(now)
+        sb.relay.advance(now)
+        a_is_broker = self.election.is_broker(a)
+        b_is_broker = self.election.is_broker(b)
+
+        # Sec. VI-B: brokers re-tune their DF from the observed FPR.
+        if self.df_controllers:
+            if a_is_broker:
+                self.df_controllers[a].observe(sa.relay, now)
+            if b_is_broker:
+                self.df_controllers[b].observe(sb.relay, now)
+
+        # Snapshot relay filters: all matching/preference decisions in
+        # this contact use pre-merge state (Sec. V-D: brokers "make
+        # message forwarding decisions before merging").
+        relay_snap_a = sa.relay.copy() if a_is_broker else None
+        relay_snap_b = sb.relay.copy() if b_is_broker else None
+
+        # -- control plane: interest filters ---------------------------------
+        # Genuine filters travel whenever the peer needs them: as a
+        # counter-carrying TCBF towards a broker (serves both the
+        # A-merge and delivery matching), as a stripped BF otherwise.
+        genuine_a_arrives = self._send_genuine(
+            sa, towards_broker=b_is_broker, channel=channel, receiver=b
+        )
+        genuine_b_arrives = self._send_genuine(
+            sb, towards_broker=a_is_broker, channel=channel, receiver=a
+        )
+        if genuine_a_arrives and b_is_broker:
+            self._absorb_interests(sb, sa, now)
+        if genuine_b_arrives and a_is_broker:
+            self._absorb_interests(sa, sb, now)
+
+        # Relay filters: full (with counters) between brokers, stripped
+        # towards producers for the pull-by-filter request.
+        relay_a_arrives = relay_b_arrives = False
+        if a_is_broker:
+            relay_a_arrives = channel.send(
+                self._relay_wire_bytes(sa, full=b_is_broker), sender=a, receiver=b
+            )
+        if b_is_broker:
+            relay_b_arrives = channel.send(
+                self._relay_wire_bytes(sb, full=a_is_broker), sender=b, receiver=a
+            )
+
+        # -- data plane --------------------------------------------------------
+        # 1. Direct delivery both ways (producer/broker -> consumer).
+        if genuine_b_arrives:
+            self._deliver_matching(sa, sb, channel, now)
+        if genuine_a_arrives:
+            self._deliver_matching(sb, sa, channel, now)
+
+        # 2. Producer -> broker replication (the ℂ-copy relay path).
+        if b_is_broker and relay_b_arrives:
+            self._replicate_to_broker(sa, sb, relay_snap_b, channel)
+        if a_is_broker and relay_a_arrives:
+            self._replicate_to_broker(sb, sa, relay_snap_a, channel)
+
+        # 3. Broker <-> broker preferential forwarding, then merge.
+        if a_is_broker and b_is_broker:
+            if relay_a_arrives:
+                self._forward_broker_to_broker(
+                    sb, sa, relay_snap_a, relay_snap_b, channel, now
+                )
+            if relay_b_arrives:
+                self._forward_broker_to_broker(
+                    sa, sb, relay_snap_b, relay_snap_a, channel, now
+                )
+            additive = self.config.broker_broker_additive_merge
+            if relay_b_arrives:
+                self._merge_relay(sa, relay_snap_b, additive)
+            if relay_a_arrives:
+                self._merge_relay(sb, relay_snap_a, additive)
+
+    def finish(self, now: float) -> None:
+        """Nothing to flush: metrics were recorded online."""
+
+    # -- control-plane helpers ---------------------------------------------------
+
+    def _send_genuine(
+        self,
+        sender: BsubNodeState,
+        towards_broker: bool,
+        channel: ContactChannel,
+        receiver: Optional[int] = None,
+    ) -> bool:
+        """Charge the sender's genuine interests to the channel.
+
+        TCBF encoding: a shared-counter filter towards brokers, a
+        stripped BF otherwise.  Raw encoding: the exact key strings
+        (the Sec. IV-B comparison point), with one counter byte per key
+        towards brokers.
+        """
+        if not sender.interests:
+            return False
+        if self.config.interest_encoding == "raw":
+            size = 5.0 + raw_interest_wire_bytes(
+                sender.interests, with_counters=towards_broker
+            )
+        else:
+            set_bits = len(sender.genuine)
+            mode = "identical" if towards_broker else "none"
+            size = _FILTER_HEADER_BYTES + filter_memory_bytes(
+                set_bits, self.config.num_bits, counters=mode
+            )
+        return channel.send(size, sender=sender.node_id, receiver=receiver)
+
+    def _relay_wire_bytes(self, broker: BsubNodeState, full: bool) -> float:
+        """Wire size of the broker's relay state (± counters).
+
+        A Sec. VI-D multi-filter relay pays one frame header per
+        constituent filter; a raw-string relay pays the exact key list.
+        """
+        if self.config.interest_encoding == "raw":
+            return 5.0 + broker.relay.wire_bytes(with_counters=full)
+        num_frames = getattr(broker.relay, "num_filters", 1)
+        return num_frames * _FILTER_HEADER_BYTES + filter_memory_bytes(
+            len(broker.relay),
+            self.config.num_bits,
+            counters="full" if full else "none",
+        )
+
+    def _absorb_interests(
+        self, broker: BsubNodeState, consumer: BsubNodeState, now: float
+    ) -> None:
+        """A-merge the consumer's genuine filter into the broker's relay.
+
+        Repeat meetings re-add the full initial value, which is exactly
+        the reinforcement mechanism of Sec. V-C: "the more frequently a
+        broker meets a consumer, the higher its counter's value of the
+        consumer's interests".
+        """
+        if self.config.interest_encoding == "raw":
+            broker.relay.announce(consumer.interests)
+            return
+        announcement = TemporalCountingBloomFilter(
+            family=self.family,
+            initial_value=self.config.initial_value,
+            decay_factor=0.0,
+            time=now,
+        )
+        announcement.insert_all(consumer.interests)
+        broker.relay.a_merge(announcement)
+
+    def _merge_relay(
+        self,
+        broker: BsubNodeState,
+        peer_relay_snapshot: TemporalCountingBloomFilter,
+        additive: bool,
+    ) -> None:
+        if additive:
+            broker.relay.a_merge(peer_relay_snapshot)
+        else:
+            broker.relay.m_merge(peer_relay_snapshot)
+
+    # -- data-plane helpers ----------------------------------------------------------
+
+    def _deliver_matching(
+        self,
+        holder: BsubNodeState,
+        consumer: BsubNodeState,
+        channel: ContactChannel,
+        now: float,
+    ) -> None:
+        """Forward the holder's buffered messages that match the
+        consumer's (received) genuine Bloom filter.
+
+        The BF query is where false positives enter: a message whose
+        keys merely collide with the consumer's interest bits is still
+        transmitted — and counted by the metrics as a false delivery.
+        Under the raw interest encoding the match is exact and the
+        false-positive path disappears entirely.
+        """
+        if self.config.interest_encoding == "raw":
+            if not consumer.interests:
+                return
+            matches = consumer.interests.__contains__
+        else:
+            bloom = consumer.genuine_bloom
+            if bloom.is_empty():
+                return
+            matches = bloom.query
+        for buffer in (holder.own, holder.carried):
+            for key in [k for k in buffer.keys() if matches(k)]:
+                for message_id in buffer.ids_for(key):
+                    if consumer.has(message_id):
+                        continue
+                    message = buffer.messages[message_id]
+                    if not channel.send(
+                        message.size_bytes,
+                        sender=holder.node_id,
+                        receiver=consumer.node_id,
+                    ):
+                        return
+                    self.metrics.record_forwarding(message)
+                    consumer.mark_received(message.id)
+                    self.metrics.record_delivery(message, consumer.node_id, now)
+
+    def _replicate_to_broker(
+        self,
+        producer: BsubNodeState,
+        broker: BsubNodeState,
+        relay_snapshot: TemporalCountingBloomFilter,
+        channel: ContactChannel,
+    ) -> None:
+        """Push own messages matching the broker's relay filter (ℂ-limited)."""
+        if relay_snapshot.is_empty():
+            return
+        matching_keys = [
+            k for k in producer.own.keys() if relay_snapshot.query(k)
+        ]
+        for key in matching_keys:
+            for message_id in producer.own.ids_for(key):
+                if broker.has(message_id):
+                    continue
+                if producer.copies_left.get(message_id, 0) <= 0:
+                    continue
+                if not broker.can_accept_carry(message_id):
+                    continue  # the broker's buffer policy refuses it
+                message = producer.own.messages.get(message_id)
+                if message is None:
+                    continue  # multi-key message already replicated under another key
+                if not channel.send(
+                    message.size_bytes,
+                    sender=producer.node_id,
+                    receiver=broker.node_id,
+                ):
+                    return
+                self.metrics.record_forwarding(message)
+                self.metrics.record_injection(message)
+                broker.carry(message)
+                producer.consume_copy(message.id)
+                self._maybe_self_delivery(
+                    broker, message, channel_time=relay_snapshot.time
+                )
+
+    def _forward_broker_to_broker(
+        self,
+        sender: BsubNodeState,
+        receiver: BsubNodeState,
+        receiver_relay_snapshot: TemporalCountingBloomFilter,
+        sender_relay_snapshot: TemporalCountingBloomFilter,
+        channel: ContactChannel,
+        now: float,
+    ) -> None:
+        """Preferential-query-ranked carried-message forwarding.
+
+        For each carried message the sender computes the *receiver's*
+        preference against itself; messages with the largest positive
+        preference go first, and forwarded messages leave the sender's
+        buffer ("to prevent excessive copies in the network").
+        """
+        # Preference depends only on the content key, so rank the
+        # distinct keys once instead of scoring every buffered message.
+        ranked_keys: List[Tuple[float, str]] = []
+        for key in sender.carried.keys():
+            preference = receiver_relay_snapshot.preference(
+                key, sender_relay_snapshot
+            )
+            if preference > 0.0:
+                ranked_keys.append((preference, key))
+        ranked_keys.sort(key=lambda item: (-item[0], item[1]))
+        for _, key in ranked_keys:
+            for message_id in sender.carried.ids_for(key):
+                if receiver.has(message_id):
+                    continue
+                if not receiver.can_accept_carry(message_id):
+                    continue
+                message = sender.carried.messages.get(message_id)
+                if message is None:
+                    continue  # moved already under another of its keys
+                if not channel.send(
+                    message.size_bytes,
+                    sender=sender.node_id,
+                    receiver=receiver.node_id,
+                ):
+                    return
+                self.metrics.record_forwarding(message)
+                receiver.carry(message)
+                sender.drop_carried(message.id)
+                self._maybe_self_delivery(receiver, message, channel_time=now)
+
+    def _maybe_self_delivery(
+        self, node: BsubNodeState, message: Message, channel_time: float
+    ) -> None:
+        """A broker is also a consumer: receiving a relayed message it is
+        genuinely interested in is a delivery (exact local match — a
+        node knows its own subscriptions, so no false positives here).
+        """
+        if node.interested_in(message) and message.id not in node.received:
+            node.mark_received(message.id)
+            self.metrics.record_delivery(message, node.node_id, channel_time)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def broker_fraction(self) -> float:
+        """Realised fraction of broker nodes (paper targets ≈30 %)."""
+        return self.election.broker_fraction() if self.election else 0.0
+
+    def buffered_message_count(self) -> int:
+        """Total messages buffered network-wide right now."""
+        return sum(
+            len(s.own) + len(s.carried) for s in self.states.values()
+        )

@@ -1,0 +1,259 @@
+"""Wire protocol: the frames B-SUB exchanges during a contact.
+
+The simulator charges transfer *sizes* to the contact bandwidth budget;
+this module defines the actual byte layout those sizes correspond to,
+so the protocol is deployable rather than merely simulated.  A contact
+is a sequence of frames:
+
+* ``HELLO`` — the identity exchange of Sec. V-C: node id, broker flag,
+  and the node's current degree (the election's input).
+* ``INTEREST_ANNOUNCEMENT`` — the consumer's genuine filter as a
+  shared-counter TCBF (all counters equal ``C``), for the broker's
+  A-merge.
+* ``RELAY_FILTER`` — a broker's relay filter with counters (towards
+  another broker, for the M-merge and preferential queries).
+* ``FILTER_REQUEST`` — a counter-stripped filter: either a broker's
+  relay filter sent to a producer ("when a broker requests messages
+  from a source, it does not need to report the counters", Sec. V-D) or
+  a consumer's interest BF.
+* ``MESSAGE_BUNDLE`` — one or more messages (header + payload).
+
+Every frame is ``[1-byte type][4-byte little-endian body length][body]``.
+Frames are self-delimiting, so a contact transcript is just their
+concatenation and can be cut short when the contact breaks — exactly
+the truncation semantics the bandwidth budget models.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core.bloom import BloomFilter
+from ..core.hashing import HashFamily
+from ..core.serialization import decode_bloom, decode_tcbf, encode_bloom, encode_tcbf
+from ..core.tcbf import TemporalCountingBloomFilter
+from .messages import Message
+
+__all__ = [
+    "Hello",
+    "InterestAnnouncement",
+    "RelayFilter",
+    "FilterRequest",
+    "MessageBundle",
+    "encode_frame",
+    "decode_frames",
+    "encode_message",
+    "decode_message",
+]
+
+FRAME_HELLO = 0x10
+FRAME_INTEREST_ANNOUNCEMENT = 0x11
+FRAME_RELAY_FILTER = 0x12
+FRAME_FILTER_REQUEST = 0x13
+FRAME_MESSAGE_BUNDLE = 0x14
+
+_FRAME_HEADER = struct.Struct("<BI")  # type, body length
+_HELLO_BODY = struct.Struct("<IBId")  # node id, broker flag, degree, time
+_MESSAGE_HEADER = struct.Struct("<QIddBH")  # id, source, created, ttl, #keys, payload len
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Identity beacon: who am I, am I a broker, how connected am I."""
+
+    node_id: int
+    is_broker: bool
+    degree: int
+    time: float
+
+
+@dataclass(frozen=True)
+class InterestAnnouncement:
+    """A consumer's genuine filter (shared-counter TCBF)."""
+
+    filter: TemporalCountingBloomFilter
+
+
+@dataclass(frozen=True)
+class RelayFilter:
+    """A broker's relay filter with per-bit counters."""
+
+    filter: TemporalCountingBloomFilter
+
+
+@dataclass(frozen=True)
+class FilterRequest:
+    """A counter-stripped filter used as a matching request."""
+
+    filter: BloomFilter
+
+
+@dataclass(frozen=True)
+class MessageBundle:
+    """One or more messages with payloads."""
+
+    messages: Tuple[Message, ...]
+    payloads: Tuple[bytes, ...]
+
+    def __post_init__(self):
+        if len(self.messages) != len(self.payloads):
+            raise ValueError(
+                f"{len(self.messages)} messages but {len(self.payloads)} payloads"
+            )
+
+
+Frame = Union[Hello, InterestAnnouncement, RelayFilter, FilterRequest, MessageBundle]
+
+
+# -- message codec -----------------------------------------------------------
+
+
+def encode_message(message: Message, payload: Optional[bytes] = None) -> bytes:
+    """Serialise one message (header + payload).
+
+    The payload defaults to ``size_bytes`` zero bytes — the simulator
+    carries sizes, not content — but real content of exactly
+    ``size_bytes`` bytes is accepted.
+    """
+    if payload is None:
+        payload = bytes(message.size_bytes)
+    if len(payload) != message.size_bytes:
+        raise ValueError(
+            f"payload is {len(payload)} bytes; message declares "
+            f"{message.size_bytes}"
+        )
+    keys = sorted(message.keys)
+    if len(keys) > 255:
+        raise ValueError("at most 255 keys per message on the wire")
+    header = _MESSAGE_HEADER.pack(
+        message.id,
+        message.source,
+        message.created_at,
+        message.ttl_s,
+        len(keys),
+        message.size_bytes,
+    )
+    key_block = b"".join(
+        len(k.encode("utf-8")).to_bytes(1, "little") + k.encode("utf-8")
+        for k in keys
+    )
+    return header + key_block + payload
+
+
+def decode_message(data: bytes, offset: int = 0) -> Tuple[Message, bytes, int]:
+    """Decode one message at *offset*; returns (message, payload, next offset).
+
+    The decoded :class:`Message` preserves the original id (it is not
+    re-allocated), so receipt bookkeeping stays consistent end-to-end.
+    """
+    msg_id, source, created_at, ttl_s, num_keys, payload_len = (
+        _MESSAGE_HEADER.unpack_from(data, offset)
+    )
+    offset += _MESSAGE_HEADER.size
+    keys = []
+    for _ in range(num_keys):
+        length = data[offset]
+        offset += 1
+        keys.append(data[offset : offset + length].decode("utf-8"))
+        offset += length
+    payload = bytes(data[offset : offset + payload_len])
+    if len(payload) != payload_len:
+        raise ValueError("truncated message payload")
+    offset += payload_len
+    message = Message(
+        id=msg_id,
+        keys=frozenset(keys),
+        source=source,
+        created_at=created_at,
+        ttl_s=ttl_s,
+        size_bytes=payload_len,
+    )
+    return message, payload, offset
+
+
+# -- frame codec ---------------------------------------------------------------
+
+
+def _frame(frame_type: int, body: bytes) -> bytes:
+    return _FRAME_HEADER.pack(frame_type, len(body)) + body
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise one frame (type + length + body)."""
+    if isinstance(frame, Hello):
+        body = _HELLO_BODY.pack(
+            frame.node_id, int(frame.is_broker), frame.degree, frame.time
+        )
+        return _frame(FRAME_HELLO, body)
+    if isinstance(frame, InterestAnnouncement):
+        return _frame(
+            FRAME_INTEREST_ANNOUNCEMENT,
+            encode_tcbf(frame.filter, counters="identical"),
+        )
+    if isinstance(frame, RelayFilter):
+        return _frame(FRAME_RELAY_FILTER, encode_tcbf(frame.filter, counters="full"))
+    if isinstance(frame, FilterRequest):
+        return _frame(FRAME_FILTER_REQUEST, encode_bloom(frame.filter))
+    if isinstance(frame, MessageBundle):
+        parts = [len(frame.messages).to_bytes(2, "little")]
+        parts.extend(
+            encode_message(m, p) for m, p in zip(frame.messages, frame.payloads)
+        )
+        return _frame(FRAME_MESSAGE_BUNDLE, b"".join(parts))
+    raise TypeError(f"not a wire frame: {type(frame).__name__}")
+
+
+def decode_frames(
+    data: bytes,
+    family: HashFamily,
+    initial_value: float,
+    decay_factor: float = 0.0,
+    time: float = 0.0,
+) -> List[Frame]:
+    """Decode a contact transcript back into frames.
+
+    A trailing partial frame (the contact broke mid-transfer) is
+    dropped silently — received prefixes of a frame are useless.
+    """
+    frames: List[Frame] = []
+    offset = 0
+    while offset + _FRAME_HEADER.size <= len(data):
+        frame_type, body_len = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + body_len
+        if end > len(data):
+            break  # truncated final frame
+        body = bytes(data[start:end])
+        offset = end
+        if frame_type == FRAME_HELLO:
+            node_id, broker_flag, degree, timestamp = _HELLO_BODY.unpack(body)
+            frames.append(Hello(node_id, bool(broker_flag), degree, timestamp))
+        elif frame_type == FRAME_INTEREST_ANNOUNCEMENT:
+            frames.append(
+                InterestAnnouncement(
+                    decode_tcbf(body, family, initial_value, decay_factor, time)
+                )
+            )
+        elif frame_type == FRAME_RELAY_FILTER:
+            frames.append(
+                RelayFilter(
+                    decode_tcbf(body, family, initial_value, decay_factor, time)
+                )
+            )
+        elif frame_type == FRAME_FILTER_REQUEST:
+            frames.append(FilterRequest(decode_bloom(body, family)))
+        elif frame_type == FRAME_MESSAGE_BUNDLE:
+            count = int.from_bytes(body[:2], "little")
+            messages: List[Message] = []
+            payloads: List[bytes] = []
+            cursor = 2
+            for _ in range(count):
+                message, payload, cursor = decode_message(body, cursor)
+                messages.append(message)
+                payloads.append(payload)
+            frames.append(MessageBundle(tuple(messages), tuple(payloads)))
+        else:
+            raise ValueError(f"unknown frame type {frame_type:#x}")
+    return frames

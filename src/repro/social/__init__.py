@@ -1,0 +1,22 @@
+"""Social-network-analysis substrate: contact graph, centrality, communities."""
+
+from .centrality import (
+    contact_time_centrality,
+    degree_centrality,
+    meeting_centrality,
+    normalised,
+)
+from .communities import community_sets, label_propagation, modularity
+from .graph import ContactGraph, EdgeStats
+
+__all__ = [
+    "ContactGraph",
+    "EdgeStats",
+    "community_sets",
+    "contact_time_centrality",
+    "degree_centrality",
+    "label_propagation",
+    "meeting_centrality",
+    "modularity",
+    "normalised",
+]

@@ -1,0 +1,68 @@
+"""Centrality measures over the contact graph.
+
+The paper uses *centrality* to model social standing: "The higher the
+centrality, the higher the message generation rate" (Sec. VII-A), with
+a node's degree defined as "the number of different nodes that it
+meets" (Sec. V-B).  Degree centrality is therefore the workload
+driver; meeting-count and total-contact-time centralities are provided
+as alternatives for studies and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..traces.model import ContactTrace
+from .graph import ContactGraph
+
+__all__ = [
+    "degree_centrality",
+    "meeting_centrality",
+    "contact_time_centrality",
+    "normalised",
+]
+
+
+def degree_centrality(trace_or_graph) -> Dict[int, float]:
+    """node -> number of distinct peers ever met (paper's degree)."""
+    graph = _as_graph(trace_or_graph)
+    return {node: float(graph.degree(node)) for node in graph.nodes}
+
+
+def meeting_centrality(trace_or_graph) -> Dict[int, float]:
+    """node -> total number of meetings."""
+    graph = _as_graph(trace_or_graph)
+    return {
+        node: float(sum(graph.meeting_counts(node).values()))
+        for node in graph.nodes
+    }
+
+
+def contact_time_centrality(trace_or_graph) -> Dict[int, float]:
+    """node -> total seconds spent in contact."""
+    graph = _as_graph(trace_or_graph)
+    return {
+        node: sum(
+            graph.edge(node, peer).total_duration_s
+            for peer in graph.neighbours(node)
+        )
+        for node in graph.nodes
+    }
+
+
+def normalised(centrality: Dict[int, float]) -> Dict[int, float]:
+    """Scale a centrality map so its maximum is 1 (all-zero maps pass through)."""
+    peak = max(centrality.values(), default=0.0)
+    if peak <= 0:
+        return dict(centrality)
+    return {node: value / peak for node, value in centrality.items()}
+
+
+def _as_graph(trace_or_graph) -> ContactGraph:
+    if isinstance(trace_or_graph, ContactGraph):
+        return trace_or_graph
+    if isinstance(trace_or_graph, ContactTrace):
+        return ContactGraph.from_trace(trace_or_graph)
+    raise TypeError(
+        f"expected ContactTrace or ContactGraph, got {type(trace_or_graph).__name__}"
+    )

@@ -1,0 +1,111 @@
+"""Contact graph construction.
+
+The weighted *contact graph* aggregates a trace into a static social
+structure: vertices are nodes, an edge connects every pair that ever
+met, and edge weights record meeting counts and total contact time.
+Centrality and community analysis (and the synthetic-generator
+calibration) all operate on this graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Set, Tuple
+
+from ..traces.model import ContactTrace
+
+__all__ = ["EdgeStats", "ContactGraph"]
+
+
+@dataclass
+class EdgeStats:
+    """Aggregate statistics of one node pair's relationship."""
+
+    meetings: int = 0
+    total_duration_s: float = 0.0
+    first_meeting: float = field(default=float("inf"))
+    last_meeting: float = field(default=float("-inf"))
+
+    def record(self, start: float, duration: float) -> None:
+        self.meetings += 1
+        self.total_duration_s += duration
+        self.first_meeting = min(self.first_meeting, start)
+        self.last_meeting = max(self.last_meeting, start)
+
+
+class ContactGraph:
+    """Weighted undirected graph aggregated from a contact trace."""
+
+    def __init__(self, nodes: Tuple[int, ...]):
+        self._nodes = nodes
+        self._adjacency: Dict[int, Dict[int, EdgeStats]] = {
+            node: {} for node in nodes
+        }
+
+    @classmethod
+    def from_trace(cls, trace: ContactTrace) -> "ContactGraph":
+        graph = cls(trace.nodes)
+        for contact in trace:
+            graph._record(contact.a, contact.b, contact.start, contact.duration)
+        return graph
+
+    def _record(self, a: int, b: int, start: float, duration: float) -> None:
+        for u, v in ((a, b), (b, a)):
+            stats = self._adjacency[u].get(v)
+            if stats is None:
+                stats = self._adjacency[u][v] = EdgeStats()
+            stats.record(start, duration)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    def neighbours(self, node: int) -> Set[int]:
+        return set(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Number of distinct nodes ever met (the paper's node degree)."""
+        return len(self._adjacency[node])
+
+    def edge(self, a: int, b: int) -> EdgeStats:
+        """The edge stats for (a, b); raises KeyError if they never met."""
+        return self._adjacency[a][b]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adjacency[a]
+
+    def edges(self) -> Iterator[Tuple[int, int, EdgeStats]]:
+        """All (a, b, stats) with a < b."""
+        for a in self._nodes:
+            for b, stats in self._adjacency[a].items():
+                if a < b:
+                    yield a, b, stats
+
+    def num_edges(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def meeting_counts(self, node: int) -> Dict[int, int]:
+        """peer -> meeting count for *node*."""
+        return {
+            peer: stats.meetings
+            for peer, stats in self._adjacency[node].items()
+        }
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (optional dependency)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        for a, b, stats in self.edges():
+            graph.add_edge(
+                a, b, meetings=stats.meetings, duration=stats.total_duration_s
+            )
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"ContactGraph(nodes={len(self._nodes)}, edges={self.num_edges()})"
+        )

@@ -1,0 +1,37 @@
+"""Contact-trace substrate: model, synthetic generation, loaders, stats."""
+
+from .loaders import NodeRelabeller, load_csv_trace, load_whitespace_trace
+from .mobility import MobilityConfig, simulate_mobility
+from .model import Contact, ContactTrace
+from .stats import TraceStats, compute_stats, inter_contact_times
+from .synthetic import (
+    CAMPUS_PROFILE,
+    CONFERENCE_PROFILE,
+    FLAT_PROFILE,
+    DiurnalProfile,
+    SyntheticTraceConfig,
+    generate_trace,
+    haggle_like,
+    mit_reality_like,
+)
+
+__all__ = [
+    "CAMPUS_PROFILE",
+    "CONFERENCE_PROFILE",
+    "FLAT_PROFILE",
+    "Contact",
+    "ContactTrace",
+    "DiurnalProfile",
+    "NodeRelabeller",
+    "SyntheticTraceConfig",
+    "TraceStats",
+    "compute_stats",
+    "generate_trace",
+    "haggle_like",
+    "inter_contact_times",
+    "load_csv_trace",
+    "load_whitespace_trace",
+    "MobilityConfig",
+    "simulate_mobility",
+    "mit_reality_like",
+]

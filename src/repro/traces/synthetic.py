@@ -1,0 +1,293 @@
+"""Synthetic human-contact trace generation.
+
+The paper evaluates on two CRAWDAD traces (Haggle Infocom'06 and MIT
+Reality Mining) that cannot be redistributed, so this module provides a
+seeded generator that reproduces the *properties B-SUB's mechanisms
+depend on*:
+
+* **heterogeneous node activity** — a lognormal activity level per node
+  creates the socially-active hubs the broker election is designed to
+  find;
+* **community structure** — intra-community contact rates are boosted,
+  so contact patterns "directly represent people's activity in a social
+  group" (Sec. I);
+* **recurrent pairwise meetings** — per-pair Poisson contact processes
+  make counter reinforcement/decay meaningful;
+* **diurnal rhythm** — conference-session or campus-day activity
+  profiles shape inter-contact times.
+
+Two presets are calibrated to the published aggregate statistics of
+Table I: :func:`haggle_like` (79 nodes, 3 days, ≈67,360 contacts,
+conference rhythm) and :func:`mit_reality_like` (97 nodes, a 3-day
+active-period slice, campus rhythm, markedly sparser — the paper's only
+cross-trace claims are that MIT is sparser with lower contact
+frequency, which the preset preserves).
+
+Real CRAWDAD files, if the user has them, load through
+:mod:`repro.traces.loaders` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import Contact, ContactTrace
+
+__all__ = [
+    "DiurnalProfile",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "haggle_like",
+    "mit_reality_like",
+    "CONFERENCE_PROFILE",
+    "CAMPUS_PROFILE",
+    "FLAT_PROFILE",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Hour-of-day activity weights (24 values, arbitrary scale).
+
+    Contact instants are drawn from the normalised piecewise-constant
+    density these weights define, repeated across days.
+    """
+
+    hourly_weights: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.hourly_weights) != 24:
+            raise ValueError(
+                f"need 24 hourly weights, got {len(self.hourly_weights)}"
+            )
+        if min(self.hourly_weights) < 0 or sum(self.hourly_weights) <= 0:
+            raise ValueError("hourly weights must be non-negative, not all zero")
+
+    def sample_times(
+        self, count: int, duration_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw *count* timestamps in [0, duration_s) from the profile."""
+        if count == 0:
+            return np.empty(0)
+        weights = np.asarray(self.hourly_weights, dtype=float)
+        # Density over a full day, tiled across the trace duration and
+        # truncated at the end; hour bins of 3600 s.
+        num_hours = int(np.ceil(duration_s / 3600.0))
+        tiled = np.tile(weights, (num_hours + 23) // 24)[:num_hours].copy()
+        # Partial final hour contributes proportionally.
+        last_fraction = duration_s / 3600.0 - (num_hours - 1)
+        tiled[-1] *= last_fraction
+        probabilities = tiled / tiled.sum()
+        hours = rng.choice(num_hours, size=count, p=probabilities)
+        offsets = rng.random(count) * 3600.0
+        times = hours * 3600.0 + offsets
+        return np.minimum(times, duration_s - 1e-6)
+
+
+CONFERENCE_PROFILE = DiurnalProfile(
+    # Infocom-style: sessions 9:00-18:00, social evening, quiet nights.
+    hourly_weights=(
+        0.02, 0.02, 0.02, 0.02, 0.02, 0.02,   # 0-5
+        0.05, 0.15, 0.60, 1.00, 1.00, 1.00,   # 6-11
+        0.80, 1.00, 1.00, 1.00, 1.00, 0.90,   # 12-17
+        0.50, 0.40, 0.30, 0.20, 0.10, 0.05,   # 18-23
+    )
+)
+
+CAMPUS_PROFILE = DiurnalProfile(
+    # Reality-Mining-style: classes/office hours, lunch peak, evenings.
+    hourly_weights=(
+        0.02, 0.02, 0.02, 0.02, 0.02, 0.03,
+        0.08, 0.25, 0.60, 0.80, 0.90, 1.00,
+        1.00, 0.90, 0.85, 0.80, 0.70, 0.55,
+        0.40, 0.30, 0.20, 0.12, 0.06, 0.03,
+    )
+)
+
+FLAT_PROFILE = DiurnalProfile(hourly_weights=(1.0,) * 24)
+
+
+@dataclass
+class SyntheticTraceConfig:
+    """Parameters of the synthetic contact process.
+
+    Attributes
+    ----------
+    num_nodes:
+        Population size.
+    duration_days:
+        Trace length.
+    target_contacts:
+        Expected total contact count; the base rate is calibrated so
+        the Poisson totals match this in expectation.
+    num_communities:
+        Number of (roughly equal) communities nodes are split into.
+    intra_community_boost:
+        Multiplier on the contact rate of same-community pairs.
+    activity_sigma:
+        σ of the lognormal node-activity distribution (0 = homogeneous).
+    mean_contact_duration_s:
+        Mean of the exponential contact-duration distribution.
+    min_contact_duration_s:
+        Hard floor on contact durations (Bluetooth discovery takes a
+        few seconds).
+    profile:
+        Diurnal activity profile.
+    seed:
+        RNG seed; identical configs generate identical traces.
+    name:
+        Trace label.
+    """
+
+    num_nodes: int
+    duration_days: float
+    target_contacts: int
+    num_communities: int = 4
+    intra_community_boost: float = 3.0
+    activity_sigma: float = 0.6
+    mean_contact_duration_s: float = 240.0
+    min_contact_duration_s: float = 10.0
+    profile: DiurnalProfile = field(default_factory=lambda: FLAT_PROFILE)
+    seed: int = 0
+    name: str = "synthetic"
+
+    def __post_init__(self):
+        if self.num_nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {self.num_nodes}")
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.target_contacts < 0:
+            raise ValueError("target_contacts must be >= 0")
+        if self.num_communities < 1:
+            raise ValueError("num_communities must be >= 1")
+        if self.intra_community_boost < 1.0:
+            raise ValueError("intra_community_boost must be >= 1")
+        if self.mean_contact_duration_s <= 0:
+            raise ValueError("mean_contact_duration_s must be positive")
+
+
+def _merge_pair_contacts(
+    starts: np.ndarray, durations: np.ndarray, a: int, b: int
+) -> List[Contact]:
+    """Contacts of one pair with overlapping intervals coalesced.
+
+    Two devices cannot be "in contact twice at once"; overlapping draws
+    from the Poisson process are merged into a single longer contact,
+    exactly as a Bluetooth logger would record them.
+    """
+    order = np.argsort(starts)
+    merged: List[Contact] = []
+    current_start = current_end = None
+    for idx in order:
+        s, e = float(starts[idx]), float(starts[idx] + durations[idx])
+        if current_end is not None and s <= current_end:
+            current_end = max(current_end, e)
+        else:
+            if current_end is not None:
+                merged.append(
+                    Contact.make(current_start, current_end - current_start, a, b)
+                )
+            current_start, current_end = s, e
+    if current_end is not None:
+        merged.append(
+            Contact.make(current_start, current_end - current_start, a, b)
+        )
+    return merged
+
+
+def generate_trace(config: SyntheticTraceConfig) -> ContactTrace:
+    """Generate a contact trace from *config* (deterministic per seed)."""
+    rng = np.random.default_rng(config.seed)
+    n = config.num_nodes
+    duration_s = config.duration_days * 86_400.0
+
+    communities = rng.integers(0, config.num_communities, size=n)
+    activity = rng.lognormal(mean=0.0, sigma=config.activity_sigma, size=n)
+
+    # Pairwise rate weights: activity product with community boost.
+    pairs: List[Tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(i + 1, n)
+    ]
+    weights = np.array(
+        [
+            activity[i]
+            * activity[j]
+            * (
+                config.intra_community_boost
+                if communities[i] == communities[j]
+                else 1.0
+            )
+            for i, j in pairs
+        ]
+    )
+    total_weight = weights.sum()
+    if total_weight <= 0 or config.target_contacts == 0:
+        return ContactTrace([], nodes=range(n), name=config.name)
+    expected_per_pair = weights / total_weight * config.target_contacts
+
+    contacts: List[Contact] = []
+    counts = rng.poisson(expected_per_pair)
+    for (i, j), count in zip(pairs, counts):
+        if count == 0:
+            continue
+        starts = config.profile.sample_times(int(count), duration_s, rng)
+        durations = np.maximum(
+            rng.exponential(config.mean_contact_duration_s, size=int(count)),
+            config.min_contact_duration_s,
+        )
+        contacts.extend(_merge_pair_contacts(starts, durations, i, j))
+
+    return ContactTrace(contacts, nodes=range(n), name=config.name)
+
+
+def haggle_like(seed: int = 0, scale: float = 1.0) -> ContactTrace:
+    """A Haggle (Infocom'06)-like trace (Table I row 1).
+
+    79 iMote-carrying conference attendees over 3 days with ≈67,360
+    contacts.  *scale* < 1 shrinks the contact count proportionally for
+    fast tests and benchmarks while keeping population, duration, and
+    structure fixed.
+    """
+    config = SyntheticTraceConfig(
+        num_nodes=79,
+        duration_days=3.0,
+        target_contacts=round(67_360 * scale),
+        num_communities=5,
+        intra_community_boost=2.5,
+        activity_sigma=0.55,
+        mean_contact_duration_s=230.0,
+        profile=CONFERENCE_PROFILE,
+        seed=seed,
+        name="haggle-infocom06-like" if scale == 1.0 else
+        f"haggle-infocom06-like@{scale:g}",
+    )
+    return generate_trace(config)
+
+
+def mit_reality_like(seed: int = 0, scale: float = 1.0) -> ContactTrace:
+    """An MIT-Reality-like 3-day active-period slice (Table I row 2).
+
+    97 phone-carrying subjects.  The full published trace spans 246
+    days with 54,667 contacts; the paper simulates a 3-day slice.  We
+    synthesise a 3-day *active-term* slice of ≈18,000 contacts —
+    markedly sparser and more community-bound than the conference
+    trace, which reproduces the paper's cross-trace observations
+    (lower delivery ratio, higher delay on MIT).
+    """
+    config = SyntheticTraceConfig(
+        num_nodes=97,
+        duration_days=3.0,
+        target_contacts=round(18_000 * scale),
+        num_communities=8,
+        intra_community_boost=6.0,
+        activity_sigma=0.75,
+        mean_contact_duration_s=300.0,
+        profile=CAMPUS_PROFILE,
+        seed=seed,
+        name="mit-reality-like" if scale == 1.0 else
+        f"mit-reality-like@{scale:g}",
+    )
+    return generate_trace(config)

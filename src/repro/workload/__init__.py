@@ -1,0 +1,22 @@
+"""Workload substrate: content keys, interest assignment, message generation."""
+
+from .generator import (
+    MIN_RATE_PER_SECOND,
+    WorkloadConfig,
+    generate_message_events,
+    message_rates,
+)
+from .interests import assign_interests, consumers_of
+from .keys import TABLE_II_TOP4, KeyDistribution, twitter_trends_2009
+
+__all__ = [
+    "KeyDistribution",
+    "MIN_RATE_PER_SECOND",
+    "TABLE_II_TOP4",
+    "WorkloadConfig",
+    "assign_interests",
+    "consumers_of",
+    "generate_message_events",
+    "message_rates",
+    "twitter_trends_2009",
+]

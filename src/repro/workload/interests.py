@@ -1,0 +1,60 @@
+"""Interest assignment.
+
+"We assume that each node is interested in only one key.  The
+probability of each key being selected as an interest for each node is
+determined by the key's weight" (Sec. VII-A).  The library generalises
+to multiple interests per node (the multi-key extension the paper calls
+straightforward); the default reproduces the paper's single-interest
+setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+import numpy as np
+
+from .keys import KeyDistribution
+
+__all__ = ["assign_interests", "consumers_of"]
+
+
+def assign_interests(
+    nodes: Iterable[int],
+    distribution: KeyDistribution,
+    seed: int = 0,
+    interests_per_node: int = 1,
+) -> Dict[int, FrozenSet[str]]:
+    """Draw each node's interest set from the key distribution.
+
+    With ``interests_per_node > 1`` the draws are without replacement
+    per node (a user doesn't subscribe to the same topic twice).
+    """
+    if interests_per_node < 1:
+        raise ValueError(
+            f"interests_per_node must be >= 1, got {interests_per_node}"
+        )
+    if interests_per_node > len(distribution):
+        raise ValueError(
+            f"cannot draw {interests_per_node} distinct interests from "
+            f"{len(distribution)} keys"
+        )
+    rng = np.random.default_rng(seed)
+    assignment: Dict[int, FrozenSet[str]] = {}
+    key_count = len(distribution)
+    probabilities = np.asarray(distribution.weights)
+    for node in nodes:
+        picks = rng.choice(
+            key_count, size=interests_per_node, replace=False, p=probabilities
+        )
+        assignment[node] = frozenset(distribution.keys[i] for i in picks)
+    return assignment
+
+
+def consumers_of(
+    interests: Dict[int, FrozenSet[str]], key: str
+) -> FrozenSet[int]:
+    """The nodes interested in *key*."""
+    return frozenset(
+        node for node, keys in interests.items() if key in keys
+    )

@@ -1,0 +1,166 @@
+"""Content-key workload (the paper's Twitter-Trends key set).
+
+The paper prepared "38 keys from the Twitter Trend search engine in one
+week (from 16th to 22nd Nov. 2009)", weighting each key "by the key's
+weight in the original Twitter Trend"; Table II publishes the top four
+(spaces removed): NewMoon 0.132, Twitter'sNew 0.103, funnybutnotcool
+0.0887, openwebawards 0.0739.  The average key length is reported as
+11.5 bytes.
+
+The Twitter API of 2009 is gone, so :func:`twitter_trends_2009` freezes
+a reconstruction: the four published keys with their exact weights, and
+34 period-plausible trend strings carrying a Zipf tail normalised so
+all 38 weights sum to 1.  The published properties — top-4 weights,
+weight ordering, key count, ≈11.5-byte mean length — are preserved
+exactly; only the unpublished tail identities are synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["KeyDistribution", "twitter_trends_2009", "TABLE_II_TOP4"]
+
+#: The four published (key, weight) pairs of Table II.
+TABLE_II_TOP4: Tuple[Tuple[str, float], ...] = (
+    ("NewMoon", 0.132),
+    ("Twitter'sNew", 0.103),
+    ("funnybutnotcool", 0.0887),
+    ("openwebawards", 0.0739),
+)
+
+# 34 period-plausible mid-November-2009 trends for the unpublished tail.
+_TAIL_KEYS: Tuple[str, ...] = (
+    "ModernWarfare2",
+    "MichaelJackson",
+    "RobertPattinson",
+    "KristenStewart",
+    "NewYorkYankees",
+    "SwineFluUpdate",
+    "ClimateSummit",
+    "JonasBrothers",
+    "MotorolaDroid",
+    "AvatarTrailer",
+    "Thanksgiving",
+    "FacebookDown",
+    "followfriday",
+    "iranelection",
+    "Copenhagen15",
+    "TheXFactorUK",
+    "BlackFriday",
+    "AdamLambert",
+    "TaylorSwift",
+    "WorldSeries",
+    "musicmonday",
+    "H1N1vaccine",
+    "StrictlyComeDancing",
+    "LeonaLewis",
+    "TigerWoods",
+    "GoogleWave",
+    "nowplaying",
+    "BadRomance",
+    "JohnMayer",
+    "ThisIsIt",
+    "LadyGaga",
+    "Twilight",
+    "Phillies",
+    "ChromeOS",
+)
+
+
+@dataclass(frozen=True)
+class KeyDistribution:
+    """A weighted set of content keys.
+
+    Weights sum to 1 and are used both for assigning node interests and
+    for drawing the keys of generated messages (Sec. VII-A).
+    """
+
+    keys: Tuple[str, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.keys) != len(self.weights):
+            raise ValueError(
+                f"{len(self.keys)} keys but {len(self.weights)} weights"
+            )
+        if len(set(self.keys)) != len(self.keys):
+            raise ValueError("keys must be unique")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+        total = sum(self.weights)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def weight_of(self, key: str) -> float:
+        """The weight of *key* (raises KeyError if unknown)."""
+        try:
+            return self.weights[self.keys.index(key)]
+        except ValueError:
+            raise KeyError(key) from None
+
+    def top(self, n: int) -> List[Tuple[str, float]]:
+        """The *n* heaviest (key, weight) pairs, descending."""
+        ranked = sorted(zip(self.keys, self.weights), key=lambda kw: -kw[1])
+        return ranked[:n]
+
+    def sample(self, rng: np.random.Generator) -> str:
+        """Draw one key by weight."""
+        return self.keys[rng.choice(len(self.keys), p=self.weights)]
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> List[str]:
+        """Draw *count* keys i.i.d. by weight."""
+        indexes = rng.choice(len(self.keys), size=count, p=self.weights)
+        return [self.keys[i] for i in indexes]
+
+    def average_key_length(self) -> float:
+        """Unweighted mean key length in bytes (paper reports 11.5)."""
+        return sum(len(k.encode("utf-8")) for k in self.keys) / len(self.keys)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self.keys, self.weights))
+
+    @classmethod
+    def uniform(cls, keys: Sequence[str]) -> "KeyDistribution":
+        """Equal weights over *keys*."""
+        n = len(keys)
+        if n == 0:
+            raise ValueError("need at least one key")
+        return cls(tuple(keys), tuple(1.0 / n for _ in range(n)))
+
+    @classmethod
+    def from_weights(cls, weighted: Dict[str, float]) -> "KeyDistribution":
+        """Build from a key -> weight map, normalising the weights."""
+        if not weighted:
+            raise ValueError("need at least one key")
+        total = sum(weighted.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        keys = tuple(weighted)
+        return cls(keys, tuple(weighted[k] / total for k in keys))
+
+
+def twitter_trends_2009() -> KeyDistribution:
+    """The frozen 38-key Table II workload distribution.
+
+    Top-4 weights are the published values; the 34 tail keys carry a
+    Zipf(1) tail over ranks 5..38 normalised to the remaining
+    probability mass, preserving the monotone weight ordering.
+    """
+    top_keys = [k for k, _ in TABLE_II_TOP4]
+    top_weights = [w for _, w in TABLE_II_TOP4]
+    remaining_mass = 1.0 - sum(top_weights)
+    ranks = range(5, 5 + len(_TAIL_KEYS))
+    raw_tail = [1.0 / r for r in ranks]
+    tail_scale = remaining_mass / sum(raw_tail)
+    tail_weights = [w * tail_scale for w in raw_tail]
+    return KeyDistribution(
+        keys=tuple(top_keys) + _TAIL_KEYS,
+        weights=tuple(top_weights) + tuple(tail_weights),
+    )

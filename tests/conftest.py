@@ -1,0 +1,37 @@
+"""Shared fixtures for the B-SUB test suite."""
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.traces.model import Contact, ContactTrace
+
+
+@pytest.fixture
+def family():
+    """The paper's filter geometry: 256 bits, 4 hashes."""
+    return HashFamily(num_hashes=4, num_bits=256, seed=99)
+
+
+@pytest.fixture
+def small_family():
+    """A tiny filter where collisions are easy to trigger."""
+    return HashFamily(num_hashes=2, num_bits=16, seed=7)
+
+
+def make_trace(contact_tuples, nodes=None, name="test"):
+    """Build a trace from (start, duration, a, b) tuples."""
+    contacts = [Contact.make(s, d, a, b) for s, d, a, b in contact_tuples]
+    return ContactTrace(contacts, nodes=nodes, name=name)
+
+
+@pytest.fixture
+def line_trace():
+    """0 meets 1, then 1 meets 2, then 2 meets 3 — a relay chain."""
+    return make_trace(
+        [
+            (100.0, 60.0, 0, 1),
+            (300.0, 60.0, 1, 2),
+            (500.0, 60.0, 2, 3),
+        ],
+        nodes=range(4),
+    )

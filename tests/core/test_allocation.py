@@ -1,0 +1,161 @@
+"""Tests for the optimal TCBF allocation (paper Sec. VI-D, Eq. 9-10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analysis
+from repro.core.allocation import TCBFCollection, plan_allocation
+
+
+class TestPlanAllocation:
+    def test_plan_respects_memory_bound(self):
+        plan = plan_allocation(100, memory_bound_bytes=500)
+        assert plan.memory_bytes < 500
+
+    def test_plan_is_largest_feasible_h(self):
+        """Eq. 10: FPR is minimised at the maximum feasible h, so h+1
+        must violate the bound."""
+        plan = plan_allocation(100, memory_bound_bytes=500)
+        above = analysis.multi_filter_memory_bytes(
+            plan.num_filters + 1, 100, 256, 4
+        )
+        assert above >= 500
+
+    def test_more_memory_never_fewer_filters(self):
+        h_small = plan_allocation(100, 300).num_filters
+        h_large = plan_allocation(100, 1500).num_filters
+        assert h_large >= h_small
+
+    def test_joint_fpr_improves_with_memory(self):
+        tight = plan_allocation(100, 300)
+        roomy = plan_allocation(100, 1500)
+        assert roomy.joint_fpr <= tight.joint_fpr
+
+    def test_plan_fpr_matches_eq7(self):
+        plan = plan_allocation(80, 600)
+        expected = analysis.joint_false_positive_rate(
+            [80 / plan.num_filters] * plan.num_filters, 256, 4
+        )
+        assert plan.joint_fpr == pytest.approx(expected)
+
+    def test_threshold_is_fill_ratio_at_keys_per_filter(self):
+        plan = plan_allocation(80, 600)
+        assert plan.fill_ratio_threshold == pytest.approx(
+            analysis.fill_ratio(plan.keys_per_filter, 256, 4)
+        )
+
+    def test_infeasible_bound_raises(self):
+        with pytest.raises(ValueError, match="memory bound too small"):
+            plan_allocation(100, memory_bound_bytes=10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_allocation(0, 500)
+        with pytest.raises(ValueError):
+            plan_allocation(10, 0)
+
+    def test_max_filters_cap(self):
+        plan = plan_allocation(10, 10**9, max_filters=16)
+        assert plan.num_filters == 16
+
+
+class TestTCBFCollection:
+    def test_starts_with_one_filter(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.3)
+        assert coll.num_filters == 1
+
+    def test_allocates_new_filter_when_threshold_exceeded(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.10, num_bits=64, num_hashes=4)
+        coll.insert_all(f"key-{i}" for i in range(20))
+        assert coll.num_filters > 1
+        # all but the newest filter had crossed the threshold when closed
+        for f in coll.filters[:-1]:
+            assert f.fill_ratio() > 0.10
+
+    def test_query_finds_keys_in_any_filter(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.10, num_bits=64)
+        keys = [f"key-{i}" for i in range(25)]
+        coll.insert_all(keys)
+        assert all(k in coll for k in keys)
+
+    def test_duplicate_insert_is_noop(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.3)
+        coll.insert("a")
+        bits = len(coll)
+        coll.insert("a")
+        assert len(coll) == bits
+
+    def test_max_filters_respected(self):
+        coll = TCBFCollection(
+            fill_ratio_threshold=0.05, num_bits=64, max_filters=2
+        )
+        coll.insert_all(f"key-{i}" for i in range(50))
+        assert coll.num_filters == 2
+
+    def test_min_counter_max_across_filters(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.9, initial_value=50)
+        coll.insert("a")
+        assert coll.min_counter("a") == 50
+
+    def test_advance_decays_and_drops_empty_filters(self):
+        coll = TCBFCollection(
+            fill_ratio_threshold=0.05,
+            num_bits=64,
+            initial_value=10,
+            decay_factor=1.0,
+        )
+        coll.insert_all(f"key-{i}" for i in range(30))
+        assert coll.num_filters > 1
+        coll.advance(11.0)
+        assert coll.num_filters == 1  # the fresh insert target survives
+        assert len(coll) == 0
+
+    def test_memory_accounting(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.9, num_bits=256)
+        coll.insert("a")
+        assert coll.memory_bytes() == analysis.filter_memory_bytes(
+            len(coll.filters[0]), 256, "full"
+        )
+
+    def test_from_plan_enforces_cap_and_threshold(self):
+        plan = plan_allocation(100, 500)
+        coll = TCBFCollection.from_plan(plan)
+        assert coll.max_filters == plan.num_filters
+        assert coll.fill_ratio_threshold == plan.fill_ratio_threshold
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            TCBFCollection(fill_ratio_threshold=0.0)
+        with pytest.raises(ValueError):
+            TCBFCollection(fill_ratio_threshold=1.5)
+
+    def test_fill_ratios_reported_per_filter(self):
+        coll = TCBFCollection(fill_ratio_threshold=0.10, num_bits=64)
+        coll.insert_all(f"key-{i}" for i in range(20))
+        assert len(coll.fill_ratios()) == coll.num_filters
+
+
+@given(
+    total_keys=st.integers(1, 300),
+    memory=st.integers(100, 5000),
+)
+@settings(max_examples=50)
+def test_property_plan_always_feasible_and_maximal(total_keys, memory):
+    try:
+        plan = plan_allocation(total_keys, memory)
+    except ValueError:
+        # the bound was genuinely infeasible for even one filter
+        assert analysis.multi_filter_memory_bytes(1, total_keys, 256, 4) >= memory
+        return
+    assert plan.memory_bytes < memory
+    assert 0.0 <= plan.joint_fpr <= 1.0
+    assert plan.num_filters >= 1
+
+
+@given(keys=st.sets(st.text(min_size=1, max_size=8), max_size=40))
+@settings(max_examples=40)
+def test_property_collection_never_false_negative(keys):
+    coll = TCBFCollection(fill_ratio_threshold=0.15, num_bits=64, num_hashes=3)
+    coll.insert_all(keys)
+    assert all(k in coll for k in keys)

@@ -1,0 +1,301 @@
+"""Tests for the closed-form analysis (paper Eq. 1-8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analysis
+
+
+class TestFalsePositiveRate:
+    def test_paper_worst_case_value(self):
+        """Sec. VII-A: 38 keys in a 256-bit, 4-hash filter -> FPR ≈ 0.04."""
+        assert analysis.false_positive_rate(38, 256, 4) == pytest.approx(
+            0.04, abs=0.007
+        )
+
+    def test_zero_keys_zero_fpr(self):
+        assert analysis.false_positive_rate(0, 256, 4) == 0.0
+
+    def test_monotone_in_keys(self):
+        values = [analysis.false_positive_rate(n, 256, 4) for n in range(0, 200, 10)]
+        assert values == sorted(values)
+
+    def test_exact_close_to_approximation(self):
+        approx = analysis.false_positive_rate(38, 256, 4)
+        exact = analysis.false_positive_rate(38, 256, 4, exact=True)
+        assert approx == pytest.approx(exact, rel=0.02)
+
+    def test_bounded_by_one(self):
+        assert analysis.false_positive_rate(10_000, 256, 4) <= 1.0
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.false_positive_rate(-1, 256, 4)
+
+    def test_more_bits_lower_fpr(self):
+        assert analysis.false_positive_rate(38, 512, 4) < analysis.false_positive_rate(
+            38, 256, 4
+        )
+
+
+class TestFillRatioAndSetBits:
+    def test_fill_ratio_zero_keys(self):
+        assert analysis.fill_ratio(0, 256, 4) == 0.0
+
+    def test_fill_ratio_monotone_bounded(self):
+        values = [analysis.fill_ratio(n, 256, 4) for n in range(0, 500, 25)]
+        assert values == sorted(values)
+        assert all(0 <= v < 1 for v in values)
+
+    def test_expected_set_bits_is_m_times_fr(self):
+        assert analysis.expected_set_bits(38, 256, 4) == pytest.approx(
+            256 * analysis.fill_ratio(38, 256, 4)
+        )
+
+    def test_inversion_roundtrip(self):
+        """keys_from_fill_ratio inverts Eq. 3."""
+        for n in (1, 10, 38, 100):
+            fr = analysis.fill_ratio(n, 256, 4)
+            assert analysis.keys_from_fill_ratio(fr, 256, 4) == pytest.approx(
+                n, rel=1e-9
+            )
+
+    def test_inversion_rejects_full_filter(self):
+        with pytest.raises(ValueError):
+            analysis.keys_from_fill_ratio(1.0, 256, 4)
+
+    def test_matches_simulation(self):
+        """Eq. 2 should predict the measured set-bit count of real filters."""
+        from repro.core.bloom import BloomFilter
+
+        trials = 30
+        total = 0
+        for t in range(trials):
+            bf = BloomFilter(256, 4, seed=t)
+            bf.insert_all(f"key-{t}-{i}" for i in range(38))
+            total += len(bf)
+        measured = total / trials
+        predicted = analysis.expected_set_bits(38, 256, 4)
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+
+class TestExpectedMinCollisions:
+    def test_zero_keys(self):
+        assert analysis.expected_min_collisions(0, 256, 4) == 0.0
+
+    def test_monotone_in_keys(self):
+        values = [
+            analysis.expected_min_collisions(n, 256, 4) for n in (0, 10, 50, 200)
+        ]
+        assert values == sorted(values)
+
+    def test_bounded_by_binomial_mean(self):
+        """min of k iid binomials <= each one's mean."""
+        n = 100
+        assert analysis.expected_min_collisions(n, 256, 4) <= n * 4 / 256 + 1e-9
+
+    def test_matches_monte_carlo(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        n, m, k = 60, 256, 4
+        samples = rng.binomial(n, k / m, size=(20_000, k)).min(axis=1)
+        expected = analysis.expected_min_collisions(n, m, k)
+        assert expected == pytest.approx(samples.mean(), abs=0.05)
+
+    def test_binomial_cdf_matches_scipy(self):
+        from scipy.stats import binom
+
+        for x, n, p in [(0, 10, 0.1), (3, 10, 0.3), (9, 10, 0.9), (50, 100, 0.5)]:
+            ours = analysis._binomial_cdf(x, n, p)
+            assert ours == pytest.approx(binom.cdf(x, n, p), rel=1e-9)
+
+    def test_binomial_cdf_edges(self):
+        assert analysis._binomial_cdf(-1, 10, 0.5) == 0.0
+        assert analysis._binomial_cdf(10, 10, 0.5) == 1.0
+
+
+class TestRecommendedDecayFactor:
+    def test_baseline_without_collisions(self):
+        """With no other keys, DF = C/τ + Δ."""
+        df = analysis.recommended_decay_factor(600, 50, 0, 256, 4, delta=0.0)
+        assert df == pytest.approx(50 / 600)
+
+    def test_collisions_raise_df(self):
+        low = analysis.recommended_decay_factor(600, 50, 1, 256, 4)
+        high = analysis.recommended_decay_factor(600, 50, 500, 256, 4)
+        assert high > low
+
+    def test_delta_added(self):
+        base = analysis.recommended_decay_factor(600, 50, 10, 256, 4, delta=0.0)
+        assert analysis.recommended_decay_factor(
+            600, 50, 10, 256, 4, delta=0.5
+        ) == pytest.approx(base + 0.5)
+
+    def test_longer_delay_smaller_df(self):
+        """Sec. VI-B: DF decreases when τ increases."""
+        short = analysis.recommended_decay_factor(60, 50, 10, 256, 4)
+        long = analysis.recommended_decay_factor(1200, 50, 10, 256, 4)
+        assert long < short
+
+    def test_paper_scale_sanity(self):
+        """For τ = 10 h the paper computes DF ≈ 0.138/min; with the
+        trace-dependent ℕ unknown we only check the right ballpark."""
+        df = analysis.recommended_decay_factor(600, 50, 40, 256, 4, delta=0.0)
+        assert 0.08 < df < 0.4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            analysis.recommended_decay_factor(0, 50, 10, 256, 4)
+        with pytest.raises(ValueError):
+            analysis.recommended_decay_factor(600, 0, 10, 256, 4)
+        with pytest.raises(ValueError):
+            analysis.recommended_decay_factor(600, 50, 10, 256, 4, delta=-1)
+
+    def test_removal_time_simulation(self):
+        """A key inserted once, with counters bumped by ℕ other keys'
+        A-merges, must be gone within ≈ τ under the Eq. 5 DF."""
+        from repro.core.hashing import HashFamily
+        from repro.core.tcbf import TemporalCountingBloomFilter
+
+        tau, C, n_keys = 600.0, 50.0, 38
+        df = analysis.recommended_decay_factor(tau, C, n_keys, 256, 4, delta=0.0)
+        fam = HashFamily(4, 256, seed=33)
+        relay = TemporalCountingBloomFilter(
+            family=fam, initial_value=C, decay_factor=df
+        )
+        announcement = TemporalCountingBloomFilter.of(
+            ["the-interest"], family=fam, initial_value=C
+        )
+        relay.a_merge(announcement)
+        relay.advance(tau * 1.5)  # generous: E[min] is an expectation
+        assert "the-interest" not in relay
+
+
+class TestExpectedUniqueKeys:
+    def test_uniform_closed_form(self):
+        """K(1 - (1 - 1/K)^N) for uniform weights."""
+        value = analysis.expected_unique_keys(100, total_keys=38)
+        assert value == pytest.approx(38 * (1 - (1 - 1 / 38) ** 100))
+
+    def test_weights_equivalent_to_uniform(self):
+        uniform = analysis.expected_unique_keys(50, total_keys=10)
+        weighted = analysis.expected_unique_keys(50, weights=[1.0] * 10)
+        assert uniform == pytest.approx(weighted)
+
+    def test_skewed_weights_fewer_uniques(self):
+        """Skew concentrates draws on few keys -> fewer distinct keys."""
+        skewed = analysis.expected_unique_keys(
+            20, weights=[0.9] + [0.1 / 9] * 9
+        )
+        uniform = analysis.expected_unique_keys(20, total_keys=10)
+        assert skewed < uniform
+
+    def test_bounds(self):
+        assert analysis.expected_unique_keys(0, total_keys=38) == 0.0
+        assert analysis.expected_unique_keys(10**6, total_keys=38) == pytest.approx(
+            38, abs=1e-6
+        )
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            analysis.expected_unique_keys(10)
+        with pytest.raises(ValueError):
+            analysis.expected_unique_keys(10, total_keys=5, weights=[1.0])
+
+    def test_matches_monte_carlo(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        weights = np.array([0.4, 0.3, 0.2, 0.1])
+        draws = 12
+        uniques = [
+            len(set(rng.choice(4, size=draws, p=weights))) for _ in range(5000)
+        ]
+        expected = analysis.expected_unique_keys(draws, weights=list(weights))
+        assert expected == pytest.approx(sum(uniques) / len(uniques), abs=0.05)
+
+
+class TestJointFpr:
+    def test_single_filter_matches_eq1(self):
+        assert analysis.joint_false_positive_rate(
+            [38], 256, 4
+        ) == pytest.approx(analysis.false_positive_rate(38, 256, 4))
+
+    def test_more_filters_higher_joint_fpr(self):
+        one = analysis.joint_false_positive_rate([19], 256, 4)
+        two = analysis.joint_false_positive_rate([19, 19], 256, 4)
+        assert two > one
+
+    def test_splitting_keys_reduces_fpr(self):
+        """Sec. VI-D's motivation: spreading n keys over h filters
+        lowers the joint FPR versus one crowded filter."""
+        crowded = analysis.joint_false_positive_rate([76], 256, 4)
+        split = analysis.joint_false_positive_rate([38, 38], 256, 4)
+        assert split < crowded
+
+    def test_empty_collection(self):
+        assert analysis.joint_false_positive_rate([], 256, 4) == 0.0
+
+
+class TestMemory:
+    def test_paper_encoding_sizes_m256(self):
+        """m = 256: one-byte locations, so full = 2S, identical = S+1,
+        none = S bytes (Sec. VI-C)."""
+        assert analysis.filter_memory_bytes(20, 256, "full") == 40
+        assert analysis.filter_memory_bytes(20, 256, "identical") == 21
+        assert analysis.filter_memory_bytes(20, 256, "none") == 20
+
+    def test_raw_fallback_when_dense(self):
+        """A nearly full filter is cheaper as the raw bit-vector."""
+        assert analysis.filter_memory_bytes(250, 256, "none") == 256 / 8
+
+    def test_five_bytes_per_key_claim(self):
+        """Sec. VII-A: 'at most 5 bytes are used to encode a single key'
+        (4 locations + shared-counter overhead amortised)."""
+        per_key = analysis.filter_memory_bytes(4, 256, "identical")
+        assert per_key <= 5
+
+    def test_multi_filter_memory_grows_with_h(self):
+        values = [
+            analysis.multi_filter_memory_bytes(h, 38, 256, 4) for h in (1, 2, 4, 8)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_counter_mode(self):
+        with pytest.raises(ValueError):
+            analysis.filter_memory_bytes(10, 256, "bogus")
+
+    def test_raw_string_memory(self):
+        assert analysis.raw_string_memory_bytes([7, 12], per_key_overhead=2) == 23
+
+    def test_tcbf_halves_raw_string_memory(self):
+        """Sec. IV-B: 'the TCBF uses half of the space used by the raw
+        strings in representing interests' — checked with the paper's
+        numbers (38 keys, 11.5-byte average)."""
+        raw = analysis.raw_string_memory_bytes([11, 12] * 19)  # ~11.5 avg
+        set_bits = analysis.expected_set_bits(38, 256, 4)
+        compact = analysis.filter_memory_bytes(set_bits, 256, "full")
+        assert compact < 0.6 * raw
+
+
+@given(n=st.integers(0, 500), m=st.sampled_from([64, 128, 256, 512]), k=st.integers(1, 8))
+@settings(max_examples=60)
+def test_property_fpr_and_fr_in_unit_interval(n, m, k):
+    fpr = analysis.false_positive_rate(n, m, k)
+    fr = analysis.fill_ratio(n, m, k)
+    assert 0.0 <= fpr <= 1.0
+    # mathematically FR < 1, but 1 - exp(-kn/m) rounds to exactly 1.0
+    # in float for kn/m ≳ 37
+    assert 0.0 <= fr <= 1.0
+
+
+@given(n=st.integers(1, 300))
+@settings(max_examples=40)
+def test_property_exact_and_approx_agree(n):
+    approx = analysis.fill_ratio(n, 256, 4)
+    exact = analysis.fill_ratio(n, 256, 4, exact=True)
+    assert math.isclose(approx, exact, rel_tol=0.05, abs_tol=0.01)

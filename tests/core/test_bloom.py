@@ -1,0 +1,175 @@
+"""Tests for the classic Bloom filter (paper Sec. III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+
+
+class TestBasics:
+    def test_new_filter_is_empty(self):
+        bf = BloomFilter()
+        assert bf.is_empty()
+        assert len(bf) == 0
+        assert bf.fill_ratio() == 0.0
+
+    def test_insert_sets_hashed_bits(self, family):
+        bf = BloomFilter(family=family)
+        bf.insert("NewMoon")
+        assert set(family.positions("NewMoon")) == set(bf.set_bits)
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter(256, 4)
+        keys = [f"key-{i}" for i in range(38)]
+        bf.insert_all(keys)
+        for key in keys:
+            assert key in bf
+
+    def test_query_rejects_definitely_absent_key(self):
+        bf = BloomFilter(4096, 4)
+        bf.insert("present")
+        assert "definitely-not-present-xyz" not in bf
+
+    def test_insert_idempotent(self):
+        bf = BloomFilter()
+        bf.insert("a")
+        before = bf.set_bits
+        bf.insert("a")
+        assert bf.set_bits == before
+
+    def test_len_counts_set_bits(self):
+        bf = BloomFilter(256, 4)
+        bf.insert("x")
+        assert 1 <= len(bf) <= 4
+
+    def test_iter_yields_sorted_positions(self):
+        bf = BloomFilter(256, 4)
+        bf.insert_all(["a", "b"])
+        positions = list(bf)
+        assert positions == sorted(positions)
+
+    def test_bit_accessor_and_range_check(self):
+        bf = BloomFilter(256, 4)
+        bf.insert("a")
+        assert any(bf.bit(p) for p in range(256))
+        with pytest.raises(IndexError):
+            bf.bit(256)
+
+    def test_clear(self):
+        bf = BloomFilter.of(["a", "b"])
+        bf.clear()
+        assert bf.is_empty()
+        assert "a" not in bf
+
+
+class TestMerge:
+    def test_merge_is_bitwise_or(self, family):
+        a = BloomFilter.of(["x"], family=family)
+        b = BloomFilter.of(["y"], family=family)
+        merged = a.union(b)
+        assert merged.set_bits == a.set_bits | b.set_bits
+
+    def test_merge_preserves_membership_of_both(self, family):
+        a = BloomFilter.of(["x", "y"], family=family)
+        b = BloomFilter.of(["z"], family=family)
+        a.merge(b)
+        for key in ("x", "y", "z"):
+            assert key in a
+
+    def test_merge_rejects_incompatible_families(self):
+        a = BloomFilter(256, 4, seed=1)
+        b = BloomFilter(256, 4, seed=2)
+        with pytest.raises(ValueError, match="hash families"):
+            a.merge(b)
+
+    def test_union_leaves_operands_untouched(self, family):
+        a = BloomFilter.of(["x"], family=family)
+        b = BloomFilter.of(["y"], family=family)
+        bits_a, bits_b = a.set_bits, b.set_bits
+        a.union(b)
+        assert a.set_bits == bits_a
+        assert b.set_bits == bits_b
+
+
+class TestConstructionHelpers:
+    def test_of_inserts_all(self, family):
+        keys = ["a", "b", "c"]
+        bf = BloomFilter.of(keys, family=family)
+        assert bf.query_all(keys) == keys
+
+    def test_copy_is_independent(self):
+        bf = BloomFilter.of(["a"])
+        clone = bf.copy()
+        clone.insert("b")
+        assert "b" not in bf or bf.set_bits != clone.set_bits
+
+    def test_from_bits_roundtrip(self, family):
+        bf = BloomFilter.of(["a", "b"], family=family)
+        rebuilt = BloomFilter.from_bits(bf.set_bits, family)
+        assert rebuilt == bf
+
+    def test_from_bits_rejects_out_of_range(self, family):
+        with pytest.raises(ValueError, match="out of range"):
+            BloomFilter.from_bits([256], family)
+
+    def test_equality_requires_same_family(self):
+        a = BloomFilter(256, 4, seed=1)
+        b = BloomFilter(256, 4, seed=2)
+        assert a != b
+
+
+class TestFalsePositiveBehaviour:
+    def test_empirical_fpr_close_to_eq1(self):
+        """The measured FPR of a 38-key, 256-bit, 4-hash filter should be
+        in the neighbourhood of the paper's 0.04 worst case."""
+        from repro.core.analysis import false_positive_rate
+
+        bf = BloomFilter(256, 4, seed=12345)
+        stored = [f"stored-{i}" for i in range(38)]
+        bf.insert_all(stored)
+        probes = [f"probe-{i}" for i in range(20_000)]
+        hits = sum(1 for p in probes if p in bf)
+        measured = hits / len(probes)
+        predicted = false_positive_rate(38, 256, 4)
+        assert predicted == pytest.approx(0.04, abs=0.01)  # paper's figure
+        assert measured == pytest.approx(predicted, abs=0.02)
+
+    def test_fill_ratio_grows_with_insertions(self):
+        bf = BloomFilter(256, 4)
+        previous = 0.0
+        for i in range(0, 40, 10):
+            for j in range(i, i + 10):
+                bf.insert(f"k{j}")
+            assert bf.fill_ratio() >= previous
+            previous = bf.fill_ratio()
+
+
+@given(keys=st.lists(st.text(min_size=1, max_size=15), max_size=30))
+@settings(max_examples=50)
+def test_property_never_false_negative(keys):
+    bf = BloomFilter(128, 3)
+    bf.insert_all(keys)
+    assert all(k in bf for k in keys)
+
+
+@given(
+    left=st.sets(st.text(min_size=1, max_size=10), max_size=15),
+    right=st.sets(st.text(min_size=1, max_size=10), max_size=15),
+)
+@settings(max_examples=50)
+def test_property_merge_equivalent_to_inserting_union(left, right):
+    fam = HashFamily(3, 128, seed=4)
+    merged = BloomFilter.of(left, family=fam).union(BloomFilter.of(right, family=fam))
+    direct = BloomFilter.of(left | right, family=fam)
+    assert merged == direct
+
+
+@given(keys=st.sets(st.text(min_size=1, max_size=10), max_size=20))
+@settings(max_examples=50)
+def test_property_fill_ratio_bounded_by_inserted_bits(keys):
+    fam = HashFamily(4, 256, seed=8)
+    bf = BloomFilter.of(keys, family=fam)
+    assert len(bf) <= 4 * len(keys)
+    assert bf.fill_ratio() <= min(1.0, 4 * len(keys) / 256)

@@ -1,0 +1,134 @@
+"""Tests for the counting Bloom filter (paper Sec. III background)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import HashFamily
+
+
+class TestInsertDelete:
+    def test_insert_then_query(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.insert("a")
+        assert "a" in cbf
+
+    def test_delete_removes_single_insertion(self):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.insert("a")
+        cbf.delete("a")
+        assert "a" not in cbf
+        assert cbf.is_empty()
+
+    def test_double_insert_requires_double_delete(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.insert("a")
+        cbf.insert("a")
+        cbf.delete("a")
+        assert "a" in cbf
+        cbf.delete("a")
+        assert "a" not in cbf
+
+    def test_delete_absent_key_raises(self):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.insert("present")
+        with pytest.raises(KeyError):
+            cbf.delete("definitely-absent-key")
+
+    def test_delete_leaves_other_keys(self, family):
+        cbf = CountingBloomFilter(family=family)
+        cbf.insert_all(["a", "b", "c"])
+        cbf.delete("b")
+        assert "a" in cbf
+        assert "c" in cbf
+
+    def test_counters_track_overlaps(self, small_family):
+        """Shared bits between keys must survive deleting one key."""
+        cbf = CountingBloomFilter(family=small_family)
+        cbf.insert("k1")
+        cbf.insert("k2")
+        shared = set(small_family.distinct_positions("k1")) & set(
+            small_family.distinct_positions("k2")
+        )
+        cbf.delete("k1")
+        for p in shared:
+            assert cbf.bit(p)
+        assert "k2" in cbf
+
+    def test_repeated_probe_positions_counted_once(self):
+        """With k probes landing on the same bit, insert/delete round-trips."""
+        fam = HashFamily(8, 4, seed=0)  # heavy collisions guaranteed
+        cbf = CountingBloomFilter(family=fam)
+        cbf.insert("x")
+        cbf.delete("x")
+        assert cbf.is_empty()
+
+
+class TestQueriesAndViews:
+    def test_min_counter_bounds_insertions(self):
+        cbf = CountingBloomFilter(256, 4)
+        for _ in range(3):
+            cbf.insert("a")
+        assert cbf.min_counter("a") >= 3
+
+    def test_min_counter_zero_for_absent(self):
+        cbf = CountingBloomFilter(4096, 4)
+        assert cbf.min_counter("nothing") == 0
+
+    def test_to_bloom_same_membership(self, family):
+        cbf = CountingBloomFilter.of(["a", "b"], family=family)
+        bf = cbf.to_bloom()
+        assert "a" in bf and "b" in bf
+        assert set(bf.set_bits) == {
+            p for p in range(256) if cbf.counter(p) > 0
+        }
+
+    def test_fill_ratio_and_len(self):
+        cbf = CountingBloomFilter(256, 4)
+        cbf.insert("a")
+        assert cbf.fill_ratio() == len(cbf) / 256
+
+    def test_counter_out_of_range(self):
+        cbf = CountingBloomFilter(256, 4)
+        with pytest.raises(IndexError):
+            cbf.counter(-1)
+
+    def test_query_all_filters(self, family):
+        cbf = CountingBloomFilter.of(["a", "b"], family=family)
+        assert set(cbf.query_all(["a", "b"])) == {"a", "b"}
+
+    def test_copy_independent(self, family):
+        cbf = CountingBloomFilter.of(["a"], family=family)
+        clone = cbf.copy()
+        clone.insert("b")
+        assert cbf != clone
+
+    def test_clear(self, family):
+        cbf = CountingBloomFilter.of(["a"], family=family)
+        cbf.clear()
+        assert cbf.is_empty()
+
+
+@given(keys=st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_property_insert_all_then_delete_all_empties(keys):
+    fam = HashFamily(3, 64, seed=2)
+    cbf = CountingBloomFilter(family=fam)
+    cbf.insert_all(keys)
+    for key in keys:
+        cbf.delete(key)
+    assert cbf.is_empty()
+
+
+@given(keys=st.sets(st.text(min_size=1, max_size=8), max_size=15))
+@settings(max_examples=50)
+def test_property_membership_matches_plain_bloom(keys):
+    from repro.core.bloom import BloomFilter
+
+    fam = HashFamily(3, 128, seed=5)
+    cbf = CountingBloomFilter.of(keys, family=fam)
+    bf = BloomFilter.of(keys, family=fam)
+    probes = list(keys) + [f"probe-{i}" for i in range(30)]
+    for p in probes:
+        assert (p in cbf) == (p in bf)

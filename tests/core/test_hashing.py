@@ -1,0 +1,134 @@
+"""Tests for the hash-function family."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import DEFAULT_SEED, HashFamily
+
+
+class TestConstruction:
+    def test_defaults_match_requested_geometry(self):
+        fam = HashFamily(4, 256)
+        assert fam.num_hashes == 4
+        assert fam.num_bits == 256
+        assert fam.seed == DEFAULT_SEED
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError, match="num_hashes"):
+            HashFamily(0, 256)
+
+    def test_rejects_degenerate_bit_vector(self):
+        with pytest.raises(ValueError, match="num_bits"):
+            HashFamily(4, 1)
+
+    def test_repr_mentions_geometry(self):
+        assert "num_hashes=4" in repr(HashFamily(4, 256))
+
+
+class TestPositions:
+    def test_positions_in_range(self):
+        fam = HashFamily(4, 256)
+        for key in ("NewMoon", "a", "", "日本語"):
+            for p in fam.positions(key):
+                assert 0 <= p < 256
+
+    def test_position_count_equals_num_hashes(self):
+        fam = HashFamily(7, 512)
+        assert len(fam.positions("key")) == 7
+
+    def test_deterministic(self):
+        fam = HashFamily(4, 256, seed=5)
+        assert fam.positions("NewMoon") == fam.positions("NewMoon")
+
+    def test_two_instances_same_seed_agree(self):
+        a = HashFamily(4, 256, seed=5)
+        b = HashFamily(4, 256, seed=5)
+        assert a.positions("key") == b.positions("key")
+
+    def test_different_seeds_differ_somewhere(self):
+        a = HashFamily(4, 4096, seed=1)
+        b = HashFamily(4, 4096, seed=2)
+        keys = [f"key-{i}" for i in range(50)]
+        assert any(a.positions(k) != b.positions(k) for k in keys)
+
+    def test_different_keys_differ_somewhere(self):
+        fam = HashFamily(4, 4096)
+        assert fam.positions("alpha") != fam.positions("beta")
+
+    def test_distinct_positions_sorted_unique(self):
+        fam = HashFamily(8, 8, seed=3)  # tiny m forces repeats
+        distinct = fam.distinct_positions("x")
+        assert distinct == sorted(set(distinct))
+
+    def test_positions_for_preserves_order(self):
+        fam = HashFamily(4, 256)
+        keys = ["a", "b", "c"]
+        batched = fam.positions_for(keys)
+        assert batched == [fam.positions(k) for k in keys]
+
+    def test_cache_returns_fresh_list(self):
+        fam = HashFamily(4, 256)
+        first = fam.positions("key")
+        first.append(-1)  # mutating the returned list must not poison the cache
+        assert fam.positions("key") != first
+        assert all(0 <= p < 256 for p in fam.positions("key"))
+
+
+class TestCompatibility:
+    def test_compatible_with_same_parameters(self):
+        assert HashFamily(4, 256, 1).compatible_with(HashFamily(4, 256, 1))
+
+    @pytest.mark.parametrize(
+        "other",
+        [HashFamily(3, 256, 1), HashFamily(4, 128, 1), HashFamily(4, 256, 2)],
+    )
+    def test_incompatible_when_any_parameter_differs(self, other):
+        assert not HashFamily(4, 256, 1).compatible_with(other)
+
+    def test_equality_and_hash(self):
+        a, b = HashFamily(4, 256, 1), HashFamily(4, 256, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_spawn_changes_only_num_bits(self):
+        fam = HashFamily(4, 256, seed=9)
+        spawned = fam.spawn(1024)
+        assert spawned.num_bits == 1024
+        assert spawned.num_hashes == 4
+        assert spawned.seed == 9
+
+
+class TestDistribution:
+    def test_positions_spread_over_vector(self):
+        """Hashing many keys should touch a large share of a 256-bit vector."""
+        fam = HashFamily(4, 256)
+        touched = set()
+        for i in range(200):
+            touched.update(fam.positions(f"key-{i}"))
+        assert len(touched) > 200  # near-uniform coverage
+
+    def test_approximate_uniformity(self):
+        """Per-bit hit counts should be within a loose factor of the mean."""
+        fam = HashFamily(4, 64)
+        counts = [0] * 64
+        for i in range(2000):
+            for p in fam.positions(f"uniform-{i}"):
+                counts[p] += 1
+        mean = sum(counts) / len(counts)
+        assert all(0.5 * mean < c < 1.5 * mean for c in counts)
+
+
+@given(key=st.text(max_size=40), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_property_positions_valid_for_any_key(key, seed):
+    fam = HashFamily(4, 256, seed=seed)
+    positions = fam.positions(key)
+    assert len(positions) == 4
+    assert all(0 <= p < 256 for p in positions)
+
+
+@given(key=st.text(min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_property_determinism_across_instances(key):
+    assert HashFamily(4, 128, 3).positions(key) == HashFamily(4, 128, 3).positions(key)

@@ -1,0 +1,194 @@
+"""Tests for the compact wire encoding (paper Sec. VI-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+from repro.core.serialization import (
+    decode_bloom,
+    decode_tcbf,
+    encode_bloom,
+    encode_tcbf,
+    encoded_bloom_size,
+    encoded_tcbf_size,
+)
+from repro.core.tcbf import TemporalCountingBloomFilter
+
+
+class TestBloomRoundtrip:
+    def test_roundtrip_sparse(self, family):
+        bf = BloomFilter.of(["a", "b", "c"], family=family)
+        assert decode_bloom(encode_bloom(bf), family) == bf
+
+    def test_roundtrip_empty(self, family):
+        bf = BloomFilter(family=family)
+        assert decode_bloom(encode_bloom(bf), family) == bf
+
+    def test_roundtrip_dense_uses_raw_bits(self, family):
+        bf = BloomFilter.of([f"k{i}" for i in range(200)], family=family)
+        data = encode_bloom(bf)
+        assert data[0] == 0x02  # raw-bits tag
+        assert decode_bloom(data, family) == bf
+
+    def test_sparse_encoding_smaller_than_raw(self, family):
+        sparse = BloomFilter.of(["one"], family=family)
+        assert encoded_bloom_size(sparse) < 256 / 8 + 5
+
+    def test_geometry_mismatch_rejected(self, family):
+        bf = BloomFilter.of(["a"], family=family)
+        other = HashFamily(4, 512, seed=family.seed)
+        with pytest.raises(ValueError, match="m="):
+            decode_bloom(encode_bloom(bf), other)
+
+    def test_rejects_tcbf_payload(self, family):
+        t = TemporalCountingBloomFilter.of(["a"], family=family)
+        data = encode_tcbf(t, counters="full")
+        with pytest.raises(ValueError, match="tag"):
+            decode_bloom(data, family)
+
+
+class TestTcbfRoundtrip:
+    def test_full_roundtrip_preserves_membership_and_counters(self, family):
+        t = TemporalCountingBloomFilter.of(
+            ["a", "b"], family=family, initial_value=50
+        )
+        decoded = decode_tcbf(
+            encode_tcbf(t, counters="full"), family, initial_value=50
+        )
+        assert set(decoded) == set(t)
+        for position, value in t.items():
+            assert decoded.counter(position) == pytest.approx(value, rel=0.01)
+
+    def test_decoded_filter_is_merge_only(self, family):
+        t = TemporalCountingBloomFilter.of(["a"], family=family)
+        decoded = decode_tcbf(encode_tcbf(t), family, initial_value=50)
+        assert decoded.merged
+        with pytest.raises(RuntimeError):
+            decoded.insert("x")
+
+    def test_identical_mode_roundtrip(self, family):
+        t = TemporalCountingBloomFilter.of(
+            ["a", "b", "c"], family=family, initial_value=50
+        )
+        data = encode_tcbf(t, counters="identical")
+        decoded = decode_tcbf(data, family, initial_value=50)
+        assert set(decoded) == set(t)
+        values = {v for _, v in decoded.items()}
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(50, rel=0.01)
+
+    def test_identical_mode_rejects_mixed_counters(self, family):
+        a = TemporalCountingBloomFilter.of(["a"], family=family, initial_value=50)
+        b = TemporalCountingBloomFilter.of(["b"], family=family, initial_value=50)
+        a.a_merge(b)
+        a.decay(10)
+        # force genuinely different counters by re-merging a fresh filter
+        c = TemporalCountingBloomFilter.of(["c"], family=family, initial_value=50)
+        a.a_merge(c)
+        with pytest.raises(ValueError, match="identical"):
+            encode_tcbf(a, counters="identical")
+
+    def test_none_mode_produces_plain_bloom(self, family):
+        t = TemporalCountingBloomFilter.of(["a", "b"], family=family)
+        data = encode_tcbf(t, counters="none")
+        bf = decode_bloom(data, family)
+        assert bf == t.to_bloom()
+
+    def test_unknown_mode_rejected(self, family):
+        t = TemporalCountingBloomFilter.of(["a"], family=family)
+        with pytest.raises(ValueError, match="counters"):
+            encode_tcbf(t, counters="sometimes")
+
+    def test_quantisation_granularity(self, family):
+        """1-byte counters with default scale resolve C/255 steps —
+        the paper's '5.6 minutes in 24 hours' granularity argument."""
+        t = TemporalCountingBloomFilter.of(
+            ["a"], family=family, initial_value=50, decay_factor=1.0
+        )
+        t.advance(0.05)  # much less than one quantisation step (50/255≈0.2)
+        decoded = decode_tcbf(encode_tcbf(t), family, initial_value=50)
+        assert decoded.min_counter("a") == pytest.approx(50, abs=0.3)
+
+    def test_counter_scale_override(self, family):
+        t = TemporalCountingBloomFilter.of(["a"], family=family, initial_value=50)
+        decoded = decode_tcbf(
+            encode_tcbf(t, counter_scale=1.0), family, initial_value=50
+        )
+        assert decoded.min_counter("a") == pytest.approx(50)
+
+    def test_geometry_mismatch_rejected(self, family):
+        t = TemporalCountingBloomFilter.of(["a"], family=family)
+        with pytest.raises(ValueError, match="m="):
+            decode_tcbf(encode_tcbf(t), HashFamily(4, 512, family.seed), 50)
+
+    def test_dense_filter_uses_raw_vector_and_roundtrips(self, family):
+        """Past the Sec. VI-C density threshold the encoder switches to
+        the raw bit-vector + position-ordered counters form."""
+        t = TemporalCountingBloomFilter.of(
+            [f"k{i}" for i in range(60)], family=family, initial_value=50
+        )
+        t.decay(10.0)  # non-uniform path is irrelevant; counters all 40
+        data = encode_tcbf(t, counters="full")
+        assert data[0] == 0x05  # raw-full tag
+        decoded = decode_tcbf(data, family, initial_value=50)
+        assert set(decoded) == set(t)
+        for position, value in t.items():
+            assert decoded.counter(position) == pytest.approx(value, rel=0.02)
+
+    def test_reinforced_counters_survive_quantisation(self, family):
+        """Counters above C (A-merge reinforcement) must not clip."""
+        relay = TemporalCountingBloomFilter(family=family, initial_value=50)
+        boost = TemporalCountingBloomFilter.of(
+            ["hot"], family=family, initial_value=50
+        )
+        for _ in range(4):
+            relay.a_merge(boost)  # counters reach 200
+        decoded = decode_tcbf(encode_tcbf(relay), family, initial_value=50)
+        assert decoded.min_counter("hot") == pytest.approx(200, rel=0.02)
+
+
+class TestSizes:
+    def test_size_ordering_none_identical_full(self, family):
+        t = TemporalCountingBloomFilter.of(
+            [f"k{i}" for i in range(10)], family=family
+        )
+        assert (
+            encoded_tcbf_size(t, "none")
+            < encoded_tcbf_size(t, "identical")
+            < encoded_tcbf_size(t, "full")
+        )
+
+    def test_size_matches_encoded_length(self, family):
+        t = TemporalCountingBloomFilter.of(["a", "b"], family=family)
+        for mode in ("none", "identical", "full"):
+            assert encoded_tcbf_size(t, mode) == len(encode_tcbf(t, counters=mode))
+
+    def test_single_key_under_papers_five_bytes_plus_header(self, family):
+        """Sec. VII-A: at most 5 bytes encode one key (m=256, k=4) —
+        excluding the fixed header."""
+        t = TemporalCountingBloomFilter.of(["NewMoon"], family=family)
+        body = encoded_tcbf_size(t, "identical") - 10  # header+scale+shared byte
+        assert body <= 4  # ≤ 4 one-byte locations
+
+
+@given(keys=st.sets(st.text(min_size=1, max_size=10), max_size=30))
+@settings(max_examples=50)
+def test_property_bloom_roundtrip_any_keyset(keys):
+    fam = HashFamily(4, 256, seed=17)
+    bf = BloomFilter.of(keys, family=fam)
+    assert decode_bloom(encode_bloom(bf), fam) == bf
+
+
+@given(
+    keys=st.sets(st.text(min_size=1, max_size=10), min_size=1, max_size=20),
+    initial=st.floats(1.0, 200.0),
+)
+@settings(max_examples=50)
+def test_property_tcbf_roundtrip_membership(keys, initial):
+    fam = HashFamily(4, 256, seed=18)
+    t = TemporalCountingBloomFilter.of(keys, family=fam, initial_value=initial)
+    decoded = decode_tcbf(encode_tcbf(t), fam, initial_value=initial)
+    assert all(k in decoded for k in keys)
+    assert set(decoded) == set(t)

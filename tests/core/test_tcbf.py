@@ -1,0 +1,365 @@
+"""Tests for the Temporal Counting Bloom Filter (paper Sec. IV)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
+
+
+def tcbf(family=None, **kwargs):
+    family = family or HashFamily(4, 256, seed=21)
+    return TemporalCountingBloomFilter(family=family, **kwargs)
+
+
+class TestInsertion:
+    def test_insert_sets_counters_to_initial_value(self, family):
+        f = tcbf(family, initial_value=50)
+        f.insert("a")
+        for p in family.distinct_positions("a"):
+            assert f.counter(p) == 50
+
+    def test_insert_does_not_change_set_counters(self, family):
+        """Sec. IV-A: 'If the counter has already been set, we do not
+        change its value' — insertions always yield identical counters."""
+        f = tcbf(family, initial_value=50, decay_factor=1.0)
+        f.insert("a")
+        f.advance(10.0)  # counters now 40
+        f.insert("a")  # bits still set -> unchanged
+        for p in family.distinct_positions("a"):
+            assert f.counter(p) == 40
+
+    def test_insert_rearms_fully_decayed_bits(self, family):
+        f = tcbf(family, initial_value=10, decay_factor=1.0)
+        f.insert("a")
+        f.advance(11.0)  # fully decayed
+        assert "a" not in f
+        f.insert("a")
+        assert "a" in f
+        assert f.min_counter("a") == 10
+
+    def test_refresh_rearms_live_counters(self, family):
+        f = tcbf(family, initial_value=50, decay_factor=1.0)
+        f.insert("a")
+        f.advance(20.0)
+        f.refresh("a")
+        assert f.min_counter("a") == 50
+
+    def test_insert_into_merged_filter_raises(self, family):
+        f = tcbf(family)
+        other = tcbf(family)
+        other.insert("x")
+        f.a_merge(other)
+        with pytest.raises(RuntimeError, match="merged"):
+            f.insert("y")
+        with pytest.raises(RuntimeError, match="merged"):
+            f.refresh("x")
+
+    def test_with_keys_is_the_documented_workaround(self, family):
+        f = tcbf(family, initial_value=50)
+        f.a_merge(TemporalCountingBloomFilter.of(["x"], family=family))
+        f.with_keys(["y"])  # insert-into-fresh-then-merge
+        assert "x" in f and "y" in f
+
+    def test_invalid_parameters(self, family):
+        with pytest.raises(ValueError, match="initial_value"):
+            tcbf(family, initial_value=0)
+        with pytest.raises(ValueError, match="decay_factor"):
+            tcbf(family, decay_factor=-1)
+
+
+class TestDecay:
+    def test_decay_decrements_all_counters(self, family):
+        f = tcbf(family, initial_value=50)
+        f.insert_all(["a", "b"])
+        f.decay(10)
+        assert f.min_counter("a") == 40
+        assert f.min_counter("b") == 40
+
+    def test_decay_removes_exhausted_bits(self, family):
+        f = tcbf(family, initial_value=10)
+        f.insert("a")
+        f.decay(10)
+        assert f.is_empty()
+        assert "a" not in f
+
+    def test_decay_zero_is_noop(self, family):
+        f = tcbf(family, initial_value=10)
+        f.insert("a")
+        f.decay(0)
+        assert f.min_counter("a") == 10
+
+    def test_decay_negative_raises(self, family):
+        with pytest.raises(ValueError):
+            tcbf(family).decay(-1)
+
+    def test_advance_applies_df_times_elapsed(self, family):
+        f = tcbf(family, initial_value=50, decay_factor=2.0)
+        f.insert("a")
+        f.advance(5.0)
+        assert f.min_counter("a") == 40  # 50 - 2*5
+
+    def test_advance_backwards_raises(self, family):
+        f = tcbf(family, time=10.0)
+        with pytest.raises(ValueError, match="backwards"):
+            f.advance(5.0)
+
+    def test_advance_without_df_keeps_counters(self, family):
+        f = tcbf(family, initial_value=50, decay_factor=0.0)
+        f.insert("a")
+        f.advance(1e6)
+        assert f.min_counter("a") == 50
+
+    def test_lazy_advance_equals_eager_decay(self, family):
+        """One advance(T) must equal many small decays totalling DF*T."""
+        lazy = tcbf(family, initial_value=50, decay_factor=0.5)
+        eager = tcbf(family, initial_value=50, decay_factor=0.5)
+        for f in (lazy, eager):
+            f.insert_all(["a", "b", "c"])
+        lazy.advance(60.0)
+        for _ in range(60):
+            eager.decay(0.5)
+        assert lazy.counters() == pytest.approx(eager.counters())
+
+    def test_fig4_frequent_key_outlives_rare_key(self, family):
+        """Fig. 4: the key inserted repeatedly is the only one left."""
+        f = tcbf(family, initial_value=10, decay_factor=1.0)
+        f.insert("k0")
+        f.insert("k1")
+        f.advance(5.0)
+        f.refresh("k0")  # k0 re-announced at t=5
+        f.advance(12.0)  # k1's counters (10-12) gone; k0 at 10-7=3
+        assert "k0" in f
+        assert "k1" not in f or set(family.positions("k1")) & set(
+            family.positions("k0")
+        )
+
+
+class TestMerges:
+    def test_m_merge_takes_maximum(self, family):
+        a = tcbf(family, initial_value=50, decay_factor=1.0)
+        b = tcbf(family, initial_value=50)
+        a.insert("x")
+        a.advance(20.0)  # a's counters: 30
+        b.insert("x")  # b's counters: 50
+        a.m_merge(b)
+        assert a.min_counter("x") == 50
+
+    def test_a_merge_sums(self, family):
+        a = tcbf(family, initial_value=50)
+        b = tcbf(family, initial_value=50)
+        a.insert("x")
+        b.insert("x")
+        a.a_merge(b)
+        assert a.min_counter("x") == 100
+
+    def test_merge_unions_bits(self, family):
+        a = TemporalCountingBloomFilter.of(["x"], family=family)
+        b = TemporalCountingBloomFilter.of(["y"], family=family)
+        merged = a.m_merged(b)
+        assert "x" in merged and "y" in merged
+
+    def test_merge_marks_filter_as_merged(self, family):
+        a = tcbf(family)
+        assert not a.merged
+        a.a_merge(TemporalCountingBloomFilter.of(["x"], family=family))
+        assert a.merged
+
+    def test_merge_aligns_clocks(self, family):
+        """Merging a fresher filter first advances (and decays) the target."""
+        a = tcbf(family, initial_value=50, decay_factor=1.0)
+        a.insert("x")
+        b = tcbf(family, initial_value=50, time=20.0)
+        b.insert("y")
+        a.m_merge(b)
+        assert a.time == 20.0
+        assert a.min_counter("x") == 30  # decayed during the alignment
+        assert a.min_counter("y") == 50
+
+    def test_merge_decays_stale_operand(self, family):
+        """An older operand's counters decay before combining."""
+        a = tcbf(family, initial_value=50, decay_factor=1.0, time=30.0)
+        b = tcbf(family, initial_value=50, decay_factor=1.0, time=0.0)
+        b.insert("y")  # worth 50 at t=0 -> 20 at t=30
+        a.m_merge(b)
+        assert a.min_counter("y") == pytest.approx(20.0)
+
+    def test_merge_drops_fully_decayed_operand_keys(self, family):
+        a = tcbf(family, initial_value=10, decay_factor=1.0, time=100.0)
+        b = tcbf(family, initial_value=10, decay_factor=1.0, time=0.0)
+        b.insert("y")  # dead long before t=100
+        a.m_merge(b)
+        assert a.is_empty()
+
+    def test_merge_rejects_incompatible_families(self):
+        a = tcbf(HashFamily(4, 256, 1))
+        b = tcbf(HashFamily(4, 256, 2))
+        with pytest.raises(ValueError, match="hash families"):
+            a.a_merge(b)
+
+    def test_pure_merge_helpers_leave_operands(self, family):
+        a = TemporalCountingBloomFilter.of(["x"], family=family)
+        b = TemporalCountingBloomFilter.of(["y"], family=family)
+        a_bits = a.counters()
+        a.a_merged(b)
+        assert a.counters() == a_bits
+        assert not a.merged
+
+    def test_fig3_a_and_m_merge_differ(self, family):
+        """Fig. 3: A- and M-merge of the same operands differ in counters
+        but agree in bits."""
+        k0 = TemporalCountingBloomFilter.of(["k0"], family=family, initial_value=10)
+        k1 = TemporalCountingBloomFilter.of(["k1"], family=family, initial_value=10)
+        am = k0.a_merged(k1)
+        mm = k0.m_merged(k1)
+        assert set(am) == set(mm)
+        overlap = set(family.distinct_positions("k0")) & set(
+            family.distinct_positions("k1")
+        )
+        for p in overlap:
+            assert am.counter(p) == 20
+            assert mm.counter(p) == 10
+
+
+class TestQueries:
+    def test_existential_no_false_negatives(self, family):
+        f = TemporalCountingBloomFilter.of(
+            [f"k{i}" for i in range(38)], family=family
+        )
+        for i in range(38):
+            assert f"k{i}" in f
+
+    def test_min_counter_zero_when_absent(self, family):
+        f = tcbf(family)
+        assert f.min_counter("nothing") == 0.0
+
+    def test_preference_difference_when_both_know(self, family):
+        a = tcbf(family, initial_value=50)
+        b = tcbf(family, initial_value=30)
+        a.insert("x")
+        b.insert("x")
+        assert a.preference("x", b) == 20.0
+        assert b.preference("x", a) == -20.0
+
+    def test_preference_is_a_when_other_empty(self, family):
+        """Sec. IV-A: 'the preference is a when b equals 0'."""
+        a = tcbf(family, initial_value=50)
+        a.insert("x")
+        b = tcbf(family)
+        assert a.preference("x", b) == 50.0
+
+    def test_preference_zero_minus_b_when_self_empty(self, family):
+        a = tcbf(family)
+        b = tcbf(family, initial_value=30)
+        b.insert("x")
+        assert a.preference("x", b) == -30.0
+
+    def test_query_all(self, family):
+        f = TemporalCountingBloomFilter.of(["a", "b"], family=family)
+        assert set(f.query_all(["a", "b"])) >= {"a", "b"}
+
+    def test_to_bloom_strips_counters(self, family):
+        f = TemporalCountingBloomFilter.of(["a"], family=family)
+        bloom = f.to_bloom()
+        assert set(bloom.set_bits) == set(f)
+
+    def test_fpr_decreases_after_decay(self, family):
+        """The TCBF's FPR 'tends to decrease with the time because
+        elements get removed' (Sec. IV-A)."""
+        f = tcbf(family, initial_value=10, decay_factor=1.0)
+        f.insert_all([f"k{i}" for i in range(38)])
+        probes = [f"probe-{i}" for i in range(5000)]
+        before = sum(1 for p in probes if p in f)
+        f.advance(11.0)
+        after = sum(1 for p in probes if p in f)
+        assert after < before
+        assert after == 0  # everything decayed away
+
+
+class TestMisc:
+    def test_copy_preserves_everything(self, family):
+        f = tcbf(family, initial_value=50, decay_factor=0.5, time=3.0)
+        f.insert("a")
+        clone = f.copy()
+        assert clone == f
+        assert clone.time == 3.0
+        assert clone.decay_factor == 0.5
+        clone.decay(10)
+        assert clone != f
+
+    def test_items_sorted(self, family):
+        f = TemporalCountingBloomFilter.of(["a", "b"], family=family)
+        items = f.items()
+        assert items == sorted(items)
+
+    def test_default_initial_value_is_papers_50(self):
+        assert DEFAULT_INITIAL_VALUE == 50.0
+
+    def test_repr(self, family):
+        assert "DF=0.5" in repr(tcbf(family, decay_factor=0.5))
+
+
+# -- property-based invariants ------------------------------------------------
+
+_keys = st.sets(st.text(min_size=1, max_size=8), min_size=1, max_size=12)
+
+
+@given(keys=_keys, decay=st.floats(0.0, 5.0), elapsed=st.floats(0.0, 100.0))
+@settings(max_examples=60)
+def test_property_counters_never_negative(keys, decay, elapsed):
+    fam = HashFamily(3, 128, seed=11)
+    f = TemporalCountingBloomFilter.of(
+        keys, family=fam, initial_value=20, decay_factor=decay
+    )
+    f.advance(elapsed)
+    assert all(v > 0 for _, v in f.items())
+
+
+@given(keys_a=_keys, keys_b=_keys)
+@settings(max_examples=50)
+def test_property_m_merge_counters_bounded_by_operand_max(keys_a, keys_b):
+    fam = HashFamily(3, 128, seed=12)
+    a = TemporalCountingBloomFilter.of(keys_a, family=fam, initial_value=30)
+    b = TemporalCountingBloomFilter.of(keys_b, family=fam, initial_value=30)
+    merged = a.m_merged(b)
+    for position, value in merged.items():
+        assert value <= max(a.counter(position), b.counter(position))
+        assert value == max(a.counter(position), b.counter(position))
+
+
+@given(keys_a=_keys, keys_b=_keys)
+@settings(max_examples=50)
+def test_property_a_merge_counters_are_sums(keys_a, keys_b):
+    fam = HashFamily(3, 128, seed=13)
+    a = TemporalCountingBloomFilter.of(keys_a, family=fam, initial_value=30)
+    b = TemporalCountingBloomFilter.of(keys_b, family=fam, initial_value=30)
+    merged = a.a_merged(b)
+    for position, value in merged.items():
+        assert value == a.counter(position) + b.counter(position)
+
+
+@given(keys=_keys)
+@settings(max_examples=50)
+def test_property_merge_membership_superset(keys):
+    fam = HashFamily(3, 128, seed=14)
+    a = TemporalCountingBloomFilter.of(keys, family=fam)
+    empty = TemporalCountingBloomFilter(family=fam)
+    merged = empty.m_merged(a)
+    assert all(k in merged for k in keys)
+
+
+@given(
+    keys=_keys,
+    splits=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=6),
+)
+@settings(max_examples=50)
+def test_property_decay_is_additive(keys, splits):
+    """decay(x); decay(y) == decay(x + y)."""
+    fam = HashFamily(3, 128, seed=15)
+    stepped = TemporalCountingBloomFilter.of(keys, family=fam, initial_value=100)
+    oneshot = TemporalCountingBloomFilter.of(keys, family=fam, initial_value=100)
+    for amount in splits:
+        stepped.decay(amount)
+    oneshot.decay(sum(splits))
+    assert stepped.counters() == pytest.approx(oneshot.counters())

@@ -1,0 +1,138 @@
+"""Model-based testing of the TCBF against a naive dense reference.
+
+The production TCBF is a sparse dict with lazy decay; the reference
+below is the most literal possible reading of Sec. IV — a dense array
+of ``m`` float counters with eager updates.  Hypothesis drives random
+operation sequences against both and checks they never diverge.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import TemporalCountingBloomFilter
+
+FAMILY = HashFamily(num_hashes=3, num_bits=48, seed=77)  # small m -> collisions
+INITIAL = 20.0
+KEYS = [f"key-{i}" for i in range(12)]
+
+
+class NaiveTCBF:
+    """Dense-array reference implementation (eager, no cleverness)."""
+
+    def __init__(self):
+        self.counts = [0.0] * FAMILY.num_bits
+
+    def insert(self, key):
+        for p in set(FAMILY.positions(key)):
+            if self.counts[p] <= 0.0:
+                self.counts[p] = INITIAL
+
+    def refresh(self, key):
+        for p in set(FAMILY.positions(key)):
+            self.counts[p] = INITIAL
+
+    def decay(self, amount):
+        self.counts = [
+            c - amount if c - amount > 0.0 else 0.0 for c in self.counts
+        ]
+
+    def a_merge(self, keys):
+        other = NaiveTCBF()
+        for key in keys:
+            other.insert(key)
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+
+    def m_merge(self, keys):
+        other = NaiveTCBF()
+        for key in keys:
+            other.insert(key)
+        self.counts = [max(a, b) for a, b in zip(self.counts, other.counts)]
+
+    def query(self, key):
+        return all(self.counts[p] > 0.0 for p in FAMILY.positions(key))
+
+    def min_counter(self, key):
+        return min(self.counts[p] for p in FAMILY.positions(key))
+
+    def set_positions(self):
+        return {p for p, c in enumerate(self.counts) if c > 0.0}
+
+
+class TCBFMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.real = TemporalCountingBloomFilter(
+            family=FAMILY, initial_value=INITIAL
+        )
+        self.model = NaiveTCBF()
+        self.merged = False
+
+    @rule(key=st.sampled_from(KEYS))
+    def insert(self, key):
+        if self.merged:
+            with pytest.raises(RuntimeError):
+                self.real.insert(key)
+            return
+        self.real.insert(key)
+        self.model.insert(key)
+
+    @rule(key=st.sampled_from(KEYS))
+    def refresh(self, key):
+        if self.merged:
+            return
+        self.real.refresh(key)
+        self.model.refresh(key)
+
+    @rule(amount=st.floats(0.0, 15.0))
+    def decay(self, amount):
+        self.real.decay(amount)
+        self.model.decay(amount)
+
+    @rule(keys=st.sets(st.sampled_from(KEYS), max_size=4))
+    def a_merge(self, keys):
+        operand = TemporalCountingBloomFilter.of(
+            keys, family=FAMILY, initial_value=INITIAL, time=self.real.time
+        )
+        self.real.a_merge(operand)
+        self.model.a_merge(keys)
+        self.merged = True
+
+    @rule(keys=st.sets(st.sampled_from(KEYS), max_size=4))
+    def m_merge(self, keys):
+        operand = TemporalCountingBloomFilter.of(
+            keys, family=FAMILY, initial_value=INITIAL, time=self.real.time
+        )
+        self.real.m_merge(operand)
+        self.model.m_merge(keys)
+        self.merged = True
+
+    @rule(dt=st.floats(0.0, 10.0))
+    def advance_without_df(self, dt):
+        """With DF = 0 the clock moves but counters must not."""
+        self.real.advance(self.real.time + dt)
+
+    @invariant()
+    def same_set_bits(self):
+        assert set(self.real) == self.model.set_positions()
+
+    @invariant()
+    def same_counters(self):
+        for position, value in self.real.items():
+            assert value == pytest.approx(self.model.counts[position])
+
+    @invariant()
+    def same_query_answers(self):
+        for key in KEYS:
+            assert self.real.query(key) == self.model.query(key)
+            assert self.real.min_counter(key) == pytest.approx(
+                self.model.min_counter(key)
+            )
+
+
+TestTCBFAgainstModel = TCBFMachine.TestCase
+TestTCBFAgainstModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

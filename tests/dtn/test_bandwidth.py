@@ -1,0 +1,68 @@
+"""Tests for contact bandwidth budgeting."""
+
+import pytest
+
+from repro.dtn.bandwidth import (
+    BLUETOOTH_EFFECTIVE_BPS,
+    BLUETOOTH_PEAK_BPS,
+    ContactChannel,
+)
+
+
+class TestBudget:
+    def test_budget_is_duration_times_rate(self):
+        ch = ContactChannel(duration_s=8.0, rate_bps=1000)
+        assert ch.budget_bytes == 1000.0  # 8 s * 1000 bps / 8
+
+    def test_paper_constants(self):
+        assert BLUETOOTH_PEAK_BPS == 1_000_000
+        assert BLUETOOTH_EFFECTIVE_BPS == 250_000
+
+    def test_send_charges(self):
+        ch = ContactChannel(8.0, 1000)
+        assert ch.send(400)
+        assert ch.spent_bytes == 400
+        assert ch.remaining_bytes == 600
+
+    def test_send_refuses_over_budget_without_charging(self):
+        ch = ContactChannel(8.0, 1000)
+        assert not ch.send(1001)
+        assert ch.spent_bytes == 0
+        assert ch.refused_transfers == 1
+
+    def test_exact_fit_allowed(self):
+        ch = ContactChannel(8.0, 1000)
+        assert ch.send(1000)
+        assert ch.remaining_bytes == 0
+
+    def test_exhausted(self):
+        ch = ContactChannel(8.0, 1000)
+        ch.send(1000)
+        assert ch.exhausted()
+
+    def test_infinite_bandwidth(self):
+        ch = ContactChannel(1.0, rate_bps=None)
+        assert ch.send(10**12)
+        assert not ch.exhausted()
+
+    def test_can_send_does_not_charge(self):
+        ch = ContactChannel(8.0, 1000)
+        assert ch.can_send(500)
+        assert ch.spent_bytes == 0
+
+    def test_negative_send_rejected(self):
+        with pytest.raises(ValueError):
+            ContactChannel(8.0, 1000).send(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ContactChannel(-1.0, 1000)
+        with pytest.raises(ValueError):
+            ContactChannel(1.0, 0)
+
+    def test_typical_contact_carries_many_messages(self):
+        """A 230 s contact at 250 Kbps fits tens of thousands of
+        140-byte messages — the paper's 'wasted bandwidth is
+        acceptable' argument."""
+        ch = ContactChannel(230.0, BLUETOOTH_EFFECTIVE_BPS)
+        assert ch.budget_bytes / 140 > 10_000

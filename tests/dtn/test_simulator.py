@@ -1,0 +1,151 @@
+"""Tests for the trace-driven simulation engine."""
+
+import pytest
+
+from repro.dtn.events import MessageEvent
+from repro.dtn.simulator import Protocol, Simulation
+from repro.traces.model import Contact, ContactTrace
+
+from ..conftest import make_trace
+
+
+class RecordingProtocol(Protocol):
+    """Captures the event sequence the engine delivers."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.events = []
+        self.setup_called_with = None
+        self.finish_time = None
+
+    def setup(self, trace):
+        self.setup_called_with = trace
+
+    def on_message_created(self, node, message, now):
+        self.events.append(("msg", now, node, message))
+
+    def on_contact(self, contact, channel, now):
+        self.events.append(("contact", now, contact.pair, channel))
+
+    def finish(self, now):
+        self.finish_time = now
+
+
+class TestEventOrdering:
+    def test_contacts_delivered_in_time_order(self, line_trace):
+        protocol = RecordingProtocol()
+        Simulation(line_trace, protocol).run()
+        times = [e[1] for e in protocol.events]
+        assert times == sorted(times)
+        assert [e[2] for e in protocol.events] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_messages_interleaved_with_contacts(self, line_trace):
+        events = [
+            MessageEvent(time=50.0, node=0, message="m1"),
+            MessageEvent(time=400.0, node=2, message="m2"),
+        ]
+        protocol = RecordingProtocol()
+        Simulation(line_trace, protocol, events).run()
+        kinds = [(e[0], e[1]) for e in protocol.events]
+        assert kinds == [
+            ("msg", 50.0),
+            ("contact", 100.0),
+            ("contact", 300.0),
+            ("msg", 400.0),
+            ("contact", 500.0),
+        ]
+
+    def test_message_at_same_time_as_contact_comes_first(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        events = [MessageEvent(time=100.0, node=0, message="m")]
+        protocol = RecordingProtocol()
+        Simulation(trace, protocol, events).run()
+        assert [e[0] for e in protocol.events] == ["msg", "contact"]
+
+    def test_unsorted_message_events_are_sorted(self, line_trace):
+        events = [
+            MessageEvent(time=400.0, node=0, message="late"),
+            MessageEvent(time=50.0, node=0, message="early"),
+        ]
+        protocol = RecordingProtocol()
+        Simulation(line_trace, protocol, events).run()
+        messages = [e[3] for e in protocol.events if e[0] == "msg"]
+        assert messages == ["early", "late"]
+
+
+class TestLifecycle:
+    def test_setup_receives_trace(self, line_trace):
+        protocol = RecordingProtocol()
+        Simulation(line_trace, protocol).run()
+        assert protocol.setup_called_with is line_trace
+
+    def test_finish_receives_end_time(self, line_trace):
+        protocol = RecordingProtocol()
+        Simulation(line_trace, protocol).run()
+        assert protocol.finish_time == line_trace.end_time
+
+    def test_single_shot(self, line_trace):
+        sim = Simulation(line_trace, RecordingProtocol())
+        sim.run()
+        with pytest.raises(RuntimeError, match="single-shot"):
+            sim.run()
+
+    def test_empty_trace_and_events(self):
+        trace = ContactTrace([], nodes=range(3))
+        protocol = RecordingProtocol()
+        report = Simulation(trace, protocol).run()
+        assert report.num_contacts == 0
+        assert protocol.finish_time == 0.0
+
+
+class TestReport:
+    def test_counts(self, line_trace):
+        events = [MessageEvent(time=1.0, node=0, message="m")]
+        report = Simulation(line_trace, RecordingProtocol(), events).run()
+        assert report.num_contacts == 3
+        assert report.num_messages_created == 1
+        assert report.end_time == line_trace.end_time
+
+    def test_bytes_and_refusals_accounted(self, line_trace):
+        class Greedy(Protocol):
+            name = "greedy"
+
+            def on_message_created(self, node, message, now):
+                pass
+
+            def on_contact(self, contact, channel, now):
+                channel.send(100)
+                channel.send(10**12)  # refused
+
+        report = Simulation(line_trace, Greedy()).run()
+        assert report.bytes_transferred == 300
+        assert report.refused_transfers == 3
+
+    def test_channel_rate_respected(self):
+        """A 1-second contact at 8 bps carries exactly 1 byte."""
+        trace = make_trace([(0.0, 1.0, 0, 1)])
+
+        class OneByte(Protocol):
+            name = "onebyte"
+            sent = None
+
+            def on_message_created(self, node, message, now):
+                pass
+
+            def on_contact(self, contact, channel, now):
+                OneByte.sent = (channel.send(1), channel.send(1))
+
+        Simulation(trace, OneByte(), rate_bps=8).run()
+        assert OneByte.sent == (True, False)
+
+
+class TestMessageEvent:
+    def test_orders_by_time(self):
+        a = MessageEvent(1.0, 5, "x")
+        b = MessageEvent(2.0, 1, "y")
+        assert a < b
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            MessageEvent(-1.0, 0, "x")

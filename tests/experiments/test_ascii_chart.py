@@ -1,0 +1,57 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.report import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [1, 2, 3], {"PUSH": [0.1, 0.5, 0.9]}, height=5, title="T"
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "P=PUSH" in chart
+        assert "0.9" in chart and "0.1" in chart
+
+    def test_extremes_on_first_and_last_rows(self):
+        chart = ascii_chart([1, 2], {"S": [0.0, 1.0]}, height=4)
+        lines = chart.splitlines()
+        assert "S" in lines[0]       # max on top row
+        assert "S" in lines[3]       # min on bottom row
+
+    def test_overlap_marker(self):
+        chart = ascii_chart(
+            [1], {"A": [0.5], "B": [0.5]}, height=3
+        )
+        assert "*" in chart
+
+    def test_marker_disambiguation(self):
+        chart = ascii_chart(
+            [1, 2], {"PUSH": [0.0, 1.0], "PULL": [1.0, 0.0]}, height=4
+        )
+        assert "P=PUSH" in chart
+        assert "U=PULL" in chart  # P taken, falls through to U
+
+    def test_nan_points_skipped(self):
+        chart = ascii_chart(
+            [1, 2, 3], {"S": [float("nan"), 0.5, 1.0]}, height=4
+        )
+        assert "S" in chart
+
+    def test_all_nan(self):
+        chart = ascii_chart([1], {"S": [float("nan")]})
+        assert "no finite data" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart([1, 2, 3], {"S": [0.5, 0.5, 0.5]}, height=4)
+        assert chart.count("S") >= 3 + 1  # 3 points + legend
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart([1, 2], {"S": [1.0]})
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError, match="height"):
+            ascii_chart([1], {"S": [1.0]}, height=1)

@@ -1,0 +1,99 @@
+"""Tests for the TTL and DF sweeps."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import df_sweep, ttl_sweep
+from repro.traces.synthetic import haggle_like
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return haggle_like(scale=0.01, seed=4)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return ExperimentConfig(min_rate_per_s=1 / 7200.0)
+
+
+class TestTtlSweep:
+    def test_shape(self, tiny_trace, base_config):
+        sweep = ttl_sweep(
+            tiny_trace,
+            ttl_values_min=(60.0, 600.0),
+            base_config=base_config,
+        )
+        assert set(sweep) == {"PUSH", "B-SUB", "PULL"}
+        assert all(len(results) == 2 for results in sweep.values())
+
+    def test_ttls_recorded_in_order(self, tiny_trace, base_config):
+        sweep = ttl_sweep(
+            tiny_trace, ttl_values_min=(60.0, 600.0), base_config=base_config
+        )
+        assert [r.ttl_min for r in sweep["PUSH"]] == [60.0, 600.0]
+
+    def test_df_rederived_per_ttl(self, tiny_trace, base_config):
+        sweep = ttl_sweep(
+            tiny_trace,
+            ttl_values_min=(60.0, 600.0),
+            protocols=("B-SUB",),
+            base_config=base_config,
+        )
+        dfs = [r.decay_factor_per_min for r in sweep["B-SUB"]]
+        assert dfs[0] > dfs[1]  # shorter TTL -> faster decay
+
+    def test_protocol_subset(self, tiny_trace, base_config):
+        sweep = ttl_sweep(
+            tiny_trace,
+            ttl_values_min=(60.0,),
+            protocols=("PULL",),
+            base_config=base_config,
+        )
+        assert set(sweep) == {"PULL"}
+
+    def test_delivery_ratio_nondecreasing_in_ttl(self, tiny_trace, base_config):
+        """Figs. 7(a)/8(a): longer TTLs can only help delivery."""
+        sweep = ttl_sweep(
+            tiny_trace,
+            ttl_values_min=(30.0, 1200.0),
+            protocols=("PUSH",),
+            base_config=base_config,
+        )
+        ratios = [r.summary.delivery_ratio for r in sweep["PUSH"]]
+        assert ratios[1] >= ratios[0]
+
+
+class TestDfSweep:
+    def test_runs_bsub_at_each_df(self, tiny_trace, base_config):
+        results = df_sweep(
+            tiny_trace,
+            df_values_per_min=(0.0, 1.0),
+            ttl_min=600.0,
+            base_config=base_config,
+        )
+        assert [r.decay_factor_per_min for r in results] == [0.0, 1.0]
+        assert all(r.protocol == "B-SUB" for r in results)
+
+    def test_fixed_ttl(self, tiny_trace, base_config):
+        results = df_sweep(
+            tiny_trace,
+            df_values_per_min=(0.5,),
+            ttl_min=240.0,
+            base_config=base_config,
+        )
+        assert results[0].ttl_min == 240.0
+
+    def test_high_df_reduces_forwardings(self, tiny_trace, base_config):
+        """Fig. 9(c): interests stop propagating at huge DF, so the
+        relay path dries up and forwarding overhead falls."""
+        results = df_sweep(
+            tiny_trace,
+            df_values_per_min=(0.0, 50.0),
+            ttl_min=600.0,
+            base_config=base_config,
+        )
+        free, strangled = results
+        assert (
+            strangled.summary.num_forwardings <= free.summary.num_forwardings
+        )

@@ -1,0 +1,146 @@
+"""Tests for the PUSH and PULL baselines on hand-crafted scenarios."""
+
+import pytest
+
+from repro.dtn.events import MessageEvent
+from repro.dtn.simulator import Simulation
+from repro.pubsub.baselines import PullProtocol, PushProtocol
+from repro.pubsub.messages import Message
+from repro.pubsub.metrics import MetricsCollector
+
+from ..conftest import make_trace
+
+
+def run(protocol_cls, trace, interests, message_specs, rate_bps=None):
+    """Drive one baseline over a trace; message_specs = (t, node, key, ttl)."""
+    metrics = MetricsCollector(interests, protocol_cls.name)
+    protocol = protocol_cls(interests, metrics)
+    events = [
+        MessageEvent(t, node, Message.create(key, node, t, ttl))
+        for (t, node, key, ttl) in message_specs
+    ]
+    Simulation(trace, protocol, events, rate_bps=rate_bps).run()
+    return metrics.summary()
+
+
+class TestPush:
+    def test_direct_delivery(self, line_trace):
+        interests = {0: frozenset(), 1: frozenset({"k"}), 2: frozenset(), 3: frozenset()}
+        summary = run(PushProtocol, line_trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.delivery_ratio == 1.0
+        assert summary.mean_delay_s == 100.0  # created 0, contact at 100
+
+    def test_multi_hop_relay(self, line_trace):
+        """PUSH floods along the 0-1-2-3 chain regardless of interests."""
+        interests = {0: frozenset(), 1: frozenset(), 2: frozenset(), 3: frozenset({"k"})}
+        summary = run(PushProtocol, line_trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.delivery_ratio == 1.0
+        assert summary.num_forwardings == 3  # replicated at every hop
+
+    def test_ttl_stops_flooding(self, line_trace):
+        interests = {3: frozenset({"k"}), 0: frozenset(), 1: frozenset(), 2: frozenset()}
+        # TTL 250 s: the message dies after the first hop (contact at 300)
+        summary = run(PushProtocol, line_trace, interests, [(0.0, 0, "k", 250.0)])
+        assert summary.num_intended_deliveries == 0
+        assert summary.num_forwardings == 1  # only 0 -> 1 at t=100
+
+    def test_no_duplicate_replication(self):
+        trace = make_trace([(100.0, 10.0, 0, 1), (200.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset()}
+        summary = run(PushProtocol, trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.num_forwardings == 1
+
+    def test_replication_is_bidirectional(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset({"b"}), 1: frozenset({"a"})}
+        summary = run(
+            PushProtocol,
+            trace,
+            interests,
+            [(0.0, 0, "a", 10_000.0), (0.0, 1, "b", 10_000.0)],
+        )
+        assert summary.delivery_ratio == 1.0
+        assert summary.num_forwardings == 2
+
+    def test_never_false_delivery(self, line_trace):
+        """PUSH uses exact matching, so FPR is structurally 0."""
+        interests = {n: frozenset({"other"}) for n in range(4)}
+        summary = run(PushProtocol, line_trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.num_false_deliveries == 0
+
+    def test_bandwidth_truncates_flood(self):
+        # 1-second contact at 800 bps carries only 100 bytes: one
+        # message of default size 140 does NOT fit.
+        trace = make_trace([(100.0, 1.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"k"})}
+        summary = run(
+            PushProtocol, trace, interests, [(0.0, 0, "k", 10_000.0)], rate_bps=800
+        )
+        assert summary.num_intended_deliveries == 0
+
+
+class TestPull:
+    def test_one_hop_delivery(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"k"})}
+        summary = run(PullProtocol, trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.delivery_ratio == 1.0
+        assert summary.forwardings_per_delivered == 1.0
+
+    def test_never_multi_hop(self, line_trace):
+        """Node 3 wants node 0's message but never meets node 0."""
+        interests = {0: frozenset(), 1: frozenset(), 2: frozenset(), 3: frozenset({"k"})}
+        summary = run(PullProtocol, line_trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.num_intended_deliveries == 0
+        assert summary.num_forwardings == 0
+
+    def test_uninterested_neighbour_collects_nothing(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"other"})}
+        summary = run(PullProtocol, trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.num_deliveries == 0
+
+    def test_expired_messages_not_collected(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"k"})}
+        summary = run(PullProtocol, trace, interests, [(0.0, 0, "k", 50.0)])
+        assert summary.num_deliveries == 0
+
+    def test_no_duplicate_collection(self):
+        trace = make_trace([(100.0, 10.0, 0, 1), (200.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"k"})}
+        summary = run(PullProtocol, trace, interests, [(0.0, 0, "k", 10_000.0)])
+        assert summary.num_deliveries == 1
+        assert summary.num_forwardings == 1
+
+    def test_collects_from_both_sides(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset({"b"}), 1: frozenset({"a"})}
+        summary = run(
+            PullProtocol,
+            trace,
+            interests,
+            [(0.0, 0, "a", 10_000.0), (0.0, 1, "b", 10_000.0)],
+        )
+        assert summary.delivery_ratio == 1.0
+
+    def test_multi_key_message_collected_once(self):
+        trace = make_trace([(100.0, 10.0, 0, 1)])
+        interests = {0: frozenset(), 1: frozenset({"a", "b"})}
+        metrics = MetricsCollector(interests, "PULL")
+        protocol = PullProtocol(interests, metrics)
+        m = Message.create(["a", "b"], 0, 0.0, 10_000.0)
+        Simulation(
+            trace, protocol, [MessageEvent(0.0, 0, m)], rate_bps=None
+        ).run()
+        assert metrics.summary().num_deliveries == 1
+
+
+class TestComparative:
+    def test_push_dominates_pull_on_chain(self, line_trace):
+        interests = {0: frozenset(), 1: frozenset(), 2: frozenset(), 3: frozenset({"k"})}
+        specs = [(0.0, 0, "k", 10_000.0)]
+        push = run(PushProtocol, line_trace, interests, specs)
+        pull = run(PullProtocol, line_trace, interests, specs)
+        assert push.num_intended_deliveries > pull.num_intended_deliveries
+        assert push.num_forwardings > pull.num_forwardings

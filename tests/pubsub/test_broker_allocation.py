@@ -1,0 +1,177 @@
+"""Tests for the decentralised broker election (paper Sec. V-B)."""
+
+import pytest
+
+from repro.pubsub.broker_allocation import (
+    FIVE_HOURS_S,
+    BrokerElection,
+    StaticBrokerSet,
+)
+
+
+def election(**overrides):
+    defaults = dict(
+        nodes=range(10), lower_bound=2, upper_bound=4, window_s=1000.0
+    )
+    defaults.update(overrides)
+    return BrokerElection(**defaults)
+
+
+class TestBootstrap:
+    def test_starts_with_no_brokers_by_default(self):
+        assert election().brokers() == set()
+
+    def test_initial_brokers_accepted(self):
+        e = election(initial_brokers=[3, 4])
+        assert e.brokers() == {3, 4}
+
+    def test_initial_brokers_validated(self):
+        with pytest.raises(ValueError, match="not in population"):
+            election(initial_brokers=[99])
+
+    def test_first_meetings_promote_brokers(self):
+        """With zero brokers around, the lower-bound rule designates the
+        nodes a user meets."""
+        e = election()
+        e.on_contact(0, 1, now=10.0)
+        # each endpoint saw 0 brokers < T_l and designated the other
+        assert e.brokers() == {0, 1}
+
+    def test_promotions_counted(self):
+        e = election()
+        e.on_contact(0, 1, 10.0)
+        assert e.promotions == 2
+
+
+class TestLowerBound:
+    def test_promotes_until_lower_bound_met(self):
+        e = election(lower_bound=2, upper_bound=9)
+        e.on_contact(0, 1, 1.0)  # 0 and 1 both become brokers
+        e.on_contact(2, 3, 2.0)  # 2 and 3 become brokers
+        # node 4 now meets broker 0: it has met 1 broker (<2) so it
+        # promotes... but 0 is already a broker, so nothing changes,
+        # and meeting normal node 5 next promotes 5.
+        e.on_contact(4, 0, 3.0)
+        assert e.is_broker(0)
+        e.on_contact(4, 5, 4.0)
+        assert e.is_broker(5)
+
+    def test_no_promotion_when_enough_brokers(self):
+        e = election(lower_bound=1, upper_bound=9)
+        e.on_contact(0, 1, 1.0)  # 1 becomes broker (and 0)
+        # node 2 meets broker 1, satisfying T_l=1; meeting 3 after must
+        # not promote 3.
+        e.on_contact(2, 1, 2.0)
+        e.on_contact(2, 3, 3.0)
+        assert not e.is_broker(3)
+
+    def test_brokers_do_not_run_election(self):
+        e = election(lower_bound=5, upper_bound=9, initial_brokers=[0])
+        # broker 0 meets plain node 1: node 1 promotes nothing new
+        # (it now met 1 broker < 5 -> it would promote the *next* node),
+        # but 0 itself, despite meeting 0 brokers, must not promote 1.
+        e.on_contact(0, 1, 1.0)
+        # 1 met broker 0; count=1 < 5, but peer 0 is already a broker.
+        assert e.brokers() == {0}
+
+
+class TestUpperBound:
+    def build_crowded(self):
+        """Node 9 has met brokers 0..5 within the window."""
+        e = election(
+            nodes=range(10),
+            lower_bound=1,
+            upper_bound=3,
+            window_s=10_000.0,
+            initial_brokers=[0, 1, 2, 3, 4, 5],
+        )
+        # give the brokers unequal degrees: broker 0 meets many nodes
+        for t, peer in enumerate((6, 7, 8), start=1):
+            e.on_contact(0, peer, float(t))
+        return e
+
+    def test_demotes_low_degree_broker(self):
+        e = self.build_crowded()
+        # node 9 meets brokers 0..2: at most 3 brokers met, never above
+        # T_u = 3, so nothing is demoted yet.
+        for t, broker in enumerate((0, 1, 2), start=10):
+            e.on_contact(9, broker, float(t))
+        assert len(e.brokers()) == 6
+        e.on_contact(9, 4, 20.0)  # 4 brokers met > T_u
+        # broker 4 has degree 1 (only met node 9); the average over the
+        # brokers node 9 knows includes broker 0's degree 4 -> demoted.
+        assert not e.is_broker(4)
+        assert e.demotions >= 1
+
+    def test_high_degree_broker_survives(self):
+        e = self.build_crowded()
+        for t, broker in enumerate((1, 2, 3, 4), start=10):
+            e.on_contact(9, broker, float(t))
+        # meeting broker 0 (the best-connected) must not demote it
+        e.on_contact(9, 0, 20.0)
+        assert e.is_broker(0)
+
+
+class TestWindow:
+    def test_old_meetings_expire(self):
+        e = election(lower_bound=1, upper_bound=9, window_s=100.0)
+        e.on_contact(0, 1, 1.0)  # both promoted
+        # long silence: at t=500 node 2's window is empty, so meeting
+        # normal node 3 promotes it
+        e.on_contact(2, 3, 500.0)
+        assert e.is_broker(3)
+
+    def test_degree_is_windowed(self):
+        e = election(window_s=100.0)
+        e.on_contact(0, 1, 1.0)
+        e.on_contact(0, 2, 2.0)
+        assert e.degree_of(0) == 2
+        e.on_contact(0, 3, 200.0)  # first two meetings now outside W
+        assert e.degree_of(0) == 1 + 0 + 1 or e.degree_of(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            election(lower_bound=-1)
+        with pytest.raises(ValueError):
+            election(lower_bound=5, upper_bound=2)
+        with pytest.raises(ValueError):
+            election(window_s=0)
+
+
+class TestFractions:
+    def test_broker_fraction(self):
+        e = election(initial_brokers=[0, 1])
+        assert e.broker_fraction() == 0.2
+
+    def test_election_stabilises_on_synthetic_trace(self):
+        """On a realistic trace the 3/5 thresholds should keep a
+        moderate broker share (the paper reports ≈30 %)."""
+        from repro.traces.synthetic import haggle_like
+
+        trace = haggle_like(scale=0.05, seed=3)
+        e = BrokerElection(
+            trace.nodes, lower_bound=3, upper_bound=5, window_s=FIVE_HOURS_S
+        )
+        for contact in trace:
+            e.on_contact(contact.a, contact.b, contact.start)
+        assert 0.10 <= e.broker_fraction() <= 0.60
+
+
+class TestStaticBrokerSet:
+    def test_fixed_assignment(self):
+        s = StaticBrokerSet(range(5), brokers=[1, 2])
+        assert s.is_broker(1) and not s.is_broker(0)
+        assert s.broker_fraction() == 0.4
+        s.on_contact(0, 1, 5.0)  # no-op
+        assert s.brokers() == {1, 2}
+
+    def test_top_fraction(self):
+        centrality = {0: 5.0, 1: 3.0, 2: 1.0, 3: 0.5}
+        s = StaticBrokerSet.top_fraction(centrality, 0.5)
+        assert s.brokers() == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="outside population"):
+            StaticBrokerSet(range(3), brokers=[7])
+        with pytest.raises(ValueError):
+            StaticBrokerSet.top_fraction({0: 1.0}, 0.0)

@@ -1,0 +1,64 @@
+"""Tests for pub-sub messages."""
+
+import pytest
+
+from repro.pubsub.messages import DEFAULT_COPY_LIMIT, MAX_MESSAGE_BYTES, Message
+
+
+class TestCreate:
+    def test_single_key_shortcut(self):
+        m = Message.create("NewMoon", source=3, created_at=10.0, ttl_s=60.0)
+        assert m.keys == frozenset({"NewMoon"})
+        assert m.key == "NewMoon"
+
+    def test_multi_key(self):
+        m = Message.create(["a", "b"], source=0, created_at=0.0, ttl_s=1.0)
+        assert m.keys == frozenset({"a", "b"})
+        with pytest.raises(ValueError, match="keys"):
+            m.key
+
+    def test_unique_ids(self):
+        a = Message.create("k", 0, 0.0, 1.0)
+        b = Message.create("k", 0, 0.0, 1.0)
+        assert a.id != b.id
+
+    def test_paper_constants(self):
+        assert MAX_MESSAGE_BYTES == 140
+        assert DEFAULT_COPY_LIMIT == 3
+
+    def test_rejects_empty_keys(self):
+        with pytest.raises(ValueError):
+            Message.create([], 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Message.create([""], 0, 0.0, 1.0)
+
+    def test_rejects_bad_ttl_and_size(self):
+        with pytest.raises(ValueError):
+            Message.create("k", 0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Message.create("k", 0, 0.0, 1.0, size_bytes=0)
+
+    def test_default_size_is_twitter_limit(self):
+        assert Message.create("k", 0, 0.0, 1.0).size_bytes == 140
+
+
+class TestExpiry:
+    def test_expires_at(self):
+        m = Message.create("k", 0, created_at=100.0, ttl_s=60.0)
+        assert m.expires_at == 160.0
+
+    def test_expired(self):
+        m = Message.create("k", 0, created_at=100.0, ttl_s=60.0)
+        assert not m.expired(160.0)  # inclusive horizon
+        assert m.expired(160.1)
+
+    def test_matches(self):
+        m = Message.create("a", 0, 0.0, 1.0)
+        assert m.matches(frozenset({"a", "z"}))
+        assert not m.matches(frozenset({"z"}))
+        assert not m.matches(frozenset())
+
+    def test_immutable(self):
+        m = Message.create("k", 0, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            m.source = 5

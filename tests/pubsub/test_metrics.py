@@ -1,0 +1,144 @@
+"""Tests for the evaluation metrics (paper Sec. VII definitions)."""
+
+import math
+
+import pytest
+
+from repro.pubsub.messages import Message
+from repro.pubsub.metrics import MetricsCollector
+
+
+@pytest.fixture
+def interests():
+    return {
+        0: frozenset({"a"}),
+        1: frozenset({"a"}),
+        2: frozenset({"b"}),
+        3: frozenset({"c"}),
+    }
+
+
+@pytest.fixture
+def collector(interests):
+    return MetricsCollector(interests, "test-protocol")
+
+
+def msg(key="a", source=3, created_at=0.0, ttl=1000.0):
+    return Message.create(key, source, created_at, ttl)
+
+
+class TestRegistration:
+    def test_intended_recipients_exclude_source(self, collector):
+        m = msg(key="a", source=0)  # node 0 also likes "a"
+        collector.register_message(m)
+        assert collector.num_intended_pairs == 1  # only node 1
+
+    def test_double_registration_rejected(self, collector):
+        m = msg()
+        collector.register_message(m)
+        with pytest.raises(ValueError, match="twice"):
+            collector.register_message(m)
+
+    def test_message_with_no_consumers(self, collector):
+        m = msg(key="unwanted")
+        collector.register_message(m)
+        assert collector.num_intended_pairs == 0
+
+
+class TestDeliveries:
+    def test_intended_delivery(self, collector):
+        m = msg(key="a", created_at=10.0)
+        collector.register_message(m)
+        assert collector.record_delivery(m, node=0, now=70.0)
+        summary = collector.summary()
+        assert summary.num_intended_deliveries == 1
+        assert summary.mean_delay_s == 60.0
+
+    def test_false_delivery(self, collector):
+        m = msg(key="a")
+        collector.register_message(m)
+        collector.record_delivery(m, node=2, now=5.0)  # node 2 wants "b"
+        summary = collector.summary()
+        assert summary.num_false_deliveries == 1
+        assert summary.false_positive_ratio == 1.0
+
+    def test_duplicate_delivery_ignored(self, collector):
+        m = msg(key="a")
+        collector.register_message(m)
+        assert collector.record_delivery(m, 0, 1.0)
+        assert not collector.record_delivery(m, 0, 2.0)
+        assert collector.summary().num_deliveries == 1
+
+    def test_unregistered_message_rejected(self, collector):
+        with pytest.raises(ValueError, match="never registered"):
+            collector.record_delivery(msg(), 0, 1.0)
+
+    def test_was_delivered_to(self, collector):
+        m = msg(key="a")
+        collector.register_message(m)
+        collector.record_delivery(m, 0, 1.0)
+        assert collector.was_delivered_to(m, 0)
+        assert not collector.was_delivered_to(m, 1)
+
+
+class TestSummary:
+    def test_delivery_ratio_over_pairs(self, collector):
+        m1, m2 = msg(key="a"), msg(key="a")
+        collector.register_message(m1)  # 2 intended pairs each
+        collector.register_message(m2)
+        collector.record_delivery(m1, 0, 1.0)
+        summary = collector.summary()
+        assert summary.num_intended_pairs == 4
+        assert summary.delivery_ratio == 0.25
+
+    def test_forwardings_per_delivered(self, collector):
+        m = msg(key="a")
+        collector.register_message(m)
+        collector.record_forwarding(m)
+        collector.record_forwarding(m, count=4)
+        collector.record_delivery(m, 0, 1.0)
+        assert collector.summary().forwardings_per_delivered == 5.0
+
+    def test_delay_statistics(self, collector):
+        m1 = msg(key="a", created_at=0.0)
+        m2 = msg(key="a", created_at=0.0)
+        for m in (m1, m2):
+            collector.register_message(m)
+        collector.record_delivery(m1, 0, 10.0)
+        collector.record_delivery(m1, 1, 20.0)
+        collector.record_delivery(m2, 0, 90.0)
+        summary = collector.summary()
+        assert summary.mean_delay_s == 40.0
+        assert summary.median_delay_s == 20.0
+        assert summary.mean_delay_min == pytest.approx(40.0 / 60.0)
+
+    def test_false_deliveries_excluded_from_delay(self, collector):
+        m = msg(key="a", created_at=0.0)
+        collector.register_message(m)
+        collector.record_delivery(m, 2, 500.0)  # false
+        collector.record_delivery(m, 0, 10.0)  # intended
+        assert collector.summary().mean_delay_s == 10.0
+
+    def test_empty_run(self, collector):
+        summary = collector.summary()
+        assert math.isnan(summary.delivery_ratio)
+        assert math.isnan(summary.mean_delay_s)
+        assert summary.false_positive_ratio == 0.0
+        assert summary.num_messages == 0
+
+    def test_fpr_mixes_true_and_false(self, collector):
+        m = msg(key="a")
+        collector.register_message(m)
+        collector.record_delivery(m, 0, 1.0)
+        collector.record_delivery(m, 1, 1.0)
+        collector.record_delivery(m, 2, 1.0)  # false
+        assert collector.summary().false_positive_ratio == pytest.approx(1 / 3)
+
+    def test_protocol_name_carried(self, collector):
+        assert collector.summary().protocol == "test-protocol"
+
+    def test_negative_forwarding_count_rejected(self, collector):
+        m = msg()
+        collector.register_message(m)
+        with pytest.raises(ValueError):
+            collector.record_forwarding(m, count=-1)

@@ -1,0 +1,164 @@
+"""Tests for per-node B-SUB state."""
+
+import pytest
+
+from repro.pubsub.messages import Message
+from repro.pubsub.node import BsubNodeState, KeyedBuffer
+
+
+def msg(key="a", source=0, created_at=0.0, ttl=100.0):
+    return Message.create(key, source, created_at, ttl)
+
+
+def node(family, interests=("a",), copy_limit=3, decay=0.0):
+    return BsubNodeState(
+        node_id=0,
+        interests=frozenset(interests),
+        family=family,
+        initial_value=50.0,
+        decay_factor=decay,
+        copy_limit=copy_limit,
+    )
+
+
+class TestKeyedBuffer:
+    def test_add_and_lookup(self):
+        buf = KeyedBuffer()
+        m = msg("a")
+        buf.add(m)
+        assert m.id in buf
+        assert len(buf) == 1
+        assert buf.ids_for("a") == (m.id,)
+
+    def test_add_idempotent(self):
+        buf = KeyedBuffer()
+        m = msg("a")
+        buf.add(m)
+        buf.add(m)
+        assert len(buf) == 1
+
+    def test_remove_cleans_index(self):
+        buf = KeyedBuffer()
+        m = msg("a")
+        buf.add(m)
+        assert buf.remove(m.id)
+        assert buf.ids_for("a") == ()
+        assert list(buf.keys()) == []
+        assert not buf.remove(m.id)
+
+    def test_multi_key_indexed_under_each(self):
+        buf = KeyedBuffer()
+        m = Message.create(["a", "b"], 0, 0.0, 100.0)
+        buf.add(m)
+        assert buf.ids_for("a") == (m.id,)
+        assert buf.ids_for("b") == (m.id,)
+        buf.remove(m.id)
+        assert buf.ids_for("b") == ()
+
+    def test_ids_sorted(self):
+        buf = KeyedBuffer()
+        messages = [msg("a") for _ in range(5)]
+        for m in reversed(messages):
+            buf.add(m)
+        assert buf.ids_for("a") == tuple(sorted(m.id for m in messages))
+
+    def test_iter(self):
+        buf = KeyedBuffer()
+        m1, m2 = msg("a"), msg("b")
+        buf.add(m1)
+        buf.add(m2)
+        assert {m.id for m in buf} == {m1.id, m2.id}
+
+
+class TestNodeState:
+    def test_genuine_filter_holds_interests(self, family):
+        state = node(family, interests=("a", "b"))
+        assert "a" in state.genuine
+        assert "b" in state.genuine
+        assert set(state.genuine_bloom.set_bits) == set(state.genuine)
+
+    def test_produce_and_copies(self, family):
+        state = node(family, copy_limit=2)
+        m = msg()
+        state.produce(m)
+        assert state.has(m.id)
+        assert state.copies_left[m.id] == 2
+
+    def test_consume_copy_until_removal(self, family):
+        state = node(family, copy_limit=2)
+        m = msg()
+        state.produce(m)
+        state.consume_copy(m.id)
+        assert m.id in state.own
+        state.consume_copy(m.id)
+        assert m.id not in state.own
+        assert m.id not in state.copies_left
+
+    def test_carry_and_drop(self, family):
+        state = node(family)
+        m = msg()
+        state.carry(m)
+        assert state.has(m.id)
+        state.drop_carried(m.id)
+        assert not state.has(m.id)
+
+    def test_received_counts_as_has(self, family):
+        state = node(family)
+        m = msg()
+        state.mark_received(m.id)
+        assert state.has(m.id)
+
+    def test_purge_expired(self, family):
+        state = node(family)
+        fresh = msg(created_at=0.0, ttl=1000.0)
+        stale = msg(created_at=0.0, ttl=10.0)
+        state.produce(stale)
+        state.carry(fresh)
+        dropped = state.purge_expired(now=50.0)
+        assert dropped == 1
+        assert stale.id not in state.own
+        # 'has' stays true: a producer never re-accepts its own message
+        assert state.has(stale.id)
+        assert state.has(fresh.id)
+
+    def test_purge_is_idempotent(self, family):
+        state = node(family)
+        m = msg(ttl=10.0)
+        state.produce(m)
+        state.purge_expired(50.0)
+        assert state.purge_expired(60.0) == 0
+
+    def test_buffered_messages_and_keys(self, family):
+        state = node(family)
+        own = msg("a")
+        carried = msg("b")
+        state.produce(own)
+        state.carry(carried)
+        assert {m.id for m in state.buffered_messages()} == {own.id, carried.id}
+        assert state.buffered_keys() == {"a", "b"}
+
+    def test_interested_in_exact_matching(self, family):
+        state = node(family, interests=("a",))
+        assert state.interested_in(msg("a"))
+        assert not state.interested_in(msg("z"))
+
+    def test_relay_filter_decays(self, family):
+        from repro.core.tcbf import TemporalCountingBloomFilter
+
+        state = node(family, decay=1.0)
+        announcement = TemporalCountingBloomFilter.of(
+            ["x"], family=family, initial_value=10
+        )
+        state.relay.a_merge(announcement)
+        assert "x" in state.relay
+        state.relay.advance(11.0)
+        assert "x" not in state.relay
+
+    def test_genuine_filter_never_decays(self, family):
+        state = node(family, interests=("a",), decay=1.0)
+        state.genuine.advance(10_000.0)
+        assert "a" in state.genuine
+
+    def test_copy_limit_validation(self, family):
+        with pytest.raises(ValueError):
+            node(family, copy_limit=-1)

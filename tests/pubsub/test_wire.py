@@ -1,0 +1,218 @@
+"""Tests for the wire protocol frames."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import TemporalCountingBloomFilter
+from repro.pubsub.messages import Message
+from repro.pubsub.wire import (
+    FilterRequest,
+    Hello,
+    InterestAnnouncement,
+    MessageBundle,
+    RelayFilter,
+    decode_frames,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+
+
+def roundtrip(frames, family, initial_value=50.0):
+    blob = b"".join(encode_frame(f) for f in frames)
+    return decode_frames(blob, family, initial_value)
+
+
+class TestMessageCodec:
+    def test_roundtrip_default_payload(self):
+        m = Message.create("NewMoon", source=3, created_at=12.5, ttl_s=600.0,
+                           size_bytes=42)
+        data = encode_message(m)
+        decoded, payload, offset = decode_message(data)
+        assert decoded == m
+        assert payload == bytes(42)
+        assert offset == len(data)
+
+    def test_roundtrip_real_payload(self):
+        m = Message.create("k", 0, 0.0, 10.0, size_bytes=5)
+        data = encode_message(m, b"hello")
+        _, payload, _ = decode_message(data)
+        assert payload == b"hello"
+
+    def test_multi_key_roundtrip(self):
+        m = Message.create(["alpha", "beta"], 0, 1.0, 10.0, size_bytes=3)
+        decoded, _, _ = decode_message(encode_message(m))
+        assert decoded.keys == frozenset({"alpha", "beta"})
+
+    def test_payload_size_mismatch_rejected(self):
+        m = Message.create("k", 0, 0.0, 10.0, size_bytes=5)
+        with pytest.raises(ValueError, match="payload"):
+            encode_message(m, b"toolongpayload")
+
+    def test_id_preserved_not_reallocated(self):
+        m = Message.create("k", 0, 0.0, 10.0)
+        decoded, _, _ = decode_message(encode_message(m))
+        assert decoded.id == m.id
+
+    def test_truncated_payload_rejected(self):
+        m = Message.create("k", 0, 0.0, 10.0, size_bytes=100)
+        data = encode_message(m)[:-10]
+        with pytest.raises(ValueError, match="truncated"):
+            decode_message(data)
+
+    def test_unicode_keys(self):
+        m = Message.create("日本語トレンド", 0, 0.0, 10.0, size_bytes=1)
+        decoded, _, _ = decode_message(encode_message(m))
+        assert decoded.keys == m.keys
+
+
+class TestFrames:
+    def test_hello_roundtrip(self, family):
+        frames = roundtrip([Hello(7, True, 42, 123.5)], family)
+        assert frames == [Hello(7, True, 42, 123.5)]
+
+    def test_interest_announcement_roundtrip(self, family):
+        genuine = TemporalCountingBloomFilter.of(
+            ["NewMoon", "Phillies"], family=family, initial_value=50
+        )
+        (frame,) = roundtrip([InterestAnnouncement(genuine)], family)
+        assert isinstance(frame, InterestAnnouncement)
+        assert "NewMoon" in frame.filter
+        assert frame.filter.min_counter("NewMoon") == pytest.approx(50, rel=0.01)
+
+    def test_relay_filter_roundtrip_preserves_counters(self, family):
+        relay = TemporalCountingBloomFilter(family=family, initial_value=50)
+        relay.a_merge(
+            TemporalCountingBloomFilter.of(["a"], family=family, initial_value=50)
+        )
+        relay.a_merge(
+            TemporalCountingBloomFilter.of(["a"], family=family, initial_value=50)
+        )
+        (frame,) = roundtrip([RelayFilter(relay)], family)
+        assert frame.filter.min_counter("a") == pytest.approx(100, rel=0.05)
+
+    def test_filter_request_roundtrip(self, family):
+        bf = BloomFilter.of(["x", "y"], family=family)
+        (frame,) = roundtrip([FilterRequest(bf)], family)
+        assert frame.filter == bf
+
+    def test_message_bundle_roundtrip(self, family):
+        messages = tuple(
+            Message.create(f"key-{i}", i, float(i), 100.0, size_bytes=10)
+            for i in range(3)
+        )
+        bundle = MessageBundle(messages, tuple(bytes(10) for _ in range(3)))
+        (frame,) = roundtrip([bundle], family)
+        assert frame == bundle
+
+    def test_bundle_length_mismatch_rejected(self):
+        m = Message.create("k", 0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            MessageBundle((m,), ())
+
+    def test_full_contact_transcript(self, family):
+        """A realistic contact: hello, announcement, request, bundle."""
+        genuine = TemporalCountingBloomFilter.of(
+            ["NewMoon"], family=family, initial_value=50
+        )
+        request = FilterRequest(genuine.to_bloom())
+        m = Message.create("NewMoon", 1, 5.0, 600.0, size_bytes=140)
+        frames = [
+            Hello(1, False, 12, 100.0),
+            Hello(2, True, 30, 100.0),
+            InterestAnnouncement(genuine),
+            request,
+            MessageBundle((m,), (bytes(140),)),
+        ]
+        decoded = roundtrip(frames, family)
+        assert [type(f) for f in decoded] == [type(f) for f in frames]
+
+    def test_truncated_transcript_drops_partial_frame(self, family):
+        frames = [Hello(1, False, 3, 0.0), Hello(2, True, 5, 0.0)]
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoded = decode_frames(blob[:-4], family, 50.0)  # cut mid-frame
+        assert decoded == [Hello(1, False, 3, 0.0)]
+
+    def test_unknown_frame_type_rejected(self, family):
+        blob = bytes([0xEE]) + (4).to_bytes(4, "little") + b"\x00" * 4
+        with pytest.raises(ValueError, match="unknown frame"):
+            decode_frames(blob, family, 50.0)
+
+    def test_not_a_frame_rejected(self):
+        with pytest.raises(TypeError, match="not a wire frame"):
+            encode_frame("hello")
+
+
+class TestSizeConsistency:
+    """The byte sizes the simulator charges must match real encodings."""
+
+    def test_interest_announcement_size_matches_charge(self, family):
+        from repro.core.analysis import filter_memory_bytes
+        from repro.pubsub.protocol import _FILTER_HEADER_BYTES
+
+        genuine = TemporalCountingBloomFilter.of(
+            [f"key-{i}" for i in range(5)], family=family, initial_value=50
+        )
+        real = len(encode_frame(InterestAnnouncement(genuine)))
+        charged = _FILTER_HEADER_BYTES + filter_memory_bytes(
+            len(genuine), 256, counters="identical"
+        )
+        assert abs(real - charged) <= 6  # frame header vs modelled header
+
+    def test_relay_filter_size_matches_charge(self, family):
+        from repro.core.analysis import filter_memory_bytes
+        from repro.pubsub.protocol import _FILTER_HEADER_BYTES
+
+        relay = TemporalCountingBloomFilter(family=family, initial_value=50)
+        relay.a_merge(
+            TemporalCountingBloomFilter.of(
+                [f"k{i}" for i in range(12)], family=family, initial_value=50
+            )
+        )
+        real = len(encode_frame(RelayFilter(relay)))
+        charged = _FILTER_HEADER_BYTES + filter_memory_bytes(
+            len(relay), 256, counters="full"
+        )
+        assert abs(real - charged) <= 6
+
+    def test_message_size_dominated_by_payload(self):
+        m = Message.create("NewMoon", 0, 0.0, 600.0, size_bytes=140)
+        overhead = len(encode_message(m)) - 140
+        assert overhead < 50  # header + key string
+
+
+@given(
+    node=st.integers(0, 2**31 - 1),
+    broker=st.booleans(),
+    degree=st.integers(0, 2**31 - 1),
+    time=st.floats(0, 1e9),
+)
+@settings(max_examples=50)
+def test_property_hello_roundtrip(node, broker, degree, time):
+    fam = HashFamily(4, 256, seed=1)
+    blob = encode_frame(Hello(node, broker, degree, time))
+    (decoded,) = decode_frames(blob, fam, 50.0)
+    assert decoded == Hello(node, broker, degree, time)
+
+
+@given(
+    keys=st.sets(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)),
+            min_size=1,
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    size=st.integers(1, 140),
+)
+@settings(max_examples=50)
+def test_property_message_roundtrip(keys, size):
+    m = Message.create(keys, source=1, created_at=2.0, ttl_s=60.0, size_bytes=size)
+    decoded, payload, _ = decode_message(encode_message(m))
+    assert decoded == m
+    assert len(payload) == size

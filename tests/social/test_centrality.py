@@ -1,0 +1,67 @@
+"""Tests for centrality measures."""
+
+import pytest
+
+from repro.social.centrality import (
+    contact_time_centrality,
+    degree_centrality,
+    meeting_centrality,
+    normalised,
+)
+from repro.social.graph import ContactGraph
+
+from ..conftest import make_trace
+
+
+@pytest.fixture
+def star_trace():
+    """Node 0 meets everyone; leaves meet only node 0."""
+    return make_trace(
+        [(i * 10.0, 5.0, 0, i) for i in range(1, 5)]
+        + [(100.0, 5.0, 0, 1)],  # extra meeting with node 1
+        nodes=range(5),
+    )
+
+
+class TestDegreeCentrality:
+    def test_hub_has_highest_degree(self, star_trace):
+        centrality = degree_centrality(star_trace)
+        assert centrality[0] == 4.0
+        assert all(centrality[i] == 1.0 for i in range(1, 5))
+
+    def test_accepts_graph_or_trace(self, star_trace):
+        from_trace = degree_centrality(star_trace)
+        from_graph = degree_centrality(ContactGraph.from_trace(star_trace))
+        assert from_trace == from_graph
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            degree_centrality([1, 2, 3])
+
+    def test_isolated_node_zero(self):
+        trace = make_trace([(0.0, 1.0, 0, 1)], nodes=range(3))
+        assert degree_centrality(trace)[2] == 0.0
+
+
+class TestOtherCentralities:
+    def test_meeting_centrality_counts_repeats(self, star_trace):
+        centrality = meeting_centrality(star_trace)
+        assert centrality[0] == 5.0
+        assert centrality[1] == 2.0
+
+    def test_contact_time_centrality(self):
+        trace = make_trace([(0.0, 10.0, 0, 1), (20.0, 30.0, 0, 2)])
+        centrality = contact_time_centrality(trace)
+        assert centrality[0] == 40.0
+        assert centrality[1] == 10.0
+        assert centrality[2] == 30.0
+
+
+class TestNormalised:
+    def test_peak_is_one(self, star_trace):
+        norm = normalised(degree_centrality(star_trace))
+        assert max(norm.values()) == 1.0
+        assert norm[1] == 0.25
+
+    def test_all_zero_passes_through(self):
+        assert normalised({0: 0.0, 1: 0.0}) == {0: 0.0, 1: 0.0}

@@ -1,0 +1,96 @@
+"""Tests for community detection."""
+
+import pytest
+
+from repro.social.communities import community_sets, label_propagation, modularity
+from repro.social.graph import ContactGraph
+
+from ..conftest import make_trace
+
+
+def two_cliques_trace():
+    """Two internally dense groups joined by a single weak edge."""
+    contacts = []
+    t = 0.0
+    for group in ([0, 1, 2, 3], [4, 5, 6, 7]):
+        for i in group:
+            for j in group:
+                if i < j:
+                    for _ in range(5):  # strong intra ties
+                        contacts.append((t, 10.0, i, j))
+                        t += 1.0
+    contacts.append((t, 10.0, 3, 4))  # weak bridge
+    return make_trace(contacts)
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        labels = label_propagation(graph, seed=1)
+        groups = community_sets(labels)
+        assert len(groups) == 2
+        assert {frozenset(g) for g in groups} == {
+            frozenset({0, 1, 2, 3}),
+            frozenset({4, 5, 6, 7}),
+        }
+
+    def test_labels_dense_from_zero(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        labels = label_propagation(graph, seed=1)
+        assert set(labels.values()) == set(range(len(set(labels.values()))))
+
+    def test_deterministic_per_seed(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        assert label_propagation(graph, seed=3) == label_propagation(graph, seed=3)
+
+    def test_isolated_node_keeps_own_label(self):
+        trace = make_trace([(0.0, 1.0, 0, 1)], nodes=range(3))
+        labels = label_propagation(ContactGraph.from_trace(trace))
+        assert labels[2] not in {labels[0]}
+
+    def test_invalid_weight(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        with pytest.raises(ValueError):
+            label_propagation(graph, weight="hops")
+
+    def test_duration_weighting_supported(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        labels = label_propagation(graph, weight="duration", seed=1)
+        assert len(community_sets(labels)) == 2
+
+
+class TestModularity:
+    def test_good_partition_positive(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        labels = {n: 0 if n < 4 else 1 for n in graph.nodes}
+        assert modularity(graph, labels) > 0.3
+
+    def test_single_community_zero_or_negative(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        labels = {n: 0 for n in graph.nodes}
+        assert modularity(graph, labels) <= 0.0 + 1e-9
+
+    def test_detected_partition_beats_trivial(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        detected = label_propagation(graph, seed=1)
+        trivial = {n: 0 for n in graph.nodes}
+        assert modularity(graph, detected) > modularity(graph, trivial)
+
+    def test_synthetic_traces_have_community_structure(self):
+        """The generator's claim: community structure is real."""
+        from repro.traces.synthetic import generate_trace
+        from tests.traces.test_synthetic import small_config
+
+        trace = generate_trace(
+            small_config(
+                num_nodes=30, target_contacts=3000, intra_community_boost=8.0
+            )
+        )
+        graph = ContactGraph.from_trace(trace)
+        labels = label_propagation(graph, seed=0)
+        assert modularity(graph, labels) > 0.05
+
+    def test_invalid_weight(self):
+        graph = ContactGraph.from_trace(two_cliques_trace())
+        with pytest.raises(ValueError):
+            modularity(graph, {n: 0 for n in graph.nodes}, weight="hops")

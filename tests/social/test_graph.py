@@ -1,0 +1,61 @@
+"""Tests for the contact graph."""
+
+import pytest
+
+from repro.social.graph import ContactGraph
+
+from ..conftest import make_trace
+
+
+@pytest.fixture
+def graph(line_trace):
+    return ContactGraph.from_trace(line_trace)
+
+
+class TestConstruction:
+    def test_nodes_preserved(self, graph, line_trace):
+        assert graph.nodes == line_trace.nodes
+
+    def test_edges_undirected(self, graph):
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+
+    def test_edge_count(self, graph):
+        assert graph.num_edges() == 3
+
+    def test_degree_counts_distinct_peers(self, graph):
+        assert graph.degree(1) == 2
+        assert graph.degree(3) == 1
+
+    def test_edge_stats_aggregate(self):
+        trace = make_trace(
+            [(0.0, 10.0, 0, 1), (100.0, 20.0, 0, 1), (200.0, 5.0, 1, 2)]
+        )
+        graph = ContactGraph.from_trace(trace)
+        edge = graph.edge(0, 1)
+        assert edge.meetings == 2
+        assert edge.total_duration_s == 30.0
+        assert edge.first_meeting == 0.0
+        assert edge.last_meeting == 100.0
+
+    def test_edge_missing_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.edge(0, 3)
+
+    def test_meeting_counts(self):
+        trace = make_trace([(0.0, 1.0, 0, 1), (5.0, 1.0, 0, 1), (9.0, 1.0, 0, 2)])
+        graph = ContactGraph.from_trace(trace)
+        assert graph.meeting_counts(0) == {1: 2, 2: 1}
+
+    def test_neighbours(self, graph):
+        assert graph.neighbours(1) == {0, 2}
+
+    def test_edges_iterator_canonical_order(self, graph):
+        for a, b, _ in graph.edges():
+            assert a < b
+
+    def test_to_networkx(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.edges[0, 1]["meetings"] == 1

@@ -1,0 +1,109 @@
+"""Tests for the contact-trace model."""
+
+import pytest
+
+from repro.traces.model import Contact, ContactTrace
+
+from ..conftest import make_trace
+
+
+class TestContact:
+    def test_make_canonicalises_pair(self):
+        c = Contact.make(10.0, 5.0, 7, 2)
+        assert (c.a, c.b) == (2, 7)
+        assert c.pair == (2, 7)
+
+    def test_end_time(self):
+        assert Contact.make(10.0, 5.0, 0, 1).end == 15.0
+
+    def test_rejects_self_contact(self):
+        with pytest.raises(ValueError, match="differ"):
+            Contact.make(0.0, 1.0, 3, 3)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            Contact.make(0.0, 0.0, 0, 1)
+
+    def test_involves_and_peer_of(self):
+        c = Contact.make(0.0, 1.0, 2, 5)
+        assert c.involves(2) and c.involves(5) and not c.involves(3)
+        assert c.peer_of(2) == 5
+        assert c.peer_of(5) == 2
+        with pytest.raises(ValueError):
+            c.peer_of(9)
+
+    def test_ordering_by_start(self):
+        early = Contact.make(1.0, 1.0, 0, 1)
+        late = Contact.make(2.0, 1.0, 0, 1)
+        assert early < late
+
+
+class TestContactTrace:
+    def test_sorts_contacts(self):
+        trace = make_trace([(300.0, 1.0, 0, 1), (100.0, 1.0, 1, 2)])
+        starts = [c.start for c in trace]
+        assert starts == sorted(starts)
+
+    def test_nodes_inferred_from_contacts(self):
+        trace = make_trace([(0.0, 1.0, 3, 7)])
+        assert trace.nodes == (3, 7)
+
+    def test_explicit_population_can_be_wider(self):
+        trace = make_trace([(0.0, 1.0, 0, 1)], nodes=range(5))
+        assert trace.num_nodes == 5
+
+    def test_population_must_cover_contacts(self):
+        with pytest.raises(ValueError, match="outside the population"):
+            make_trace([(0.0, 1.0, 0, 9)], nodes=range(3))
+
+    def test_duration_and_times(self, line_trace):
+        assert line_trace.start_time == 100.0
+        assert line_trace.end_time == 560.0
+        assert line_trace.duration == 460.0
+
+    def test_empty_trace(self):
+        trace = ContactTrace([], nodes=range(2))
+        assert trace.duration == 0.0
+        assert trace.num_contacts == 0
+
+    def test_slice_half_open(self, line_trace):
+        sliced = line_trace.slice(100.0, 500.0)
+        assert sliced.num_contacts == 2
+        assert sliced.nodes == line_trace.nodes  # population preserved
+
+    def test_slice_invalid(self, line_trace):
+        with pytest.raises(ValueError):
+            line_trace.slice(10.0, 5.0)
+
+    def test_first_days(self):
+        day = 86_400.0
+        trace = make_trace(
+            [(0.0, 1.0, 0, 1), (2 * day, 1.0, 0, 1), (5 * day, 1.0, 0, 1)]
+        )
+        assert trace.first_days(3).num_contacts == 2
+
+    def test_shifted_and_normalised(self, line_trace):
+        normalised = line_trace.normalised()
+        assert normalised.start_time == 0.0
+        assert normalised.num_contacts == line_trace.num_contacts
+        assert normalised.duration == line_trace.duration
+
+    def test_contacts_of_and_neighbours(self, line_trace):
+        assert len(line_trace.contacts_of(1)) == 2
+        assert line_trace.neighbours(1) == {0, 2}
+        assert line_trace.neighbours(3) == {2}
+
+    def test_pair_contact_counts(self):
+        trace = make_trace(
+            [(0.0, 1.0, 0, 1), (10.0, 1.0, 1, 0), (20.0, 1.0, 1, 2)]
+        )
+        counts = trace.pair_contact_counts()
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1
+
+    def test_len_and_iter(self, line_trace):
+        assert len(line_trace) == 3
+        assert all(isinstance(c, Contact) for c in line_trace)
+
+    def test_repr(self, line_trace):
+        assert "nodes=4" in repr(line_trace)

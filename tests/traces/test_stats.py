@@ -1,0 +1,71 @@
+"""Tests for trace statistics (Table I support)."""
+
+import math
+
+import pytest
+
+from repro.traces.model import ContactTrace
+from repro.traces.stats import compute_stats, inter_contact_times
+
+from ..conftest import make_trace
+
+
+class TestComputeStats:
+    def test_basic_counts(self, line_trace):
+        stats = compute_stats(line_trace)
+        assert stats.num_nodes == 4
+        assert stats.num_contacts == 3
+        assert stats.duration_days == pytest.approx(460.0 / 86_400.0)
+
+    def test_mean_contact_duration(self):
+        trace = make_trace([(0.0, 10.0, 0, 1), (100.0, 30.0, 1, 2)])
+        stats = compute_stats(trace)
+        assert stats.mean_contact_duration_s == 20.0
+        assert stats.median_contact_duration_s == 20.0
+
+    def test_degrees(self, line_trace):
+        stats = compute_stats(line_trace)
+        assert stats.max_degree == 2  # node 1 and node 2
+        assert stats.mean_degree == pytest.approx((1 + 2 + 2 + 1) / 4)
+
+    def test_empty_trace_gives_nans(self):
+        stats = compute_stats(ContactTrace([], nodes=range(2)))
+        assert math.isnan(stats.mean_contact_duration_s)
+        assert math.isnan(stats.contacts_per_day)
+
+    def test_as_table_row_has_table_i_columns(self, line_trace):
+        row = compute_stats(line_trace).as_table_row()
+        assert set(row) == {
+            "Data Set",
+            "Duration (days)",
+            "Number of nodes",
+            "Number of contacts",
+        }
+
+
+class TestInterContactTimes:
+    def test_per_pair_gaps(self):
+        trace = make_trace(
+            [(0.0, 1.0, 0, 1), (100.0, 1.0, 0, 1), (250.0, 1.0, 0, 1)]
+        )
+        assert sorted(inter_contact_times(trace)) == [100.0, 150.0]
+
+    def test_single_contact_pairs_contribute_nothing(self, line_trace):
+        assert inter_contact_times(line_trace) == []
+
+    def test_pools_over_pairs(self):
+        trace = make_trace(
+            [
+                (0.0, 1.0, 0, 1),
+                (50.0, 1.0, 0, 1),
+                (0.0, 1.0, 2, 3),
+                (80.0, 1.0, 2, 3),
+            ]
+        )
+        assert sorted(inter_contact_times(trace)) == [50.0, 80.0]
+
+    def test_stats_use_gaps(self):
+        trace = make_trace([(0.0, 1.0, 0, 1), (60.0, 1.0, 0, 1)])
+        stats = compute_stats(trace)
+        assert stats.mean_inter_contact_s == 60.0
+        assert stats.median_inter_contact_s == 60.0

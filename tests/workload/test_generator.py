@@ -1,0 +1,138 @@
+"""Tests for centrality-scaled message generation."""
+
+import pytest
+
+from repro.workload.generator import (
+    MIN_RATE_PER_SECOND,
+    WorkloadConfig,
+    generate_message_events,
+    message_rates,
+)
+from repro.workload.keys import twitter_trends_2009
+
+from ..conftest import make_trace
+
+
+def star_trace(leaves=6, meetings=4):
+    """Node 0 is the hub; each leaf meets only node 0."""
+    contacts = []
+    t = 0.0
+    for repeat in range(meetings):
+        for leaf in range(1, leaves + 1):
+            contacts.append((t, 30.0, 0, leaf))
+            t += 500.0
+    return make_trace(contacts, nodes=range(leaves + 1))
+
+
+class TestMessageRates:
+    def test_minimum_rate_for_least_central(self):
+        trace = star_trace()
+        rates = message_rates(trace, WorkloadConfig(ttl_s=3600))
+        leaf_rate = rates[1]
+        assert leaf_rate == pytest.approx(MIN_RATE_PER_SECOND)
+
+    def test_rate_proportional_to_centrality(self):
+        """Sec. VII-A: ℝ_v = ℝ̂ · ℂ_v / ℂ̂."""
+        trace = star_trace(leaves=6)
+        rates = message_rates(trace, WorkloadConfig(ttl_s=3600))
+        assert rates[0] == pytest.approx(6 * rates[1])
+
+    def test_zero_centrality_zero_rate(self):
+        trace = make_trace([(0.0, 1.0, 0, 1)], nodes=range(3))
+        rates = message_rates(trace, WorkloadConfig(ttl_s=3600))
+        assert rates[2] == 0.0
+
+    def test_custom_centrality_map(self):
+        trace = star_trace()
+        rates = message_rates(
+            trace, WorkloadConfig(ttl_s=3600), centrality={n: 1.0 for n in trace.nodes}
+        )
+        assert len(set(rates.values())) == 1
+
+    def test_papers_min_rate_constant(self):
+        assert MIN_RATE_PER_SECOND == pytest.approx(1 / 1800)
+
+
+class TestGenerateMessageEvents:
+    def test_deterministic(self):
+        trace = star_trace()
+        config = WorkloadConfig(ttl_s=3600, seed=9)
+        dist = twitter_trends_2009()
+        a = generate_message_events(trace, dist, config)
+        b = generate_message_events(trace, dist, config)
+        assert [(e.time, e.node) for e in a] == [(e.time, e.node) for e in b]
+        assert [sorted(e.message.keys) for e in a] == [
+            sorted(e.message.keys) for e in b
+        ]
+
+    def test_events_sorted_by_time(self):
+        events = generate_message_events(
+            star_trace(), twitter_trends_2009(), WorkloadConfig(ttl_s=3600)
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_messages_carry_config_ttl(self):
+        events = generate_message_events(
+            star_trace(), twitter_trends_2009(), WorkloadConfig(ttl_s=1234.0)
+        )
+        assert events and all(e.message.ttl_s == 1234.0 for e in events)
+
+    def test_sizes_within_twitter_limit(self):
+        events = generate_message_events(
+            star_trace(), twitter_trends_2009(), WorkloadConfig(ttl_s=3600)
+        )
+        assert all(1 <= e.message.size_bytes <= 140 for e in events)
+
+    def test_source_matches_event_node(self):
+        events = generate_message_events(
+            star_trace(), twitter_trends_2009(), WorkloadConfig(ttl_s=3600)
+        )
+        assert all(e.message.source == e.node for e in events)
+
+    def test_hub_generates_more(self):
+        trace = star_trace(leaves=6, meetings=8)
+        events = generate_message_events(
+            trace, twitter_trends_2009(), WorkloadConfig(ttl_s=3600, seed=2)
+        )
+        per_node = {n: 0 for n in trace.nodes}
+        for e in events:
+            per_node[e.node] += 1
+        leaves_mean = sum(per_node[i] for i in range(1, 7)) / 6
+        assert per_node[0] > 2 * leaves_mean
+
+    def test_generation_horizon(self):
+        trace = star_trace(leaves=6, meetings=8)
+        config = WorkloadConfig(ttl_s=3600, generation_horizon_fraction=0.5)
+        events = generate_message_events(trace, twitter_trends_2009(), config)
+        horizon = trace.start_time + 0.5 * trace.duration
+        assert all(e.time < horizon for e in events)
+
+    def test_multi_key_messages(self):
+        config = WorkloadConfig(ttl_s=3600, keys_per_message=3)
+        events = generate_message_events(
+            star_trace(), twitter_trends_2009(), config
+        )
+        assert events
+        assert all(1 <= len(e.message.keys) <= 3 for e in events)
+
+    def test_expected_volume(self):
+        """Total messages ≈ Σ_v rate_v × duration."""
+        trace = star_trace(leaves=6, meetings=10)
+        config = WorkloadConfig(ttl_s=3600, seed=11)
+        rates = message_rates(trace, config)
+        expected = sum(rates.values()) * trace.duration
+        events = generate_message_events(trace, twitter_trends_2009(), config)
+        assert len(events) == pytest.approx(expected, rel=0.25)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(ttl_s=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(ttl_s=1, min_rate_per_s=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(ttl_s=1, keys_per_message=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(ttl_s=1, generation_horizon_fraction=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(ttl_s=1, max_message_bytes=0)

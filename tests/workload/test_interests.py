@@ -1,0 +1,62 @@
+"""Tests for interest assignment."""
+
+import pytest
+
+from repro.workload.interests import assign_interests, consumers_of
+from repro.workload.keys import KeyDistribution, twitter_trends_2009
+
+
+class TestAssignInterests:
+    def test_one_interest_per_node_by_default(self):
+        interests = assign_interests(range(50), twitter_trends_2009(), seed=0)
+        assert len(interests) == 50
+        assert all(len(keys) == 1 for keys in interests.values())
+
+    def test_interests_drawn_from_distribution(self):
+        dist = twitter_trends_2009()
+        interests = assign_interests(range(100), dist, seed=1)
+        for keys in interests.values():
+            assert keys <= set(dist.keys)
+
+    def test_deterministic_per_seed(self):
+        dist = twitter_trends_2009()
+        assert assign_interests(range(30), dist, seed=5) == assign_interests(
+            range(30), dist, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        dist = twitter_trends_2009()
+        a = assign_interests(range(30), dist, seed=1)
+        b = assign_interests(range(30), dist, seed=2)
+        assert a != b
+
+    def test_weight_skew_visible_in_assignment(self):
+        """Heavier keys should be picked as interests more often."""
+        dist = twitter_trends_2009()
+        interests = assign_interests(range(5000), dist, seed=3)
+        top_key = dist.top(1)[0][0]
+        count = sum(1 for keys in interests.values() if top_key in keys)
+        assert count / 5000 == pytest.approx(0.132, abs=0.02)
+
+    def test_multiple_interests_distinct(self):
+        dist = twitter_trends_2009()
+        interests = assign_interests(
+            range(50), dist, seed=4, interests_per_node=3
+        )
+        assert all(len(keys) == 3 for keys in interests.values())
+
+    def test_too_many_interests_rejected(self):
+        dist = KeyDistribution.uniform(["a", "b"])
+        with pytest.raises(ValueError, match="distinct"):
+            assign_interests(range(5), dist, interests_per_node=3)
+
+    def test_zero_interests_rejected(self):
+        with pytest.raises(ValueError):
+            assign_interests(range(5), twitter_trends_2009(), interests_per_node=0)
+
+
+class TestConsumersOf:
+    def test_finds_interested_nodes(self):
+        interests = {0: frozenset({"a"}), 1: frozenset({"b"}), 2: frozenset({"a"})}
+        assert consumers_of(interests, "a") == frozenset({0, 2})
+        assert consumers_of(interests, "c") == frozenset()

@@ -1,0 +1,94 @@
+"""Tests for the Table II key workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload.keys import TABLE_II_TOP4, KeyDistribution, twitter_trends_2009
+
+
+class TestTwitterTrends2009:
+    def test_exactly_38_keys(self):
+        assert len(twitter_trends_2009()) == 38
+
+    def test_table_ii_top4_weights_exact(self):
+        dist = twitter_trends_2009()
+        assert dist.top(4) == list(TABLE_II_TOP4)
+
+    def test_published_values(self):
+        published = dict(TABLE_II_TOP4)
+        assert published["NewMoon"] == 0.132
+        assert published["Twitter'sNew"] == 0.103
+        assert published["funnybutnotcool"] == 0.0887
+        assert published["openwebawards"] == 0.0739
+
+    def test_weights_sum_to_one(self):
+        assert sum(twitter_trends_2009().weights) == pytest.approx(1.0)
+
+    def test_weights_monotone_nonincreasing(self):
+        weights = twitter_trends_2009().weights
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_average_key_length_near_11_5_bytes(self):
+        """Sec. VII-A: 'The average length of the keys is 11.5 bytes.'"""
+        assert twitter_trends_2009().average_key_length() == pytest.approx(
+            11.5, abs=0.5
+        )
+
+    def test_unique_keys(self):
+        dist = twitter_trends_2009()
+        assert len(set(dist.keys)) == 38
+
+    def test_deterministic(self):
+        assert twitter_trends_2009().keys == twitter_trends_2009().keys
+
+
+class TestKeyDistribution:
+    def test_weight_of(self):
+        dist = twitter_trends_2009()
+        assert dist.weight_of("NewMoon") == 0.132
+        with pytest.raises(KeyError):
+            dist.weight_of("nope")
+
+    def test_sampling_respects_weights(self):
+        dist = twitter_trends_2009()
+        rng = np.random.default_rng(0)
+        draws = dist.sample_many(rng, 40_000)
+        frequency = draws.count("NewMoon") / len(draws)
+        assert frequency == pytest.approx(0.132, abs=0.01)
+
+    def test_sample_single(self):
+        dist = twitter_trends_2009()
+        rng = np.random.default_rng(0)
+        assert dist.sample(rng) in dist.keys
+
+    def test_uniform_constructor(self):
+        dist = KeyDistribution.uniform(["a", "b"])
+        assert dist.weights == (0.5, 0.5)
+
+    def test_from_weights_normalises(self):
+        dist = KeyDistribution.from_weights({"a": 2.0, "b": 6.0})
+        assert dist.weight_of("b") == pytest.approx(0.75)
+
+    def test_as_dict(self):
+        dist = KeyDistribution.uniform(["x", "y"])
+        assert dist.as_dict() == {"x": 0.5, "y": 0.5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            KeyDistribution(("a", "b"), (0.9, 0.3))
+        with pytest.raises(ValueError, match="unique"):
+            KeyDistribution(("a", "a"), (0.5, 0.5))
+        with pytest.raises(ValueError, match="positive"):
+            KeyDistribution(("a", "b"), (1.0, 0.0))
+        with pytest.raises(ValueError):
+            KeyDistribution(("a",), (0.5, 0.5))
+        with pytest.raises(ValueError):
+            KeyDistribution.uniform([])
+        with pytest.raises(ValueError):
+            KeyDistribution.from_weights({})
+
+    def test_top_orders_descending(self):
+        dist = twitter_trends_2009()
+        top = dist.top(10)
+        weights = [w for _, w in top]
+        assert weights == sorted(weights, reverse=True)

@@ -4,10 +4,20 @@ The paper's efficiency argument (Sec. V-A): "the operations performed
 are only hashing and table lookup" — insert, query, merge, and decay
 must all be cheap enough to run on every contact of a human network.
 These are real timed benchmarks (multiple rounds), not one-shot runs.
+
+The second half compares the ``dict`` and ``array`` counter backends
+on the batch operations at broker scale (m = 4096, thousands of keys)
+and writes the measurements to ``benchmarks/results/BENCH_tcbf.json``
+so CI and regressions can be checked mechanically.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.core.backends import BACKENDS
 from repro.core.bloom import BloomFilter
 from repro.core.hashing import HashFamily
 from repro.core.tcbf import TemporalCountingBloomFilter
@@ -89,3 +99,142 @@ def test_bench_decay_full_filter(benchmark, loaded_tcbf):
 def test_bench_bloom_query_baseline(benchmark):
     bf = BloomFilter.of(KEYS, family=FAMILY)
     benchmark(lambda: bf.query("NewMoon"))
+
+
+# ---------------------------------------------------------------------------
+# Backend comparison: dict vs array at broker scale
+# ---------------------------------------------------------------------------
+
+#: Broker-scale geometry for the backend comparison: a large filter
+#: (the Sec. VI-D collections grow towards this) and thousands of keys
+#: per batch call, which is where vectorization pays.
+BACKEND_M = 4096
+BACKEND_KEYS = [f"topic-{i}" for i in range(2000)]
+BACKEND_PROBES = [f"probe-{i}" for i in range(2000)]
+BACKEND_FAMILY = HashFamily(4, BACKEND_M, seed=17)
+
+#: Minimum array-over-dict speedup the batch kernels must sustain.
+REQUIRED_SPEEDUP = 5.0
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _loaded(backend: str) -> TemporalCountingBloomFilter:
+    tcbf = TemporalCountingBloomFilter(
+        family=BACKEND_FAMILY,
+        initial_value=50.0,
+        decay_factor=1.0,
+        backend=backend,
+    )
+    tcbf.insert_batch(BACKEND_KEYS)
+    return tcbf
+
+
+def _best_seconds(fn, rounds: int = 30) -> float:
+    """Minimum wall time over *rounds* calls (noise-resistant)."""
+    fn()  # warm-up (hash cache, allocator)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _backend_timings() -> dict:
+    """Time every batch kernel under both backends."""
+    filters = {b: _loaded(b) for b in BACKENDS}
+    operands = {b: _loaded(b) for b in BACKENDS}
+    # Pre-warm the shared hash cache so both backends see identical
+    # (cached) hashing costs and the comparison isolates the stores.
+    BACKEND_FAMILY.positions_batch(BACKEND_KEYS)
+    BACKEND_FAMILY.positions_batch(BACKEND_PROBES)
+
+    def ops(backend):
+        filt, operand = filters[backend], operands[backend]
+        return {
+            "query_batch": lambda: filt.query_batch(BACKEND_PROBES),
+            "min_counter_batch": lambda: filt.min_counter_batch(BACKEND_PROBES),
+            "preference_batch": lambda: filt.preference_batch(
+                BACKEND_PROBES, operand
+            ),
+            "decay": lambda: filt.copy().decay(1.0),
+            "a_merge": lambda: filt.copy().a_merge(operand),
+            "m_merge": lambda: filt.copy().m_merge(operand),
+            "insert_batch": lambda: TemporalCountingBloomFilter(
+                family=BACKEND_FAMILY, initial_value=50.0, backend=backend
+            ).insert_batch(BACKEND_KEYS),
+        }
+
+    return {
+        backend: {name: _best_seconds(fn) for name, fn in ops(backend).items()}
+        for backend in BACKENDS
+    }
+
+
+@pytest.fixture(scope="module")
+def backend_timings():
+    return _backend_timings()
+
+
+def test_bench_backend_comparison_json(backend_timings):
+    """Record dict-vs-array timings to BENCH_tcbf.json and enforce the
+    speedup floor on the batch query/merge/decay kernels."""
+    speedups = {
+        name: backend_timings["dict"][name] / backend_timings["array"][name]
+        for name in backend_timings["dict"]
+    }
+    report = {
+        "geometry": {
+            "num_bits": BACKEND_M,
+            "num_hashes": BACKEND_FAMILY.num_hashes,
+            "loaded_keys": len(BACKEND_KEYS),
+            "batch_size": len(BACKEND_PROBES),
+        },
+        "seconds": backend_timings,
+        "speedup_array_over_dict": speedups,
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_tcbf.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(report["speedup_array_over_dict"], indent=2, sort_keys=True))
+    for name in ("query_batch", "min_counter_batch", "decay", "a_merge", "m_merge"):
+        assert speedups[name] >= REQUIRED_SPEEDUP, (
+            f"{name}: array only {speedups[name]:.2f}x faster than dict "
+            f"(required {REQUIRED_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_query_batch_by_backend(benchmark, backend):
+    filt = _loaded(backend)
+    BACKEND_FAMILY.positions_batch(BACKEND_PROBES)
+    hits = benchmark(lambda: filt.query_batch(BACKEND_PROBES))
+    assert len(hits) == len(BACKEND_PROBES)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_decay_by_backend(benchmark, backend):
+    filt = _loaded(backend)
+
+    def decay():
+        target = filt.copy()
+        target.decay(1.0)
+        return target
+
+    benchmark(decay)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bench_m_merge_by_backend(benchmark, backend):
+    filt = _loaded(backend)
+    operand = _loaded(backend)
+
+    def merge():
+        target = filt.copy()
+        target.m_merge(operand)
+        return target
+
+    benchmark(merge)

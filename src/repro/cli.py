@@ -92,6 +92,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep grid: 1 = serial (default), "
+             "N = that many processes, 0 = one per CPU; results are "
+             "identical for any value",
+    )
+
+
 def _config(args, **overrides) -> ExperimentConfig:
     defaults = dict(min_rate_per_s=args.min_rate)
     defaults.update(overrides)
@@ -126,7 +135,9 @@ def _cmd_run(args) -> int:
 def _cmd_sweep_ttl(args) -> int:
     trace = resolve_trace(args.trace, args.scale, args.seed)
     ttls = args.ttl or list(PAPER_TTL_VALUES_MIN)
-    sweep = ttl_sweep(trace, ttl_values_min=ttls, base_config=_config(args))
+    sweep = ttl_sweep(
+        trace, ttl_values_min=ttls, base_config=_config(args), jobs=args.jobs
+    )
     for metric, title in [
         ("delivery_ratio", "Delivery ratio"),
         ("delay_min", "Delay (minutes)"),
@@ -146,7 +157,7 @@ def _cmd_sweep_df(args) -> int:
     dfs = args.df_values or list(PAPER_DF_VALUES_PER_MIN)
     results = df_sweep(
         trace, df_values_per_min=dfs, ttl_min=args.ttl_min,
-        base_config=_config(args),
+        base_config=_config(args), jobs=args.jobs,
     )
     for metric, title in [
         ("delivery_ratio", "Delivery ratio"),
@@ -225,12 +236,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep_ttl)
     sweep_ttl.add_argument("--ttl", type=float, nargs="+",
                            help="TTL values in minutes")
+    _add_jobs(sweep_ttl)
     sweep_ttl.set_defaults(func=_cmd_sweep_ttl)
 
     sweep_df = commands.add_parser("sweep-df", help="Fig. 9 DF sweep")
     _add_common(sweep_df)
     sweep_df.add_argument("--df-values", type=float, nargs="+")
     sweep_df.add_argument("--ttl-min", type=float, default=DF_SWEEP_TTL_MIN)
+    _add_jobs(sweep_df)
     sweep_df.set_defaults(func=_cmd_sweep_df)
 
     tables = commands.add_parser("tables", help="regenerate Tables I and II")

@@ -21,6 +21,7 @@ from .analysis import (
     recommended_decay_factor,
 )
 from .allocation import AllocationPlan, TCBFCollection, plan_allocation
+from .backends import BACKENDS, default_backend, resolve_backend
 from .bloom import BloomFilter
 from .counting_bloom import CountingBloomFilter
 from .hashing import DEFAULT_SEED, HashFamily
@@ -36,6 +37,7 @@ from .tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
 
 __all__ = [
     "AllocationPlan",
+    "BACKENDS",
     "BloomFilter",
     "CountingBloomFilter",
     "DEFAULT_INITIAL_VALUE",
@@ -45,6 +47,7 @@ __all__ = [
     "TemporalCountingBloomFilter",
     "decode_bloom",
     "decode_tcbf",
+    "default_backend",
     "encode_bloom",
     "encode_tcbf",
     "encoded_bloom_size",
@@ -61,4 +64,5 @@ __all__ = [
     "plan_allocation",
     "raw_string_memory_bytes",
     "recommended_decay_factor",
+    "resolve_backend",
 ]

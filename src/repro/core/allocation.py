@@ -14,9 +14,12 @@ at ``n / h`` keys per filter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from . import analysis
+from .backends import resolve_backend
 from .hashing import DEFAULT_SEED, HashFamily
 from .tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
 
@@ -131,6 +134,7 @@ class TCBFCollection:
         initial_value: float = DEFAULT_INITIAL_VALUE,
         decay_factor: float = 0.0,
         max_filters: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if not 0.0 < fill_ratio_threshold <= 1.0:
             raise ValueError(
@@ -146,6 +150,7 @@ class TCBFCollection:
         self.initial_value = initial_value
         self.decay_factor = decay_factor
         self.max_filters = max_filters
+        self.backend = resolve_backend(backend)
         self._filters: List[TemporalCountingBloomFilter] = [self._fresh(0.0)]
 
     @classmethod
@@ -171,6 +176,7 @@ class TCBFCollection:
             initial_value=self.initial_value,
             decay_factor=self.decay_factor,
             time=time,
+            backend=self.backend,
         )
 
     @property
@@ -286,6 +292,7 @@ class TCBFCollection:
             initial_value=self.initial_value,
             decay_factor=self.decay_factor,
             max_filters=self.max_filters,
+            backend=self.backend,
         )
         clone._filters = [f.copy() for f in self._filters]
         return clone
@@ -297,9 +304,33 @@ class TCBFCollection:
     def __contains__(self, key: str) -> bool:
         return self.query(key)
 
+    def query_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Existential queries for many keys across all filters."""
+        keys = list(keys)
+        hits = self._filters[0].query_batch(keys)
+        for filt in self._filters[1:]:
+            hits = hits | filt.query_batch(keys)
+        return hits
+
     def min_counter(self, key: str) -> float:
         """Largest per-filter minimum counter for *key* (0 if absent)."""
         return max(f.min_counter(key) for f in self._filters)
+
+    def min_counter_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Collection-wide minimum counters for many keys (see
+        :meth:`min_counter`) as one float vector."""
+        keys = list(keys)
+        minima = self._filters[0].min_counter_batch(keys)
+        for filt in self._filters[1:]:
+            minima = np.maximum(minima, filt.min_counter_batch(keys))
+        return minima
+
+    def preference_batch(self, keys: Sequence[str], other) -> np.ndarray:
+        """Batched preferential query of the collection against *other*."""
+        keys = list(keys)
+        a = self.min_counter_batch(keys)
+        b = np.asarray(other.min_counter_batch(keys), dtype=np.float64)
+        return np.where(b == 0.0, a, a - b)
 
     def advance(self, now: float) -> None:
         """Advance every filter's clock, dropping emptied extras."""

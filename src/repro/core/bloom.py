@@ -10,12 +10,21 @@ In B-SUB the plain Bloom filter is the *wire format* for interest
 exchange in producer/consumer meetings (Sec. V-D): the counters of a
 TCBF are "ripped off" before transmission, leaving exactly this
 structure.
+
+Bits live behind the :mod:`repro.core.backends` seam (``dict`` = the
+original set of positions, ``array`` = a dense boolean vector), and the
+batch APIs (:meth:`BloomFilter.insert_batch`,
+:meth:`BloomFilter.query_batch`) answer many keys per call — the hot
+path for broker message matching.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Set
+from typing import Iterable, Iterator, List, Optional, Sequence
 
+import numpy as np
+
+from .backends import make_bit_store, resolve_backend
 from .hashing import DEFAULT_SEED, HashFamily
 
 __all__ = ["BloomFilter"]
@@ -35,9 +44,12 @@ class BloomFilter:
     family:
         Optionally pass an existing :class:`HashFamily` instead of
         ``num_bits``/``num_hashes``/``seed``.
+    backend:
+        ``"dict"`` or ``"array"`` bit storage (``None`` -> the process
+        default, see :mod:`repro.core.backends`).
     """
 
-    __slots__ = ("family", "_bits")
+    __slots__ = ("family", "backend", "_store")
 
     def __init__(
         self,
@@ -45,11 +57,13 @@ class BloomFilter:
         num_hashes: int = 4,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
+        backend: Optional[str] = None,
     ):
         self.family = family if family is not None else HashFamily(
             num_hashes, num_bits, seed
         )
-        self._bits: Set[int] = set()
+        self.backend = resolve_backend(backend)
+        self._store = make_bit_store(self.backend, self.family.num_bits)
 
     # -- basic properties -------------------------------------------------
 
@@ -66,48 +80,55 @@ class BloomFilter:
     @property
     def set_bits(self) -> frozenset:
         """Positions of the currently set bits."""
-        return frozenset(self._bits)
+        return frozenset(self._store.positions())
 
     def bit(self, position: int) -> bool:
         """Whether the bit at *position* is set."""
         if not 0 <= position < self.num_bits:
             raise IndexError(f"bit position {position} out of range")
-        return position in self._bits
+        return self._store.contains(position)
 
     def fill_ratio(self) -> float:
         """Fill ratio FR = (# set bits) / m (paper Eq. 3's measured form)."""
-        return len(self._bits) / self.num_bits
+        return self._store.count() / self.num_bits
 
     def is_empty(self) -> bool:
         """True if no bit is set."""
-        return not self._bits
+        return self._store.is_empty()
 
     def __len__(self) -> int:
         """Number of set bits."""
-        return len(self._bits)
+        return self._store.count()
 
     def __iter__(self) -> Iterator[int]:
-        return iter(sorted(self._bits))
+        return iter(self._store.positions())
 
     # -- mutation ----------------------------------------------------------
 
     def insert(self, key: str) -> None:
         """Insert *key*, setting its ``k`` hashed bits."""
-        self._bits.update(self.family.positions(key))
+        self._store.add(self.family.positions(key))
 
     def insert_all(self, keys: Iterable[str]) -> None:
         """Insert every key in *keys*."""
         for key in keys:
             self.insert(key)
 
+    def insert_batch(self, keys: Sequence[str]) -> None:
+        """Insert many keys with one batched hash + bit-set pass."""
+        keys = list(keys)
+        if not keys:
+            return
+        self._store.add_rows(self.family.positions_batch(keys))
+
     def merge(self, other: "BloomFilter") -> None:
         """Bit-wise OR *other* into this filter (paper Sec. III)."""
         self._check_compatible(other)
-        self._bits.update(other._bits)
+        self._store.update_from(other._store)
 
     def clear(self) -> None:
         """Reset to the empty filter."""
-        self._bits.clear()
+        self._store.clear()
 
     # -- queries -----------------------------------------------------------
 
@@ -119,11 +140,17 @@ class BloomFilter:
 
         Subject to false positives (Eq. 1); never false negatives.
         """
-        return all(p in self._bits for p in self.family.positions(key))
+        return self._store.test_all(self.family.positions(key))
 
     def query_all(self, keys: Iterable[str]) -> List[str]:
         """The subset of *keys* for which :meth:`query` returns True."""
-        return [key for key in keys if self.query(key)]
+        keys = list(keys)
+        hits = self.query_batch(keys)
+        return [key for key, hit in zip(keys, hits) if hit]
+
+    def query_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Membership queries for many keys as one boolean vector."""
+        return self._store.test_rows(self.family.positions_batch(list(keys)))
 
     # -- construction helpers ----------------------------------------------
 
@@ -135,29 +162,37 @@ class BloomFilter:
         num_hashes: int = 4,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
+        backend: Optional[str] = None,
     ) -> "BloomFilter":
         """Build a filter containing every key in *keys*."""
-        bf = cls(num_bits, num_hashes, seed, family=family)
-        bf.insert_all(keys)
+        bf = cls(num_bits, num_hashes, seed, family=family, backend=backend)
+        bf.insert_batch(list(keys))
         return bf
 
     def copy(self) -> "BloomFilter":
         """An independent copy sharing the hash family."""
-        clone = BloomFilter(family=self.family)
-        clone._bits = set(self._bits)
+        clone = BloomFilter(family=self.family, backend=self.backend)
+        clone._store = self._store.copy()
         return clone
 
     @classmethod
-    def from_bits(cls, bits: Iterable[int], family: HashFamily) -> "BloomFilter":
+    def from_bits(
+        cls,
+        bits: Iterable[int],
+        family: HashFamily,
+        backend: Optional[str] = None,
+    ) -> "BloomFilter":
         """Rebuild a filter from explicit set-bit positions.
 
         Used when decoding the compact wire format (Sec. VI-C).
         """
-        bf = cls(family=family)
-        for position in bits:
+        bf = cls(family=family, backend=backend)
+        positions = list(bits)
+        for position in positions:
             if not 0 <= position < family.num_bits:
                 raise ValueError(f"bit position {position} out of range")
-            bf._bits.add(position)
+        if positions:
+            bf._store.add(positions)
         return bf
 
     # -- misc ----------------------------------------------------------------
@@ -178,10 +213,10 @@ class BloomFilter:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BloomFilter):
             return NotImplemented
-        return self.family == other.family and self._bits == other._bits
+        return self.family == other.family and self.set_bits == other.set_bits
 
     def __repr__(self) -> str:
         return (
             f"BloomFilter(m={self.num_bits}, k={self.num_hashes}, "
-            f"set_bits={len(self._bits)})"
+            f"set_bits={len(self)})"
         )

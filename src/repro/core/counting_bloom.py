@@ -10,12 +10,19 @@ different meaning (remaining lifetime rather than reference count).
 Repeated hash positions for one key are counted once per insertion, so
 insert/delete of the same key always round-trips even when ``k`` probes
 collide.
+
+Counters live behind the :mod:`repro.core.backends` seam; the ``array``
+backend packs them into an integer numpy vector with vectorized batch
+queries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
+from .backends import make_counter_store, resolve_backend
 from .bloom import BloomFilter
 from .hashing import DEFAULT_SEED, HashFamily
 
@@ -25,7 +32,7 @@ __all__ = ["CountingBloomFilter"]
 class CountingBloomFilter:
     """A counting Bloom filter supporting insert, delete, and query."""
 
-    __slots__ = ("family", "_counters")
+    __slots__ = ("family", "backend", "_store")
 
     def __init__(
         self,
@@ -33,12 +40,16 @@ class CountingBloomFilter:
         num_hashes: int = 4,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
+        backend: Optional[str] = None,
     ):
         self.family = family if family is not None else HashFamily(
             num_hashes, num_bits, seed
         )
-        # Sparse map position -> count; absent means zero.
-        self._counters: Dict[int, int] = {}
+        self.backend = resolve_backend(backend)
+        # Sparse map / integer vector of position -> count.
+        self._store = make_counter_store(
+            self.backend, self.family.num_bits, integer=True
+        )
 
     @property
     def num_bits(self) -> int:
@@ -52,7 +63,7 @@ class CountingBloomFilter:
         """The counter value at *position* (0 if never set)."""
         if not 0 <= position < self.num_bits:
             raise IndexError(f"bit position {position} out of range")
-        return self._counters.get(position, 0)
+        return int(self._store.get(position))
 
     def bit(self, position: int) -> bool:
         """Whether the bit at *position* is set (counter > 0)."""
@@ -60,21 +71,20 @@ class CountingBloomFilter:
 
     def fill_ratio(self) -> float:
         """Fraction of bits with positive counters."""
-        return len(self._counters) / self.num_bits
+        return self._store.count() / self.num_bits
 
     def __len__(self) -> int:
         """Number of set bits."""
-        return len(self._counters)
+        return self._store.count()
 
     def is_empty(self) -> bool:
-        return not self._counters
+        return self._store.is_empty()
 
     # -- mutation ------------------------------------------------------------
 
     def insert(self, key: str) -> None:
         """Insert *key*: increment the counter of each distinct hashed bit."""
-        for position in self.family.distinct_positions(key):
-            self._counters[position] = self._counters.get(position, 0) + 1
+        self._store.add_at(self.family.distinct_positions(key), 1)
 
     def insert_all(self, keys: Iterable[str]) -> None:
         for key in keys:
@@ -93,17 +103,12 @@ class CountingBloomFilter:
             caveat.)
         """
         positions = self.family.distinct_positions(key)
-        if any(self._counters.get(p, 0) <= 0 for p in positions):
+        if not self._store.query(positions):
             raise KeyError(f"key {key!r} is not present in the filter")
-        for position in positions:
-            remaining = self._counters[position] - 1
-            if remaining:
-                self._counters[position] = remaining
-            else:
-                del self._counters[position]
+        self._store.add_at(positions, -1)
 
     def clear(self) -> None:
-        self._counters.clear()
+        self._store.clear()
 
     # -- queries ---------------------------------------------------------------
 
@@ -112,25 +117,35 @@ class CountingBloomFilter:
 
     def query(self, key: str) -> bool:
         """Membership query (same FPR as the classic BF)."""
-        return all(
-            self._counters.get(p, 0) > 0 for p in self.family.positions(key)
-        )
+        return self._store.query(self.family.positions(key))
 
     def query_all(self, keys: Iterable[str]) -> List[str]:
-        return [key for key in keys if self.query(key)]
+        keys = list(keys)
+        hits = self.query_batch(keys)
+        return [key for key, hit in zip(keys, hits) if hit]
+
+    def query_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Membership queries for many keys as one boolean vector."""
+        return self._store.query_rows(self.family.positions_batch(list(keys)))
 
     def min_counter(self, key: str) -> int:
         """Minimum counter among *key*'s hashed bits.
 
         An upper bound on how many times *key* was inserted.
         """
-        return min(self._counters.get(p, 0) for p in self.family.positions(key))
+        return int(self._store.min(self.family.positions(key)))
+
+    def min_counter_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Minimum counters for many keys as one vector."""
+        return self._store.min_rows(self.family.positions_batch(list(keys)))
 
     # -- conversion ---------------------------------------------------------------
 
     def to_bloom(self) -> BloomFilter:
         """The plain Bloom filter with the same set bits."""
-        return BloomFilter.from_bits(self._counters.keys(), self.family)
+        return BloomFilter.from_bits(
+            self._store.positions(), self.family, backend=self.backend
+        )
 
     @classmethod
     def of(
@@ -140,23 +155,28 @@ class CountingBloomFilter:
         num_hashes: int = 4,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
+        backend: Optional[str] = None,
     ) -> "CountingBloomFilter":
-        cbf = cls(num_bits, num_hashes, seed, family=family)
+        cbf = cls(num_bits, num_hashes, seed, family=family, backend=backend)
         cbf.insert_all(keys)
         return cbf
 
     def copy(self) -> "CountingBloomFilter":
-        clone = CountingBloomFilter(family=self.family)
-        clone._counters = dict(self._counters)
+        clone = CountingBloomFilter(family=self.family, backend=self.backend)
+        clone._store = self._store.copy()
         return clone
+
+    def counters(self) -> Dict[int, int]:
+        """A snapshot {position: count} of the set bits."""
+        return {p: int(v) for p, v in self._store.as_dict().items()}
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CountingBloomFilter):
             return NotImplemented
-        return self.family == other.family and self._counters == other._counters
+        return self.family == other.family and self.counters() == other.counters()
 
     def __repr__(self) -> str:
         return (
             f"CountingBloomFilter(m={self.num_bits}, k={self.num_hashes}, "
-            f"set_bits={len(self._counters)})"
+            f"set_bits={len(self)})"
         )

@@ -12,12 +12,20 @@ every contact event.
 All functions are deterministic for a given ``seed`` so that two nodes
 in a simulated network (or two devices in a deployment) agree on bit
 locations without any coordination beyond the shared seed.
+
+Batched hashing (:meth:`HashFamily.positions_batch`) maps many keys at
+once into a single ``(n_keys, k)`` position matrix: the per-key blake2b
+digests are unavoidable, but the double-hashing combination is one
+vectorized broadcast, and the matrix feeds the filters' batch query and
+merge paths directly.
 """
 
 from __future__ import annotations
 
 import hashlib
 from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 __all__ = ["HashFamily", "DEFAULT_SEED"]
 
@@ -38,12 +46,18 @@ class HashFamily:
         independent families.
     """
 
-    __slots__ = ("num_hashes", "num_bits", "seed", "_salt", "_cache")
+    __slots__ = ("num_hashes", "num_bits", "seed", "_salt", "_cache", "_rows")
 
     #: Upper bound on the per-family memoisation cache.  Pub-sub
     #: workloads reuse a small universe of keys on every contact event,
     #: so caching turns the dominant hashing cost into a dict lookup.
+    #: The cache is LRU: once full, the least-recently-used key is
+    #: evicted so long-running workloads with churning key universes
+    #: keep their hit rate instead of silently freezing the cache.
     _CACHE_LIMIT = 65_536
+
+    #: Initial row capacity of the position matrix (doubles on demand).
+    _INITIAL_ROWS = 256
 
     def __init__(self, num_hashes: int, num_bits: int, seed: int = DEFAULT_SEED):
         if num_hashes < 1:
@@ -54,7 +68,13 @@ class HashFamily:
         self.num_bits = num_bits
         self.seed = seed
         self._salt = seed.to_bytes(8, "little", signed=False)
+        # Cached positions live as rows of one shared int64 matrix;
+        # ``_cache`` maps key -> row index, and its insertion order
+        # doubles as recency order (hits re-append).  Rows are
+        # allocated densely, so an evicted key's row is handed
+        # straight to its replacement.
         self._cache: dict = {}
+        self._rows = np.empty((self._INITIAL_ROWS, num_hashes), dtype=np.int64)
 
     def _base_hashes(self, key: str) -> Tuple[int, int]:
         """Return the two 64-bit base hashes for *key*."""
@@ -67,6 +87,34 @@ class HashFamily:
         # cycles through distinct offsets.
         return h1, h2 | 1
 
+    def _cache_get(self, key: str):
+        """Row index for *key*, refreshing its recency; None on a miss."""
+        cache = self._cache
+        row = cache.pop(key, None)
+        if row is not None:
+            cache[key] = row
+        return row
+
+    def _cache_put(self, key: str, positions) -> int:
+        """Store *positions* for *key*, evicting the LRU entry if full."""
+        cache = self._cache
+        row = cache.get(key)
+        if row is None:
+            if len(cache) >= self._CACHE_LIMIT:
+                # Evict the least recently used key and take its row.
+                row = cache.pop(next(iter(cache)))
+            else:
+                row = len(cache)
+                if row >= len(self._rows):
+                    grown = np.empty(
+                        (2 * len(self._rows), self.num_hashes), dtype=np.int64
+                    )
+                    grown[: len(self._rows)] = self._rows
+                    self._rows = grown
+        self._rows[row] = positions
+        cache[key] = row
+        return row
+
     def positions(self, key: str) -> List[int]:
         """Bit positions that *key* hashes to (length ``num_hashes``).
 
@@ -76,15 +124,56 @@ class HashFamily:
         location" in its analysis, and the filter implementations
         handle repeats correctly regardless.
         """
-        cached = self._cache.get(key)
-        if cached is not None:
-            return list(cached)
+        row = self._cache_get(key)
+        if row is not None:
+            return self._rows[row].tolist()
         h1, h2 = self._base_hashes(key)
         m = self.num_bits
         result = [(h1 + i * h2) % m for i in range(self.num_hashes)]
-        if len(self._cache) < self._CACHE_LIMIT:
-            self._cache[key] = tuple(result)
+        self._cache_put(key, result)
         return result
+
+    def positions_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Positions for many keys as one ``(len(keys), k)`` int64 matrix.
+
+        Row *i* equals ``positions(keys[i])`` exactly: cached keys are
+        gathered from the memoisation matrix in one fancy-indexing
+        pass (without refreshing their LRU recency — a deliberate
+        trade so the hot all-cached path stays a single vectorized
+        read), and uncached keys are hashed once each, then combined
+        in a single vectorized double-hashing broadcast.  All keys end
+        up cached.
+        """
+        k = self.num_hashes
+        n = len(keys)
+        cache_get = self._cache.get
+        index = np.fromiter(
+            (cache_get(key, -1) for key in keys), dtype=np.int64, count=n
+        )
+        miss_mask = index < 0
+        if not miss_mask.any():
+            return self._rows[index]
+        out = np.empty((n, k), dtype=np.int64)
+        hit_mask = ~miss_mask
+        out[hit_mask] = self._rows[index[hit_mask]]
+        misses = np.nonzero(miss_mask)[0]
+        m = self.num_bits
+        r1 = np.empty(len(misses), dtype=np.int64)
+        r2 = np.empty(len(misses), dtype=np.int64)
+        for j, i in enumerate(misses):
+            h1, h2 = self._base_hashes(keys[i])
+            # Reduce mod m while still in arbitrary-precision ints:
+            # (h1 + i*h2) % m == ((h1 % m) + i*(h2 % m)) % m, and the
+            # reduced form cannot overflow int64 for any real m.
+            r1[j] = h1 % m
+            r2[j] = h2 % m
+        probes = (
+            r1[:, None] + np.arange(k, dtype=np.int64)[None, :] * r2[:, None]
+        ) % m
+        out[misses] = probes
+        for j, i in enumerate(misses):
+            self._cache_put(keys[i], probes[j])
+        return out
 
     def distinct_positions(self, key: str) -> List[int]:
         """Sorted, de-duplicated bit positions for *key*."""

@@ -92,7 +92,9 @@ def encode_bloom(bf: BloomFilter) -> bytes:
     return header + _pack_raw_bits(positions, bf.num_bits)
 
 
-def decode_bloom(data: bytes, family: HashFamily) -> BloomFilter:
+def decode_bloom(
+    data: bytes, family: HashFamily, backend: Optional[str] = None
+) -> BloomFilter:
     """Decode :func:`encode_bloom` output against a known hash family."""
     tag, num_bits, count = _HEADER.unpack_from(data)
     if num_bits != family.num_bits:
@@ -106,7 +108,7 @@ def decode_bloom(data: bytes, family: HashFamily) -> BloomFilter:
         positions = _unpack_raw_bits(body, num_bits)
     else:
         raise ValueError(f"unexpected wire tag {tag:#x} for a plain BF")
-    return BloomFilter.from_bits(positions, family)
+    return BloomFilter.from_bits(positions, family, backend=backend)
 
 
 def _quantise(value: float, scale: float) -> int:
@@ -182,6 +184,7 @@ def decode_tcbf(
     initial_value: float,
     decay_factor: float = 0.0,
     time: float = 0.0,
+    backend: Optional[str] = None,
 ) -> TemporalCountingBloomFilter:
     """Decode :func:`encode_tcbf` output (``full`` or ``identical`` forms).
 
@@ -200,6 +203,7 @@ def decode_tcbf(
         initial_value=initial_value,
         decay_factor=decay_factor,
         time=time,
+        backend=backend,
     )
     if tag == _TAG_FULL_COUNTERS:
         (scale,) = _SCALE.unpack_from(body)
@@ -207,7 +211,7 @@ def decode_tcbf(
         positions = _unpack_locations(body, count, width)
         values = body[count * width : count * width + count]
         for position, raw in zip(positions, values):
-            tcbf._counters[position] = raw * scale
+            tcbf._set_counter(position, raw * scale)
     elif tag == _TAG_RAW_FULL_COUNTERS:
         (scale,) = _SCALE.unpack_from(body)
         body = body[_SCALE.size :]
@@ -215,13 +219,13 @@ def decode_tcbf(
         positions = _unpack_raw_bits(body[:vector_len], num_bits)
         values = body[vector_len : vector_len + count]
         for position, raw in zip(positions, values):  # ascending order
-            tcbf._counters[position] = raw * scale
+            tcbf._set_counter(position, raw * scale)
     elif tag == _TAG_SHARED_COUNTER:
         (scale,) = _SCALE.unpack_from(body)
         shared = body[_SCALE.size]
         positions = _unpack_locations(body[_SCALE.size + 1 :], count, width)
         for position in positions:
-            tcbf._counters[position] = shared * scale
+            tcbf._set_counter(position, shared * scale)
     else:
         raise ValueError(
             f"unexpected wire tag {tag:#x} for a TCBF (use decode_bloom "

@@ -34,12 +34,22 @@ synchronisation and applies ``DF × Δt`` on :meth:`advance`.  This is
 observationally identical to the paper's continuous decrementing (the
 equivalence is covered by tests and an ablation benchmark) but costs
 O(set bits) per touch instead of O(set bits) per tick.
+
+Counters live behind the :mod:`repro.core.backends` seam: the ``dict``
+backend keeps the original sparse mapping, the ``array`` backend packs
+them into a numpy vector so decay, merges, and the batch APIs
+(:meth:`insert_batch`, :meth:`query_batch`, :meth:`min_counter_batch`,
+:meth:`preference_batch`) run vectorized.  Both backends produce
+bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .backends import make_counter_store, resolve_backend
 from .bloom import BloomFilter
 from .hashing import DEFAULT_SEED, HashFamily
 
@@ -64,13 +74,17 @@ class TemporalCountingBloomFilter:
     time:
         The filter's notion of "now" at creation; :meth:`advance` moves
         it forward.
+    backend:
+        ``"dict"`` or ``"array"`` counter storage (``None`` -> the
+        process default, see :mod:`repro.core.backends`).
     """
 
     __slots__ = (
         "family",
         "initial_value",
         "decay_factor",
-        "_counters",
+        "backend",
+        "_store",
         "_time",
         "_merged",
     )
@@ -84,6 +98,7 @@ class TemporalCountingBloomFilter:
         initial_value: float = DEFAULT_INITIAL_VALUE,
         decay_factor: float = 0.0,
         time: float = 0.0,
+        backend: Optional[str] = None,
     ):
         if initial_value <= 0:
             raise ValueError(f"initial_value must be positive, got {initial_value}")
@@ -94,7 +109,8 @@ class TemporalCountingBloomFilter:
         )
         self.initial_value = float(initial_value)
         self.decay_factor = float(decay_factor)
-        self._counters: Dict[int, float] = {}
+        self.backend = resolve_backend(backend)
+        self._store = make_counter_store(self.backend, self.family.num_bits)
         self._time = float(time)
         self._merged = False
 
@@ -122,11 +138,11 @@ class TemporalCountingBloomFilter:
         """Counter value at *position* (0.0 if the bit is unset)."""
         if not 0 <= position < self.num_bits:
             raise IndexError(f"bit position {position} out of range")
-        return self._counters.get(position, 0.0)
+        return self._store.get(position)
 
     def counters(self) -> Dict[int, float]:
         """A snapshot {position: counter} of the set bits."""
-        return dict(self._counters)
+        return self._store.as_dict()
 
     def bit(self, position: int) -> bool:
         """Whether the bit at *position* is set (counter > 0)."""
@@ -134,17 +150,17 @@ class TemporalCountingBloomFilter:
 
     def fill_ratio(self) -> float:
         """FR = (# set bits) / m."""
-        return len(self._counters) / self.num_bits
+        return self._store.count() / self.num_bits
 
     def __len__(self) -> int:
-        return len(self._counters)
+        return self._store.count()
 
     def __iter__(self) -> Iterator[int]:
-        return iter(sorted(self._counters))
+        return iter(self._store.positions())
 
     def is_empty(self) -> bool:
         """True when no bit is set."""
-        return not self._counters
+        return self._store.is_empty()
 
     # -- decay ----------------------------------------------------------------
 
@@ -156,14 +172,9 @@ class TemporalCountingBloomFilter:
         """
         if amount < 0:
             raise ValueError(f"decay amount must be >= 0, got {amount}")
-        if amount == 0 or not self._counters:
+        if amount == 0 or self._store.is_empty():
             return
-        survivors = {
-            position: value - amount
-            for position, value in self._counters.items()
-            if value > amount
-        }
-        self._counters = survivors
+        self._store.decay(amount)
 
     def advance(self, now: float) -> None:
         """Advance the filter's clock to *now*, applying lazy decay.
@@ -200,14 +211,30 @@ class TemporalCountingBloomFilter:
                 "cannot insert into a merged TCBF; insert into a fresh "
                 "filter and A-/M-merge it (paper Sec. IV-A)"
             )
-        for position in self.family.distinct_positions(key):
-            if self._counters.get(position, 0.0) <= 0.0:
-                self._counters[position] = self.initial_value
+        self._store.arm(self.family.distinct_positions(key), self.initial_value)
 
     def insert_all(self, keys: Iterable[str]) -> None:
         """Insert every key in *keys* (same rules as :meth:`insert`)."""
         for key in keys:
             self.insert(key)
+
+    def insert_batch(self, keys: Sequence[str]) -> None:
+        """Insert many keys with one batched hash + arm pass.
+
+        Equivalent to :meth:`insert_all` (insertion is order-independent:
+        every newly set counter gets the same ``C``), but hashes the
+        keys as a batch and touches the counter storage once.
+        """
+        if self._merged:
+            raise RuntimeError(
+                "cannot insert into a merged TCBF; insert into a fresh "
+                "filter and A-/M-merge it (paper Sec. IV-A)"
+            )
+        keys = list(keys)
+        if not keys:
+            return
+        rows = self.family.positions_batch(keys)
+        self._store.arm_rows(rows, self.initial_value)
 
     def refresh(self, key: str) -> None:
         """Re-arm *key*'s counters to ``C`` even if already set.
@@ -219,8 +246,7 @@ class TemporalCountingBloomFilter:
         """
         if self._merged:
             raise RuntimeError("cannot refresh a merged TCBF")
-        for position in self.family.distinct_positions(key):
-            self._counters[position] = self.initial_value
+        self._store.assign(self.family.distinct_positions(key), self.initial_value)
 
     # -- merging ----------------------------------------------------------------
 
@@ -238,15 +264,8 @@ class TemporalCountingBloomFilter:
         # counters are on the same decay timeline.
         if other._time > self._time:
             self.advance(other._time)
-        mine = self._counters
-        for position, value in other._counters.items():
-            decayed = value - other.decay_factor * (self._time - other._time)
-            if decayed <= 0.0:
-                continue
-            if additive:
-                mine[position] = mine.get(position, 0.0) + decayed
-            else:
-                mine[position] = max(mine.get(position, 0.0), decayed)
+        lag = other.decay_factor * (self._time - other._time)
+        self._store.combine(other._store, lag, additive)
         self._merged = True
 
     def a_merged(
@@ -272,13 +291,17 @@ class TemporalCountingBloomFilter:
 
     def query(self, key: str) -> bool:
         """Existential query: all of *key*'s bits set (FPR as Eq. 1)."""
-        return all(
-            self._counters.get(p, 0.0) > 0.0 for p in self.family.positions(key)
-        )
+        return self._store.query(self.family.positions(key))
 
     def query_all(self, keys: Iterable[str]) -> List[str]:
         """The subset of *keys* whose existential query returns True."""
-        return [key for key in keys if self.query(key)]
+        keys = list(keys)
+        hits = self.query_batch(keys)
+        return [key for key, hit in zip(keys, hits) if hit]
+
+    def query_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Existential queries for many keys as one boolean vector."""
+        return self._store.query_rows(self.family.positions_batch(list(keys)))
 
     def min_counter(self, key: str) -> float:
         """Minimum counter among *key*'s hashed bits.
@@ -286,9 +309,11 @@ class TemporalCountingBloomFilter:
         Zero if any bit is unset — i.e. the key is (definitely) absent.
         This is the quantity the preferential query compares.
         """
-        return min(
-            self._counters.get(p, 0.0) for p in self.family.positions(key)
-        )
+        return self._store.min(self.family.positions(key))
+
+    def min_counter_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Minimum counters for many keys as one float vector."""
+        return self._store.min_rows(self.family.positions_batch(list(keys)))
 
     def preference(
         self, key: str, other: "TemporalCountingBloomFilter"
@@ -306,11 +331,26 @@ class TemporalCountingBloomFilter:
         b = other.min_counter(key)
         return a if b == 0.0 else a - b
 
+    def preference_batch(self, keys: Sequence[str], other) -> np.ndarray:
+        """Preferential queries for many keys as one float vector.
+
+        *other* may be any object exposing ``min_counter_batch`` (a
+        TCBF, a :class:`~repro.core.allocation.TCBFCollection`, …).
+        """
+        if isinstance(other, TemporalCountingBloomFilter):
+            self._check_compatible(other)
+        keys = list(keys)
+        a = self.min_counter_batch(keys)
+        b = np.asarray(other.min_counter_batch(keys), dtype=np.float64)
+        return np.where(b == 0.0, a, a - b)
+
     # -- conversion / construction ------------------------------------------------
 
     def to_bloom(self) -> BloomFilter:
         """Strip the counters, leaving the plain BF wire format (Sec. VI-C)."""
-        return BloomFilter.from_bits(self._counters.keys(), self.family)
+        return BloomFilter.from_bits(
+            self._store.positions(), self.family, backend=self.backend
+        )
 
     @classmethod
     def of(
@@ -323,6 +363,7 @@ class TemporalCountingBloomFilter:
         initial_value: float = DEFAULT_INITIAL_VALUE,
         decay_factor: float = 0.0,
         time: float = 0.0,
+        backend: Optional[str] = None,
     ) -> "TemporalCountingBloomFilter":
         """A fresh TCBF containing every key in *keys*."""
         tcbf = cls(
@@ -333,8 +374,9 @@ class TemporalCountingBloomFilter:
             initial_value=initial_value,
             decay_factor=decay_factor,
             time=time,
+            backend=backend,
         )
-        tcbf.insert_all(keys)
+        tcbf.insert_batch(list(keys))
         return tcbf
 
     def with_keys(self, keys: Iterable[str], additive: bool = True) -> None:
@@ -348,8 +390,9 @@ class TemporalCountingBloomFilter:
             initial_value=self.initial_value,
             decay_factor=self.decay_factor,
             time=self._time,
+            backend=self.backend,
         )
-        fresh.insert_all(keys)
+        fresh.insert_batch(list(keys))
         if additive:
             self.a_merge(fresh)
         else:
@@ -362,12 +405,17 @@ class TemporalCountingBloomFilter:
             initial_value=self.initial_value,
             decay_factor=self.decay_factor,
             time=self._time,
+            backend=self.backend,
         )
-        clone._counters = dict(self._counters)
+        clone._store = self._store.copy()
         clone._merged = self._merged
         return clone
 
     # -- internals ----------------------------------------------------------------
+
+    def _set_counter(self, position: int, value: float) -> None:
+        """Directly set one counter (wire decoding only — not a public op)."""
+        self._store.set(position, value)
 
     def _check_compatible(self, other: "TemporalCountingBloomFilter") -> None:
         if not self.family.compatible_with(other.family):
@@ -378,20 +426,20 @@ class TemporalCountingBloomFilter:
 
     def items(self) -> List[Tuple[int, float]]:
         """(position, counter) pairs sorted by position."""
-        return sorted(self._counters.items())
+        return self._store.items()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TemporalCountingBloomFilter):
             return NotImplemented
         return (
             self.family == other.family
-            and self._counters == other._counters
+            and self._store.as_dict() == other._store.as_dict()
         )
 
     def __repr__(self) -> str:
         return (
             f"TemporalCountingBloomFilter(m={self.num_bits}, "
             f"k={self.num_hashes}, C={self.initial_value}, "
-            f"DF={self.decay_factor}, set_bits={len(self._counters)}, "
+            f"DF={self.decay_factor}, set_bits={len(self)}, "
             f"t={self._time})"
         )

@@ -6,6 +6,7 @@ from .config import (
     PAPER_TTL_VALUES_MIN,
     ExperimentConfig,
 )
+from .parallel import RunTask, execute_tasks, resolve_jobs
 from .replication import MetricStats, ReplicatedResult, run_replicated
 from .report import (
     ascii_chart,
@@ -41,16 +42,19 @@ __all__ = [
     "PROTOCOL_NAMES",
     "ReplicatedResult",
     "RunResult",
+    "RunTask",
     "ALL_PROTOCOLS",
     "ascii_chart",
     "average_peers_met_within",
     "derive_decay_factor",
     "df_sweep",
+    "execute_tasks",
     "figure_series",
     "format_table",
     "format_table_i",
     "format_table_ii",
     "metric_series",
+    "resolve_jobs",
     "run_experiment",
     "run_replicated",
     "series_table",

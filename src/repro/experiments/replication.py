@@ -16,7 +16,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..traces.model import ContactTrace
 from ..workload.keys import KeyDistribution
 from .config import ExperimentConfig
-from .runner import RunResult, run_experiment
+from .parallel import RunTask, execute_tasks
+from .runner import RunResult
 
 __all__ = ["MetricStats", "ReplicatedResult", "run_replicated"]
 
@@ -64,26 +65,28 @@ def run_replicated(
     config: Optional[ExperimentConfig] = None,
     seeds: Sequence[int] = (0, 1, 2),
     distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
 ) -> ReplicatedResult:
     """Run an experiment once per seed and aggregate.
 
     Each seed regenerates the trace via *trace_factory(seed)* and
     shifts the workload/interest seeds, so replications are fully
-    independent realisations of the same configuration.
+    independent realisations of the same configuration.  Traces and
+    per-seed configs are derived in the parent process (in seed order)
+    before any fan-out, so ``jobs`` never changes the results.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     config = config or ExperimentConfig()
-    runs: List[RunResult] = []
+    tasks: List[RunTask] = []
     for seed in seeds:
         seeded = replace(
             config,
             workload_seed=config.workload_seed + 1000 * seed,
             interest_seed=config.interest_seed + 1000 * seed,
         )
-        runs.append(
-            run_experiment(trace_factory(seed), protocol_name, seeded, distribution)
-        )
+        tasks.append(RunTask(trace_factory(seed), protocol_name, seeded, distribution))
+    runs: List[RunResult] = execute_tasks(tasks, jobs=jobs)
     metrics = {
         "delivery_ratio": _stats([r.summary.delivery_ratio for r in runs]),
         "mean_delay_min": _stats([r.summary.mean_delay_min for r in runs]),

@@ -1,4 +1,10 @@
-"""Parameter sweeps: the TTL sweep (Figs. 7–8) and DF sweep (Fig. 9)."""
+"""Parameter sweeps: the TTL sweep (Figs. 7–8) and DF sweep (Fig. 9).
+
+Every sweep cell is an independent simulation, so both sweeps accept a
+``jobs`` argument and fan across processes via
+:mod:`repro.experiments.parallel`; results are identical to the serial
+path for any ``jobs`` value.
+"""
 
 from __future__ import annotations
 
@@ -12,7 +18,8 @@ from .config import (
     PAPER_TTL_VALUES_MIN,
     ExperimentConfig,
 )
-from .runner import PROTOCOL_NAMES, RunResult, run_experiment
+from .parallel import RunTask, execute_tasks
+from .runner import PROTOCOL_NAMES, RunResult
 
 __all__ = ["ttl_sweep", "df_sweep"]
 
@@ -23,21 +30,25 @@ def ttl_sweep(
     protocols: Sequence[str] = PROTOCOL_NAMES,
     base_config: Optional[ExperimentConfig] = None,
     distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[RunResult]]:
     """Figs. 7/8: every protocol at every TTL.
 
     B-SUB's DF is re-derived from Eq. 5 at each TTL (``τ = TTL``),
     exactly as the paper does for this sweep.  Returns
-    protocol -> results ordered like *ttl_values_min*.
+    protocol -> results ordered like *ttl_values_min*.  ``jobs``
+    parallelises the grid (<=0 -> all CPUs, default serial).
     """
     base = base_config or ExperimentConfig()
-    results: Dict[str, List[RunResult]] = {name: [] for name in protocols}
+    tasks: List[RunTask] = []
     for ttl_min in ttl_values_min:
         config = base.with_ttl(ttl_min).with_df(None)
         for name in protocols:
-            results[name].append(
-                run_experiment(trace, name, config, distribution)
-            )
+            tasks.append(RunTask(trace, name, config, distribution))
+    outcomes = execute_tasks(tasks, jobs=jobs)
+    results: Dict[str, List[RunResult]] = {name: [] for name in protocols}
+    for task, outcome in zip(tasks, outcomes):
+        results[task.protocol_name].append(outcome)
     return results
 
 
@@ -47,15 +58,17 @@ def df_sweep(
     ttl_min: float = DF_SWEEP_TTL_MIN,
     base_config: Optional[ExperimentConfig] = None,
     distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
 ) -> List[RunResult]:
     """Fig. 9: B-SUB across explicit DF values at a fixed 20-hour TTL.
 
     DF = 0 disables decay (interests flood, the Fig. 9 left endpoint);
     large DFs confine interests until B-SUB degenerates towards PULL.
+    ``jobs`` parallelises the DF grid (<=0 -> all CPUs, default serial).
     """
     base = base_config or ExperimentConfig()
-    results: List[RunResult] = []
-    for df in df_values_per_min:
-        config = base.with_ttl(ttl_min).with_df(df)
-        results.append(run_experiment(trace, "B-SUB", config, distribution))
-    return results
+    tasks = [
+        RunTask(trace, "B-SUB", base.with_ttl(ttl_min).with_df(df), distribution)
+        for df in df_values_per_min
+    ]
+    return execute_tasks(tasks, jobs=jobs)

@@ -21,7 +21,9 @@ trade-off: zero FPR, larger control traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from ..core.analysis import raw_string_memory_bytes
 
@@ -144,6 +146,29 @@ class ExactInterestRelay:
         a = self.min_counter(key)
         b = other.min_counter(key)
         return a if b == 0.0 else a - b
+
+    # -- batch queries (protocol-uniform with the TCBF relays) -----------------
+
+    def query_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Exact membership for many keys as one boolean vector."""
+        counters = self._counters
+        return np.fromiter(
+            (counters.get(k, 0.0) > 0.0 for k in keys), dtype=bool, count=len(keys)
+        )
+
+    def min_counter_batch(self, keys: Sequence[str]) -> np.ndarray:
+        """Counters for many keys as one float vector (0 when absent)."""
+        counters = self._counters
+        return np.fromiter(
+            (counters.get(k, 0.0) for k in keys), dtype=np.float64, count=len(keys)
+        )
+
+    def preference_batch(self, keys: Sequence[str], other) -> np.ndarray:
+        """Batched preferential query against *other* (same zero-case rule)."""
+        keys = list(keys)
+        a = self.min_counter_batch(keys)
+        b = np.asarray(other.min_counter_batch(keys), dtype=np.float64)
+        return np.where(b == 0.0, a, a - b)
 
     def is_empty(self) -> bool:
         return not self._counters

@@ -181,7 +181,7 @@ class BsubNodeState:
             decay_factor=0.0,
             time=start_time,
         )
-        self.genuine.insert_all(interests)
+        self.genuine.insert_batch(list(interests))
         self.genuine_bloom: BloomFilter = self.genuine.to_bloom()
         self.interest_encoding = interest_encoding
         if interest_encoding == "raw":

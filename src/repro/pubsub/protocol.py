@@ -350,7 +350,7 @@ class BsubProtocol(Protocol):
             decay_factor=0.0,
             time=now,
         )
-        announcement.insert_all(consumer.interests)
+        announcement.insert_batch(list(consumer.interests))
         broker.relay.a_merge(announcement)
 
     def _merge_relay(
@@ -385,14 +385,20 @@ class BsubProtocol(Protocol):
         if self.config.interest_encoding == "raw":
             if not consumer.interests:
                 return
-            matches = consumer.interests.__contains__
+            interests = consumer.interests
+
+            def matching(keys: List[str]) -> List[str]:
+                return [k for k in keys if k in interests]
         else:
             bloom = consumer.genuine_bloom
             if bloom.is_empty():
                 return
-            matches = bloom.query
+
+            def matching(keys: List[str]) -> List[str]:
+                hits = bloom.query_batch(keys)
+                return [k for k, hit in zip(keys, hits) if hit]
         for buffer in (holder.own, holder.carried):
-            for key in [k for k in buffer.keys() if matches(k)]:
+            for key in matching(list(buffer.keys())):
                 for message_id in buffer.ids_for(key):
                     if consumer.has(message_id):
                         continue
@@ -417,9 +423,9 @@ class BsubProtocol(Protocol):
         """Push own messages matching the broker's relay filter (ℂ-limited)."""
         if relay_snapshot.is_empty():
             return
-        matching_keys = [
-            k for k in producer.own.keys() if relay_snapshot.query(k)
-        ]
+        own_keys = list(producer.own.keys())
+        hits = relay_snapshot.query_batch(own_keys)
+        matching_keys = [k for k, hit in zip(own_keys, hits) if hit]
         for key in matching_keys:
             for message_id in producer.own.ids_for(key):
                 if broker.has(message_id):
@@ -463,13 +469,17 @@ class BsubProtocol(Protocol):
         """
         # Preference depends only on the content key, so rank the
         # distinct keys once instead of scoring every buffered message.
-        ranked_keys: List[Tuple[float, str]] = []
-        for key in sender.carried.keys():
-            preference = receiver_relay_snapshot.preference(
-                key, sender_relay_snapshot
-            )
-            if preference > 0.0:
-                ranked_keys.append((preference, key))
+        carried_keys = list(sender.carried.keys())
+        if not carried_keys:
+            return
+        preferences = receiver_relay_snapshot.preference_batch(
+            carried_keys, sender_relay_snapshot
+        )
+        ranked_keys: List[Tuple[float, str]] = [
+            (float(preference), key)
+            for preference, key in zip(preferences, carried_keys)
+            if preference > 0.0
+        ]
         ranked_keys.sort(key=lambda item: (-item[0], item[1]))
         for _, key in ranked_keys:
             for message_id in sender.carried.ids_for(key):

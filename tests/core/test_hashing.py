@@ -1,5 +1,6 @@
 """Tests for the hash-function family."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -73,6 +74,86 @@ class TestPositions:
         first.append(-1)  # mutating the returned list must not poison the cache
         assert fam.positions("key") != first
         assert all(0 <= p < 256 for p in fam.positions("key"))
+
+
+class TestPositionsBatch:
+    def test_rows_match_scalar_positions(self):
+        fam = HashFamily(4, 256, seed=11)
+        keys = ["a", "b", "", "日本語", "a"]  # duplicates allowed
+        batch = fam.positions_batch(keys)
+        assert batch.shape == (5, 4)
+        for row, key in zip(batch, keys):
+            assert row.tolist() == fam.positions(key)
+
+    def test_mixed_cached_and_uncached(self):
+        fam = HashFamily(4, 512, seed=3)
+        fam.positions("warm")  # pre-populate the cache
+        batch = fam.positions_batch(["cold-1", "warm", "cold-2"])
+        assert batch[1].tolist() == fam.positions("warm")
+        assert batch[0].tolist() == fam.positions("cold-1")
+        assert batch[2].tolist() == fam.positions("cold-2")
+
+    def test_empty_batch(self):
+        fam = HashFamily(4, 256)
+        batch = fam.positions_batch([])
+        assert batch.shape == (0, 4)
+
+    def test_batch_matches_across_instances(self):
+        a = HashFamily(6, 1 << 20, seed=42)
+        b = HashFamily(6, 1 << 20, seed=42)
+        keys = [f"key-{i}" for i in range(100)]
+        scalar = np.array([b.positions(k) for k in keys])
+        assert np.array_equal(a.positions_batch(keys), scalar)
+
+    def test_positions_in_range_for_odd_m(self):
+        fam = HashFamily(5, 997)  # non-power-of-two m
+        batch = fam.positions_batch([f"k{i}" for i in range(64)])
+        assert batch.min() >= 0
+        assert batch.max() < 997
+
+
+class TestCacheEviction:
+    def test_cache_never_exceeds_limit(self, monkeypatch):
+        monkeypatch.setattr(HashFamily, "_CACHE_LIMIT", 8)
+        fam = HashFamily(4, 256)
+        for i in range(50):
+            fam.positions(f"key-{i}")
+        assert len(fam._cache) == 8
+
+    def test_cache_keeps_accepting_new_keys_when_full(self, monkeypatch):
+        """The pre-fix behaviour froze the cache at the limit: new keys
+        were recomputed forever.  Now the newest key is always cached."""
+        monkeypatch.setattr(HashFamily, "_CACHE_LIMIT", 4)
+        fam = HashFamily(4, 256)
+        for i in range(10):
+            fam.positions(f"key-{i}")
+        assert "key-9" in fam._cache
+
+    def test_eviction_is_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(HashFamily, "_CACHE_LIMIT", 3)
+        fam = HashFamily(4, 256)
+        fam.positions("a")
+        fam.positions("b")
+        fam.positions("c")
+        fam.positions("a")  # refresh 'a' -> 'b' is now the LRU entry
+        fam.positions("d")  # evicts 'b'
+        assert set(fam._cache) == {"a", "c", "d"}
+
+    def test_batch_populates_cache_with_eviction(self, monkeypatch):
+        monkeypatch.setattr(HashFamily, "_CACHE_LIMIT", 4)
+        fam = HashFamily(4, 256)
+        fam.positions_batch([f"key-{i}" for i in range(10)])
+        assert len(fam._cache) == 4
+        assert "key-9" in fam._cache
+
+    def test_evicted_key_recomputes_identically(self, monkeypatch):
+        monkeypatch.setattr(HashFamily, "_CACHE_LIMIT", 2)
+        fam = HashFamily(4, 256)
+        first = fam.positions("victim")
+        for i in range(5):
+            fam.positions(f"filler-{i}")
+        assert "victim" not in fam._cache
+        assert fam.positions("victim") == first
 
 
 class TestCompatibility:

@@ -206,6 +206,22 @@ class TestMerges:
         assert a.counters() == a_bits
         assert not a.merged
 
+    def test_decay_boundary_counter_exactly_equal_to_amount(self, family):
+        """A counter exactly equal to the decay amount is reset (value
+        must stay strictly positive to survive)."""
+        f = tcbf(family, initial_value=10.0)
+        f.insert("a")
+        f.decay(10.0)
+        assert f.is_empty()
+        assert f.min_counter("a") == 0.0
+
+    def test_decay_boundary_epsilon_above_amount_survives(self, family):
+        f = tcbf(family, initial_value=10.5)
+        f.insert("a")
+        f.decay(10.0)
+        assert "a" in f
+        assert f.min_counter("a") == pytest.approx(0.5)
+
     def test_fig3_a_and_m_merge_differ(self, family):
         """Fig. 3: A- and M-merge of the same operands differ in counters
         but agree in bits."""
@@ -220,6 +236,72 @@ class TestMerges:
         for p in overlap:
             assert am.counter(p) == 20
             assert mm.counter(p) == 10
+
+
+class TestMergeClockSkew:
+    """Edge cases of `_combine`'s clock alignment (other ahead/behind
+    self, zero-DF operands mixed with decaying ones)."""
+
+    def test_other_ahead_decays_self_before_combining(self, family):
+        a = tcbf(family, initial_value=50, decay_factor=2.0, time=0.0)
+        a.insert("x")
+        b = tcbf(family, initial_value=50, decay_factor=1.0, time=10.0)
+        b.insert("y")
+        a.m_merge(b)
+        # Self advanced 10 time units at DF=2 before the merge; the
+        # operand is at its own "now" so contributes undecayed.
+        assert a.time == 10.0
+        assert a.min_counter("x") == pytest.approx(30.0)
+        assert a.min_counter("y") == pytest.approx(50.0)
+
+    def test_other_behind_is_lag_decayed_at_its_own_df(self, family):
+        a = tcbf(family, initial_value=50, decay_factor=5.0, time=12.0)
+        b = tcbf(family, initial_value=50, decay_factor=2.0, time=4.0)
+        b.insert("y")
+        a.m_merge(b)
+        # Operand counters lose other.DF * skew = 2 * 8 = 16 — the
+        # *operand's* decay factor governs the catch-up, not self's.
+        assert a.time == 12.0
+        assert a.min_counter("y") == pytest.approx(34.0)
+
+    def test_zero_df_operand_behind_contributes_undecayed(self, family):
+        """A DF=0 operand never decays, however stale its clock is."""
+        a = tcbf(family, initial_value=50, decay_factor=1.0, time=100.0)
+        b = tcbf(family, initial_value=50, decay_factor=0.0, time=0.0)
+        b.insert("y")
+        a.a_merge(b)
+        assert a.min_counter("y") == pytest.approx(50.0)
+
+    def test_zero_df_self_keeps_counters_when_advanced_by_merge(self, family):
+        """Aligning a DF=0 target to a fresher operand must not decay it."""
+        a = tcbf(family, initial_value=50, decay_factor=0.0, time=0.0)
+        a.insert("x")
+        b = tcbf(family, initial_value=50, decay_factor=3.0, time=40.0)
+        b.insert("y")
+        a.a_merge(b)
+        assert a.time == 40.0
+        assert a.min_counter("x") == pytest.approx(50.0)
+        assert a.min_counter("y") == pytest.approx(50.0)
+
+    def test_operand_counter_exactly_equal_to_lag_is_dropped(self, family):
+        """Boundary: a counter that decays exactly to zero during the
+        skew catch-up contributes nothing (strictly-positive rule)."""
+        a = tcbf(family, initial_value=50, decay_factor=1.0, time=10.0)
+        b = tcbf(family, initial_value=10, decay_factor=1.0, time=0.0)
+        b.insert("y")  # 10 - 1.0 * 10 == 0 exactly
+        a.m_merge(b)
+        assert a.is_empty()
+        assert a.min_counter("y") == 0.0
+
+    def test_skewed_a_merge_sums_on_the_common_timeline(self, family):
+        a = tcbf(family, initial_value=50, decay_factor=1.0, time=0.0)
+        a.insert("x")
+        b = tcbf(family, initial_value=50, decay_factor=1.0, time=20.0)
+        b.insert("x")
+        a.a_merge(b)
+        # Self decays to 30 during alignment, then sums with the
+        # operand's fresh 50 on the shared t=20 timeline.
+        assert a.min_counter("x") == pytest.approx(80.0)
 
 
 class TestQueries:

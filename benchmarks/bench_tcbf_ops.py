@@ -21,6 +21,7 @@ from repro.core.backends import BACKENDS
 from repro.core.bloom import BloomFilter
 from repro.core.hashing import HashFamily
 from repro.core.tcbf import TemporalCountingBloomFilter
+from repro.obs import NULL_RECORDER
 from repro.workload.keys import twitter_trends_2009
 
 FAMILY = HashFamily(4, 256)
@@ -238,3 +239,63 @@ def test_bench_m_merge_by_backend(benchmark, backend):
         return target
 
     benchmark(merge)
+
+
+# ---------------------------------------------------------------------------
+# Observability: disabled instrumentation must be (near) free
+# ---------------------------------------------------------------------------
+
+#: Maximum tolerated slowdown of the kernels under the disabled
+#: `if recorder.enabled:` guard pattern protocol.py wraps them in.
+NULL_RECORDER_OVERHEAD_LIMIT = 1.05
+
+
+def test_bench_null_recorder_guard_overhead():
+    """With tracing disabled, the guard pattern costs < 5% on the kernels.
+
+    This times the same merge/decay/query kernel sequence the contact
+    procedure runs, bare versus wrapped in the exact ``if
+    recorder.enabled:`` guards used in ``repro.pubsub.protocol`` —
+    asserting the observability layer is effectively free when off.
+    Best-of-N minimum times with retries keep scheduler noise from
+    producing false failures.
+    """
+    recorder = NULL_RECORDER
+    filt = _loaded("array")
+    operand = _loaded("array")
+    BACKEND_FAMILY.positions_batch(BACKEND_PROBES)
+
+    def plain():
+        target = filt.copy()
+        target.m_merge(operand)
+        target.a_merge(operand)
+        target.decay(1.0)
+        target.query_batch(BACKEND_PROBES)
+
+    def guarded():
+        target = filt.copy()
+        if recorder.enabled:
+            recorder.emit("m_merge", t=0.0, node=0, peer=1)
+        target.m_merge(operand)
+        if recorder.enabled:
+            recorder.emit("a_merge", t=0.0, node=0, src=1, kind="consumer")
+        target.a_merge(operand)
+        if recorder.enabled:
+            recorder.emit("decay_tick", t=0.0, node=0, dt=1.0)
+        target.decay(1.0)
+        if recorder.enabled:
+            recorder.emit("forward", t=0.0, msg=0, src=0, dst=1)
+        target.query_batch(BACKEND_PROBES)
+
+    ratio = float("inf")
+    for _attempt in range(5):
+        baseline = _best_seconds(plain, rounds=50)
+        instrumented = _best_seconds(guarded, rounds=50)
+        ratio = min(ratio, instrumented / baseline)
+        if ratio <= NULL_RECORDER_OVERHEAD_LIMIT:
+            break
+    print(f"null-recorder guard overhead: {(ratio - 1) * 100:.2f}%")
+    assert ratio <= NULL_RECORDER_OVERHEAD_LIMIT, (
+        f"disabled instrumentation slows the kernels by "
+        f"{(ratio - 1) * 100:.1f}% (limit 5%)"
+    )

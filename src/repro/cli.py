@@ -3,7 +3,9 @@
 Gives downstream users the whole evaluation pipeline without writing
 code:
 
-* ``run``       — one simulation, one protocol, printed summary.
+* ``run``       — one simulation, one protocol, printed summary; add
+  ``--trace-out`` / ``--metrics-out`` for a structured event trace
+  (JSONL) and a metrics snapshot (see ``docs/observability.md``).
 * ``sweep-ttl`` — the Fig. 7/8 TTL sweep as series tables.
 * ``sweep-df``  — the Fig. 9 DF sweep as series tables.
 * ``tables``    — regenerate Table I and Table II.
@@ -23,6 +25,7 @@ from typing import List, Optional
 from .experiments import (
     DF_SWEEP_TTL_MIN,
     ascii_chart,
+    format_observability,
     PAPER_DF_VALUES_PER_MIN,
     PAPER_TTL_VALUES_MIN,
     ExperimentConfig,
@@ -44,6 +47,7 @@ from .traces import (
     load_whitespace_trace,
     mit_reality_like,
 )
+from .obs import Observability
 from .traces.mobility import MobilityConfig, simulate_mobility
 
 __all__ = ["main", "build_parser", "resolve_trace"]
@@ -110,9 +114,12 @@ def _config(args, **overrides) -> ExperimentConfig:
 def _cmd_run(args) -> int:
     trace = resolve_trace(args.trace, args.scale, args.seed)
     config = _config(
-        args, ttl_min=args.ttl_min, decay_factor_per_min=args.df
+        args, ttl_min=args.ttl_min, decay_factor_per_min=args.df,
+        num_bits=args.num_bits, num_hashes=args.num_hashes,
     )
-    result = run_experiment(trace, args.protocol, config)
+    observing = args.trace_out or args.metrics_out
+    obs = Observability.enabled() if observing else None
+    result = run_experiment(trace, args.protocol, config, obs=obs)
     s = result.summary
     rows = [
         ["trace", trace.name],
@@ -129,6 +136,15 @@ def _cmd_run(args) -> int:
         ["bytes transferred", round(result.engine.bytes_transferred)],
     ]
     print(format_table(["metric", "value"], rows, title="Run summary"))
+    if obs is not None:
+        print()
+        print(format_observability(obs))
+        if args.trace_out:
+            count = obs.tracer.write_jsonl(args.trace_out)
+            print(f"\nwrote {count} events to {args.trace_out}")
+        if args.metrics_out:
+            obs.registry.write_json(args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}")
     return 0
 
 
@@ -230,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ttl-min", type=float, default=600.0)
     run.add_argument("--df", type=float, default=None,
                      help="DF per minute (default: derive via Eq. 5)")
+    run.add_argument("--num-bits", type=int, default=256,
+                     help="filter size m in bits (default: 256)")
+    run.add_argument("--num-hashes", type=int, default=4,
+                     help="hash functions k per filter (default: 4)")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write the structured event trace as JSONL")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the metrics-registry snapshot as JSON")
     run.set_defaults(func=_cmd_run)
 
     sweep_ttl = commands.add_parser("sweep-ttl", help="Fig. 7/8 TTL sweep")

@@ -17,6 +17,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
+from ..obs.recorder import NULL_RECORDER
 from ..traces.model import Contact, ContactTrace
 from .bandwidth import BLUETOOTH_EFFECTIVE_BPS, ContactChannel
 from .events import MessageEvent
@@ -90,6 +91,11 @@ class Simulation:
     rate_bps:
         Effective per-contact link rate; ``None`` for infinite
         bandwidth.
+    recorder:
+        Observability recorder (:mod:`repro.obs`); when enabled, every
+        contact is emitted as a ``contact`` event *before* the protocol
+        handles it, so per-contact protocol events nest after their
+        announcing contact in the trace.
     """
 
     def __init__(
@@ -98,6 +104,7 @@ class Simulation:
         protocol: Protocol,
         message_events: Iterable[MessageEvent] = (),
         rate_bps: Optional[float] = BLUETOOTH_EFFECTIVE_BPS,
+        recorder=NULL_RECORDER,
     ):
         self.trace = trace
         self.protocol = protocol
@@ -105,6 +112,7 @@ class Simulation:
             message_events, key=lambda e: e.time
         )
         self.rate_bps = rate_bps
+        self.recorder = recorder
         self.report = SimulationReport()
         self._ran = False
 
@@ -140,6 +148,11 @@ class Simulation:
                 ci += 1
                 now = max(now, contact.start)
                 channel = ContactChannel(contact.duration, self.rate_bps)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "contact", t=contact.start, a=contact.a,
+                        b=contact.b, duration=float(contact.duration),
+                    )
                 self.protocol.on_contact(contact, channel, contact.start)
                 report.num_contacts += 1
                 report.bytes_transferred += channel.spent_bytes

@@ -11,6 +11,7 @@ from .replication import MetricStats, ReplicatedResult, run_replicated
 from .report import (
     ascii_chart,
     figure_series,
+    format_observability,
     format_table,
     metric_series,
     series_table,
@@ -50,6 +51,7 @@ __all__ = [
     "df_sweep",
     "execute_tasks",
     "figure_series",
+    "format_observability",
     "format_table",
     "format_table_i",
     "format_table_ii",

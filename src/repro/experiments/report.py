@@ -17,6 +17,7 @@ __all__ = [
     "metric_series",
     "figure_series",
     "ascii_chart",
+    "format_observability",
 ]
 
 
@@ -106,6 +107,45 @@ def figure_series(
 ) -> Dict[str, List[float]]:
     """protocol -> metric series, for feeding :func:`series_table`."""
     return {name: metric_series(results, metric) for name, results in sweep.items()}
+
+
+def format_observability(obs) -> str:
+    """Human-readable summary of one run's observability bundle.
+
+    Three stacked tables — event counts by type, phase wall-clock, and
+    the registry's headline counters — each omitted when its component
+    was not enabled on the :class:`~repro.obs.Observability` bundle.
+    """
+    sections = []
+    tracer = getattr(obs, "tracer", None)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        counts = tracer.counts()
+        rows = [[name, counts[name]] for name in sorted(counts)]
+        rows.append(["total", len(tracer.events)])
+        sections.append(
+            format_table(["event type", "count"], rows, title="Event trace")
+        )
+    if obs.timers is not None and obs.timers.summary():
+        total = obs.timers.total() or 1.0
+        rows = [
+            [name, round(seconds, 3), f"{seconds / total:.0%}", entries]
+            for name, seconds, entries in obs.timers.summary()
+        ]
+        sections.append(
+            format_table(
+                ["phase", "seconds", "share", "entries"], rows,
+                title="Phase timings",
+            )
+        )
+    if obs.registry is not None:
+        snapshot = obs.registry.to_dict()
+        rows = [[name, value] for name, value in snapshot["counters"].items()]
+        rows += [[name, value] for name, value in snapshot["gauges"].items()]
+        if rows:
+            sections.append(
+                format_table(["metric", "value"], rows, title="Metrics registry")
+            )
+    return "\n\n".join(sections)
 
 
 def ascii_chart(

@@ -9,11 +9,13 @@ DFs", Sec. VII-B).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional
 
 from ..core.analysis import expected_unique_keys, recommended_decay_factor
 from ..dtn.simulator import Simulation, SimulationReport
+from ..obs import NULL_RECORDER, Observability
 from ..pubsub.baselines import PullProtocol, PushProtocol
 from ..pubsub.extra_baselines import SprayAndWaitProtocol
 from ..pubsub.metrics import MetricsCollector, MetricsSummary
@@ -109,6 +111,8 @@ def _build_protocol(
     metrics: MetricsCollector,
     config: ExperimentConfig,
     decay_factor_per_min: float,
+    recorder=NULL_RECORDER,
+    registry=None,
 ):
     if name == "PUSH":
         return PushProtocol(
@@ -145,6 +149,8 @@ def _build_protocol(
                 eviction=config.eviction,
                 interest_encoding=config.interest_encoding,
             ),
+            recorder=recorder,
+            registry=registry,
         )
     raise ValueError(
         f"unknown protocol {name!r}; expected one of {ALL_PROTOCOLS}"
@@ -156,53 +162,109 @@ def run_experiment(
     protocol_name: str,
     config: Optional[ExperimentConfig] = None,
     distribution: Optional[KeyDistribution] = None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Run one (trace, protocol, config) simulation and aggregate metrics.
 
     Interests and the message workload are derived deterministically
     from the config seeds, so different protocols compared under the
     same config see the *identical* workload.
+
+    When an :class:`~repro.obs.Observability` bundle is passed, the
+    run is traced/metered through it: protocol events go to
+    ``obs.tracer``, end-of-run aggregates to ``obs.registry``, and
+    wall-clock to ``obs.timers`` (phases ``setup`` / ``simulate`` /
+    ``summarize``).  Observability never changes run behaviour — the
+    same seed produces identical results with and without it.
     """
     config = config or ExperimentConfig()
     distribution = distribution or twitter_trends_2009()
+    obs = obs or Observability.disabled()
 
-    interests = assign_interests(
-        trace.nodes,
-        distribution,
-        seed=config.interest_seed,
-        interests_per_node=config.interests_per_node,
-    )
-    workload = WorkloadConfig(
-        ttl_s=config.ttl_s,
-        min_rate_per_s=config.min_rate_per_s,
-        keys_per_message=config.keys_per_message,
-        seed=config.workload_seed,
-    )
-    events = generate_message_events(trace, distribution, workload)
+    with obs.phase("setup"):
+        interests = assign_interests(
+            trace.nodes,
+            distribution,
+            seed=config.interest_seed,
+            interests_per_node=config.interests_per_node,
+        )
+        workload = WorkloadConfig(
+            ttl_s=config.ttl_s,
+            min_rate_per_s=config.min_rate_per_s,
+            keys_per_message=config.keys_per_message,
+            seed=config.workload_seed,
+        )
+        events = generate_message_events(trace, distribution, workload)
 
-    if protocol_name == "B-SUB" and config.decay_factor_per_min is None:
-        df_per_min = derive_decay_factor(trace, config, distribution)
-    else:
-        df_per_min = config.decay_factor_per_min or 0.0
+        if protocol_name == "B-SUB" and config.decay_factor_per_min is None:
+            df_per_min = derive_decay_factor(trace, config, distribution)
+        else:
+            df_per_min = config.decay_factor_per_min or 0.0
 
-    metrics = MetricsCollector(interests, protocol_name)
-    protocol = _build_protocol(
-        protocol_name, interests, metrics, config, df_per_min
-    )
-    simulation = Simulation(
-        trace, protocol, events, rate_bps=config.rate_bps
-    )
-    engine_report = simulation.run()
+        metrics = MetricsCollector(interests, protocol_name)
+        protocol = _build_protocol(
+            protocol_name, interests, metrics, config, df_per_min,
+            recorder=obs.tracer, registry=obs.registry,
+        )
+        simulation = Simulation(
+            trace, protocol, events, rate_bps=config.rate_bps,
+            recorder=obs.tracer,
+        )
 
-    broker_fraction = (
-        protocol.broker_fraction() if isinstance(protocol, BsubProtocol) else 0.0
-    )
+    with obs.phase("simulate"):
+        engine_report = simulation.run()
+
+    with obs.phase("summarize"):
+        broker_fraction = (
+            protocol.broker_fraction()
+            if isinstance(protocol, BsubProtocol)
+            else 0.0
+        )
+        summary = metrics.summary()
+        if obs.registry is not None:
+            _harvest_run(obs, engine_report, summary)
     return RunResult(
         protocol=protocol_name,
         trace_name=trace.name,
         ttl_min=config.ttl_min,
         decay_factor_per_min=df_per_min,
-        summary=metrics.summary(),
+        summary=summary,
         engine=engine_report,
         broker_fraction=broker_fraction,
     )
+
+
+def _harvest_run(
+    obs: Observability, engine: SimulationReport, summary
+) -> None:
+    """Fold engine accounting and headline results into the registry."""
+    registry = obs.registry
+    registry.counter("engine_contacts_total").inc(engine.num_contacts)
+    registry.counter("engine_messages_created_total").inc(
+        engine.num_messages_created
+    )
+    registry.counter("engine_bytes_transferred_total").inc(
+        engine.bytes_transferred
+    )
+    registry.counter("engine_refused_transfers_total").inc(
+        engine.refused_transfers
+    )
+    registry.counter("engine_channels_exhausted_total").inc(
+        engine.channels_exhausted
+    )
+    registry.gauge("run_delivery_ratio").set(_finite(summary.delivery_ratio))
+    registry.gauge("run_mean_delay_s").set(_finite(summary.mean_delay_s))
+    registry.gauge("run_forwardings_per_delivered").set(
+        _finite(summary.forwardings_per_delivered)
+    )
+    registry.gauge("run_false_positive_ratio").set(
+        _finite(summary.false_positive_ratio)
+    )
+    registry.gauge("run_false_injection_ratio").set(
+        _finite(summary.false_injection_ratio)
+    )
+
+
+def _finite(value: float) -> float:
+    """NaN-free gauge value (canonical JSON forbids NaN)."""
+    return 0.0 if math.isnan(value) else value

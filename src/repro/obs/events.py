@@ -1,0 +1,114 @@
+"""Typed protocol events and their canonical JSONL encoding.
+
+A trace is a sequence of :class:`TraceEvent` records, one per
+protocol-level happening.  Eight event types cover the whole B-SUB
+contact procedure (paper Sec. V):
+
+=================  ============================================================
+type               meaning / load-bearing fields
+=================  ============================================================
+``contact``        two nodes meet (``a``, ``b``, ``duration``)
+``a_merge``        additive merge into a relay filter (``node``, ``src``,
+                   ``kind`` = ``consumer`` announcement | ``broker`` ablation,
+                   ``max_before``/``max_after``, and for announcements
+                   ``num_keys`` + ``min_key_counter_after``)
+``m_merge``        maximum merge between brokers (``node``, ``peer``,
+                   ``max_before``/``max_peer``/``max_after``)
+``decay_tick``     lazy decay applied to a relay filter (``node``, ``dt``,
+                   ``set_bits_before``/``set_bits_after``)
+``forward``        one message transmission (``msg``, ``src``, ``dst``,
+                   ``kind`` = ``direct`` | ``inject`` | ``relay``, ``size``,
+                   and for ``relay`` the preferential-query value ``pref``)
+``delivery``       a (message, node) delivery (``msg``, ``node``,
+                   ``intended`` ground-truth flag)
+``false_injection``  a producer→broker replication of a message no node is
+                   interested in — a pure relay-filter false positive
+                   (``msg``, ``src``, ``dst``)
+``broker_role``    the Sec. V-B election changed a node's role (``node``,
+                   ``action`` = ``promote`` | ``demote``, ``by``)
+=================  ============================================================
+
+Every event additionally carries ``seq`` (a 0-based sequence number
+assigned by the recorder) and ``t`` (simulation time, seconds).  The
+JSON encoding is canonical — compact separators, sorted keys — so a
+trace file is a deterministic function of protocol behaviour, and its
+SHA-256 digest (:func:`repro.obs.recorder.trace_digest`) can be pinned
+by golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["EVENT_TYPES", "TraceEvent"]
+
+#: The eight event types, in the order they are documented above.
+EVENT_TYPES = (
+    "contact",
+    "a_merge",
+    "m_merge",
+    "decay_tick",
+    "forward",
+    "delivery",
+    "false_injection",
+    "broker_role",
+)
+
+_EVENT_TYPE_SET = frozenset(EVENT_TYPES)
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars and other number-likes to plain Python.
+
+    JSON output must not depend on which backend produced a number:
+    ``np.float64(3.0)`` and ``3.0`` must encode identically.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if type(value) is int or type(value) is float:
+        return value
+    if hasattr(value, "item"):  # numpy scalar (including float64 subclasses)
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured protocol event."""
+
+    seq: int
+    t: float
+    type: str
+    fields: Dict[str, Any]
+
+    def __post_init__(self):
+        if self.type not in _EVENT_TYPE_SET:
+            raise ValueError(
+                f"unknown event type {self.type!r}; expected one of {EVENT_TYPES}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as one flat JSON-ready dict."""
+        record = {"seq": self.seq, "t": float(self.t), "type": self.type}
+        for key, value in self.fields.items():
+            if key in record:
+                raise ValueError(f"field {key!r} collides with an envelope key")
+            record[key] = _plain(value)
+        return record
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, compact separators)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from a parsed JSONL record."""
+        record = dict(record)
+        seq = record.pop("seq")
+        t = record.pop("t")
+        type_ = record.pop("type")
+        return cls(seq=seq, t=t, type=type_, fields=record)

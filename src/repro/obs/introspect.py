@@ -1,0 +1,27 @@
+"""Read-only filter introspection used when emitting merge events.
+
+Works across the three relay representations by duck typing — a
+:class:`~repro.core.tcbf.TemporalCountingBloomFilter`, a
+:class:`~repro.core.allocation.TCBFCollection` (``filters`` property),
+and an :class:`~repro.pubsub.exact.ExactInterestRelay` — all of which
+expose ``items()`` as (position-or-key, counter) pairs.  These helpers
+are only called behind a ``recorder.enabled`` guard, so their cost
+never reaches an uninstrumented run.
+"""
+
+from __future__ import annotations
+
+__all__ = ["relay_max_counter", "relay_set_bits"]
+
+
+def relay_max_counter(relay) -> float:
+    """The largest counter value anywhere in *relay* (0.0 when empty)."""
+    filters = getattr(relay, "filters", None)
+    if filters is not None:  # TCBFCollection
+        return max((relay_max_counter(f) for f in filters), default=0.0)
+    return max((float(counter) for _, counter in relay.items()), default=0.0)
+
+
+def relay_set_bits(relay) -> int:
+    """Set bits (TCBF) or stored keys (exact relay) in *relay*."""
+    return len(relay)

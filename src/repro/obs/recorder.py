@@ -1,0 +1,136 @@
+"""Event recorders: the no-op default and the in-memory tracer.
+
+The instrumented hot paths all follow the same pattern::
+
+    if recorder.enabled:
+        recorder.emit("forward", t=now, msg=..., src=..., dst=...)
+
+With the :data:`NULL_RECORDER` (the default everywhere) the guard is a
+single attribute load on a shared singleton, so the instrumentation
+costs nothing when observability is off — in particular, no event
+field is even computed.  A :class:`TraceRecorder` collects
+:class:`~repro.obs.events.TraceEvent` records in memory, can stream
+them to JSONL, and exposes a SHA-256 digest of the canonical encoding
+for golden-trace pinning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .events import EVENT_TYPES, TraceEvent
+
+__all__ = [
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "trace_digest",
+    "read_trace",
+]
+
+
+class NullRecorder:
+    """The do-nothing recorder (observability disabled).
+
+    ``enabled`` is a class attribute so call sites can guard on it
+    without any per-call overhead beyond one attribute load.
+    """
+
+    enabled = False
+
+    def emit(self, type: str, t: float, **fields) -> None:  # pragma: no cover
+        """Discard the event (never called behind an ``enabled`` guard)."""
+
+
+#: Shared process-wide null recorder — the default for every component.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects structured protocol events in memory.
+
+    Parameters
+    ----------
+    sink:
+        Optional writable text file object; when set, each event is
+        additionally written as one JSONL line at emit time (streaming
+        mode for runs too large to buffer).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None):
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+        self._sink = sink
+
+    def emit(self, type: str, t: float, **fields) -> None:
+        """Record one event, assigning the next sequence number."""
+        event = TraceEvent(seq=self._seq, t=float(t), type=type, fields=fields)
+        self._seq += 1
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(event.to_json() + "\n")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of(self, type: str) -> List[TraceEvent]:
+        """All recorded events of one type, in emit order."""
+        if type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type!r}; expected one of {EVENT_TYPES}"
+            )
+        return [e for e in self.events if e.type == type]
+
+    def counts(self) -> Dict[str, int]:
+        """type -> number of events (every type present, zeros included)."""
+        counts = {t: 0 for t in EVENT_TYPES}
+        for event in self.events:
+            counts[event.type] += 1
+        return counts
+
+    def to_jsonl(self) -> str:
+        """The whole trace as canonical JSONL (one event per line)."""
+        return "".join(event.to_json() + "\n" for event in self.events)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the trace to *path*; returns the number of events."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+        return len(self.events)
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical JSONL encoding."""
+        return trace_digest(self.events)
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 hex digest over the canonical JSONL lines of *events*.
+
+    Two runs with identical protocol behaviour produce identical
+    digests; any behavioural drift — an extra merge, a reordered
+    forward, a changed counter — changes it.
+    """
+    hasher = hashlib.sha256()
+    for event in events:
+        hasher.update(event.to_json().encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def read_trace(path: str, type: Optional[str] = None) -> Iterator[TraceEvent]:
+    """Iterate the events stored in a JSONL trace file.
+
+    Optionally filters to one event *type*.
+    """
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = TraceEvent.from_dict(json.loads(line))
+            if type is None or event.type == type:
+                yield event

@@ -1,0 +1,174 @@
+"""A small deterministic metrics registry.
+
+Three instrument kinds, mirroring the usual production trio:
+
+* :class:`Counter` — a monotone total (``inc``).
+* :class:`Gauge` — a point-in-time value (``set``).
+* :class:`Histogram` — observation counts in **fixed** buckets.  The
+  bucket edges are part of the instrument's identity, never derived
+  from the data, so the serialized output of a seeded run is
+  deterministic byte-for-byte.
+
+The registry serializes to a sorted, compactly separated JSON document
+(:meth:`MetricsRegistry.to_json`), which golden tests can compare as
+bytes.  Wall-clock phase timings (:mod:`repro.obs.timers`) are kept
+out of this document by design — they are never deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+def _plain(value: Number) -> Number:
+    """Normalise numpy scalars so JSON output is backend-independent."""
+    if type(value) is int or type(value) is float:
+        return value
+    if hasattr(value, "item"):  # numpy scalar (including float64 subclasses)
+        return value.item()
+    return value
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: cannot inc by {amount}")
+        self.value += _plain(amount)
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = _plain(value)
+
+
+class Histogram:
+    """Observation counts over fixed, pre-declared bucket edges.
+
+    ``edges`` are the *upper* bounds of the finite buckets; one
+    overflow bucket catches everything above the last edge.  An
+    observation lands in the first bucket whose edge is >= the value.
+    """
+
+    __slots__ = ("name", "edges", "buckets", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        if not edges:
+            raise ValueError(f"histogram {self.__class__.__name__} needs edges")
+        ordered = [float(e) for e in edges]
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ValueError(f"histogram {name!r}: edges must be strictly increasing")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(ordered)
+        self.buckets: List[int] = [0] * (len(ordered) + 1)  # + overflow
+        self.count = 0
+        self.total: float = 0.0
+
+    def observe(self, value: Number) -> None:
+        value = float(_plain(value))
+        self.buckets[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments with deterministic JSON serialization.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and re-fetched by name afterwards; re-declaring a histogram with
+    different edges is an error (the edges are part of its identity).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            if edges is None:
+                raise ValueError(
+                    f"histogram {name!r} does not exist yet; pass its edges"
+                )
+            histogram = self._histograms[name] = Histogram(name, edges)
+        elif edges is not None and tuple(float(e) for e in edges) != histogram.edges:
+            raise ValueError(
+                f"histogram {name!r} already declared with edges "
+                f"{histogram.edges}, got {tuple(edges)}"
+            )
+        return histogram
+
+    def to_dict(self) -> Dict[str, dict]:
+        """A nested plain-dict snapshot, keys sorted at every level."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "buckets": list(h.buckets),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, compact separators, newline-terminated)."""
+        return (
+            json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":"),
+                allow_nan=False,
+            )
+            + "\n"
+        )
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())

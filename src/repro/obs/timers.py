@@ -1,0 +1,54 @@
+"""Per-phase wall-clock timers.
+
+Answers "where does the time go inside a run?" — trace setup vs the
+simulation loop vs metric aggregation.  Timings are *observational
+only*: they are reported in the human-readable summary but are kept
+out of both the event trace and the metrics JSON, because wall-clock
+is never deterministic and would poison golden digests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Tuple
+
+__all__ = ["PhaseTimers"]
+
+
+class PhaseTimers:
+    """Accumulates wall-clock per named phase (re-entry accumulates)."""
+
+    def __init__(self):
+        self._elapsed: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one phase occurrence."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._elapsed:
+                self._order.append(name)
+                self._elapsed[name] = 0.0
+                self._counts[name] = 0
+            self._elapsed[name] += elapsed
+            self._counts[name] += 1
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds accumulated under *name* (0.0 if never entered)."""
+        return self._elapsed.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._elapsed.values())
+
+    def summary(self) -> List[Tuple[str, float, int]]:
+        """(phase, seconds, entries) rows in first-entry order."""
+        return [
+            (name, self._elapsed[name], self._counts[name])
+            for name in self._order
+        ]

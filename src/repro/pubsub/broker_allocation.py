@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, Set, Tuple
 
+from ..obs.recorder import NULL_RECORDER
+
 __all__ = ["BrokerElection", "StaticBrokerSet"]
 
 FIVE_HOURS_S = 5 * 3600.0
@@ -80,6 +82,9 @@ class BrokerElection:
     initial_brokers:
         Optional broker seed set (default: start with none and let the
         lower-bound rule bootstrap brokers from first meetings).
+    recorder:
+        Observability recorder; promotions/demotions are emitted as
+        ``broker_role`` events when it is enabled.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class BrokerElection:
         upper_bound: int = 5,
         window_s: float = FIVE_HOURS_S,
         initial_brokers: Iterable[int] = (),
+        recorder=NULL_RECORDER,
     ):
         if lower_bound < 0:
             raise ValueError(f"lower_bound must be >= 0, got {lower_bound}")
@@ -117,6 +123,7 @@ class BrokerElection:
         }
         self._promotions = 0
         self._demotions = 0
+        self.recorder = recorder
 
     # -- queries ---------------------------------------------------------------
 
@@ -170,10 +177,20 @@ class BrokerElection:
                 self._is_broker[peer] = True
                 self._known_broker_degrees[user][peer] = self.degree_of(peer)
                 self._promotions += 1
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "broker_role", t=now, action="promote",
+                        node=peer, by=user, degree=self.degree_of(peer),
+                    )
             elif action == "demote" and self._is_broker[peer]:
                 self._is_broker[peer] = False
                 self._known_broker_degrees[user].pop(peer, None)
                 self._demotions += 1
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "broker_role", t=now, action="demote",
+                        node=peer, by=user, degree=self.degree_of(peer),
+                    )
 
     def _decide(self, user: int, peer: int):
         """The user's election decision for this contact, if any."""

@@ -103,6 +103,7 @@ class MetricsCollector:
         )
         self._intended_recipients: Dict[int, FrozenSet[int]] = {}
         self._messages: Dict[int, Message] = {}
+        self._message_index: Dict[int, int] = {}
         self._delivered_pairs: Set[Tuple[int, int]] = set()
         self._records: List[DeliveryRecord] = []
         self._num_forwardings = 0
@@ -116,6 +117,7 @@ class MetricsCollector:
         """Declare a newly created message (computes intended recipients)."""
         if message.id in self._messages:
             raise ValueError(f"message {message.id} registered twice")
+        self._message_index[message.id] = len(self._messages)
         self._messages[message.id] = message
         self._intended_recipients[message.id] = frozenset(
             node
@@ -129,8 +131,11 @@ class MetricsCollector:
             raise ValueError(f"count must be >= 0, got {count}")
         self._num_forwardings += count
 
-    def record_injection(self, message: Message) -> None:
+    def record_injection(self, message: Message) -> Tuple[bool, bool]:
         """Count one producer-to-broker replication of *message*.
+
+        Returns ``(is_false, is_useless)`` so instrumentation can react
+        to the classification without recomputing it.
 
         Two flavours of waste are distinguished:
 
@@ -148,10 +153,13 @@ class MetricsCollector:
                 f"message {message.id} injected but never registered"
             )
         self._num_injections += 1
-        if not message.keys & self._all_interest_keys:
+        is_false = not message.keys & self._all_interest_keys
+        is_useless = not self._intended_recipients[message.id]
+        if is_false:
             self._num_false_injections += 1
-        if not self._intended_recipients[message.id]:
+        if is_useless:
             self._num_useless_injections += 1
+        return is_false, is_useless
 
     def record_delivery(self, message: Message, node: int, now: float) -> bool:
         """Record a delivery; returns False for duplicate (message, node) pairs.
@@ -183,6 +191,20 @@ class MetricsCollector:
     def was_delivered_to(self, message: Message, node: int) -> bool:
         """Whether (message, node) has already been recorded."""
         return (message.id, node) in self._delivered_pairs
+
+    def is_intended(self, message: Message, node: int) -> bool:
+        """Ground truth: is *node* an intended recipient of *message*?"""
+        return node in self._intended_recipients[message.id]
+
+    def message_index(self, message: Message) -> int:
+        """The 0-based creation index of *message* within this run.
+
+        Raw :attr:`Message.id` values come from a process-global
+        counter, so they depend on how many messages earlier runs in
+        the same process created; the creation index is the
+        run-relative, reproducible identifier the event trace uses.
+        """
+        return self._message_index[message.id]
 
     # -- aggregation ---------------------------------------------------------------
 

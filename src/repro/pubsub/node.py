@@ -132,6 +132,7 @@ class BsubNodeState:
         "eviction",
         "evictions",
         "rejected_carries",
+        "purged",
         "own",
         "copies_left",
         "carried",
@@ -212,6 +213,7 @@ class BsubNodeState:
         self.eviction = eviction
         self.evictions = 0
         self.rejected_carries = 0
+        self.purged = 0
         self.own = KeyedBuffer()
         self.copies_left: Dict[int, int] = {}
         self.carried = KeyedBuffer()
@@ -305,6 +307,7 @@ class BsubNodeState:
                 dropped += 1
             if self.carried.remove(message_id):
                 dropped += 1
+        self.purged += dropped
         return dropped
 
     def buffered_messages(self) -> Iterator[Message]:
@@ -319,6 +322,33 @@ class BsubNodeState:
     def interested_in(self, message: Message) -> bool:
         """Ground-truth interest check (exact local matching)."""
         return bool(message.keys & self.interests)
+
+    def obs_stats(self) -> Dict[str, float]:
+        """Lifetime per-node counters for the observability harvest.
+
+        Read once at the end of a run (never on the hot path); the
+        underlying integers are maintained unconditionally because a
+        bare ``+= 1`` on contact-level operations is free compared to
+        the filter work around it.
+        """
+        relay_fill = getattr(self.relay, "fill_ratio", None)
+        if relay_fill is None:
+            ratios_fn = getattr(self.relay, "fill_ratios", None)
+            if ratios_fn is not None:  # TCBFCollection: mean over filters
+                ratios = ratios_fn()
+
+                def relay_fill():
+                    return sum(ratios) / len(ratios) if ratios else 0.0
+        return {
+            "own_buffered": len(self.own),
+            "carried_buffered": len(self.carried),
+            "received": len(self.received),
+            "purged": self.purged,
+            "evictions": self.evictions,
+            "rejected_carries": self.rejected_carries,
+            "relay_set_bits": len(self.relay),
+            "relay_fill_ratio": float(relay_fill()) if relay_fill else 0.0,
+        }
 
     def __repr__(self) -> str:
         return (

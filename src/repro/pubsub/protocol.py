@@ -38,6 +38,9 @@ from ..core.hashing import DEFAULT_SEED, HashFamily
 from ..core.tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
 from ..dtn.bandwidth import ContactChannel
 from ..dtn.simulator import Protocol
+from ..obs.introspect import relay_max_counter
+from ..obs.recorder import NULL_RECORDER
+from ..obs.registry import MetricsRegistry
 from ..traces.model import Contact, ContactTrace
 from .adaptive import AdaptiveDecayConfig, AdaptiveDecayController
 from .broker_allocation import FIVE_HOURS_S, BrokerElection, StaticBrokerSet
@@ -142,16 +145,34 @@ class BsubProtocol(Protocol):
         interests: Dict[int, FrozenSet[str]],
         metrics: MetricsCollector,
         config: Optional[BsubConfig] = None,
+        recorder=NULL_RECORDER,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.config = config or BsubConfig()
         self.interests = interests
         self.metrics = metrics
+        self.recorder = recorder
+        self.registry = registry
         self.family = HashFamily(
             self.config.num_hashes, self.config.num_bits, self.config.seed
         )
         self.states: Dict[int, BsubNodeState] = {}
         self.election: Optional[BrokerElection] = None
         self.df_controllers: Dict[int, AdaptiveDecayController] = {}
+        # Always-on protocol-operation tallies (plain int increments on
+        # contact-level operations; harvested into the registry at
+        # finish()).  Kept outside the recorder so the metrics document
+        # is identical whether or not event tracing ran.
+        self.op_counts: Dict[str, int] = {
+            "a_merge_broker": 0,
+            "a_merge_consumer": 0,
+            "decay_ticks": 0,
+            "deliveries": 0,
+            "forward_direct": 0,
+            "forward_inject": 0,
+            "forward_relay": 0,
+            "m_merge": 0,
+        }
 
     # -- engine hooks ------------------------------------------------------------
 
@@ -191,6 +212,7 @@ class BsubProtocol(Protocol):
                 lower_bound=cfg.election_lower,
                 upper_bound=cfg.election_upper,
                 window_s=cfg.election_window_s,
+                recorder=self.recorder,
             )
 
     def on_message_created(self, node: int, message: Message, now: float) -> None:
@@ -205,12 +227,29 @@ class BsubProtocol(Protocol):
         election, interest propagation, and the three forwarding
         exchanges (see the module docstring for the walkthrough)."""
         a, b = contact.a, contact.b
+        recorder = self.recorder
         self.election.on_contact(a, b, now)
         sa, sb = self.states[a], self.states[b]
         sa.purge_expired(now)
         sb.purge_expired(now)
-        sa.relay.advance(now)
-        sb.relay.advance(now)
+        for state in (sa, sb):
+            ticking = (
+                state.relay.decay_factor > 0 and now > state.relay.time
+            )
+            if ticking:
+                self.op_counts["decay_ticks"] += 1
+                if recorder.enabled:
+                    dt = now - state.relay.time
+                    bits_before = len(state.relay)
+                    state.relay.advance(now)
+                    recorder.emit(
+                        "decay_tick", t=now, node=state.node_id, dt=dt,
+                        df=float(state.relay.decay_factor),
+                        set_bits_before=bits_before,
+                        set_bits_after=len(state.relay),
+                    )
+                    continue
+            state.relay.advance(now)
         a_is_broker = self.election.is_broker(a)
         b_is_broker = self.election.is_broker(b)
 
@@ -263,9 +302,9 @@ class BsubProtocol(Protocol):
 
         # 2. Producer -> broker replication (the ℂ-copy relay path).
         if b_is_broker and relay_b_arrives:
-            self._replicate_to_broker(sa, sb, relay_snap_b, channel)
+            self._replicate_to_broker(sa, sb, relay_snap_b, channel, now)
         if a_is_broker and relay_a_arrives:
-            self._replicate_to_broker(sb, sa, relay_snap_a, channel)
+            self._replicate_to_broker(sb, sa, relay_snap_a, channel, now)
 
         # 3. Broker <-> broker preferential forwarding, then merge.
         if a_is_broker and b_is_broker:
@@ -279,12 +318,45 @@ class BsubProtocol(Protocol):
                 )
             additive = self.config.broker_broker_additive_merge
             if relay_b_arrives:
-                self._merge_relay(sa, relay_snap_b, additive)
+                self._merge_relay(sa, b, relay_snap_b, additive, now)
             if relay_a_arrives:
-                self._merge_relay(sb, relay_snap_a, additive)
+                self._merge_relay(sb, a, relay_snap_a, additive, now)
 
     def finish(self, now: float) -> None:
-        """Nothing to flush: metrics were recorded online."""
+        """Harvest end-of-run state into the metrics registry (if any).
+
+        Delivery/forwarding metrics were recorded online by the
+        :class:`MetricsCollector`; this adds the protocol-internal view
+        — operation tallies, election churn, and per-node buffer/filter
+        distributions — none of which changes behaviour.
+        """
+        registry = self.registry
+        if registry is None:
+            return
+        for name in sorted(self.op_counts):
+            registry.counter(f"bsub_{name}_total").inc(self.op_counts[name])
+        registry.counter("bsub_broker_promotions_total").inc(
+            getattr(self.election, "promotions", 0)
+        )
+        registry.counter("bsub_broker_demotions_total").inc(
+            getattr(self.election, "demotions", 0)
+        )
+        registry.gauge("bsub_broker_fraction").set(self.broker_fraction())
+        registry.gauge("bsub_buffered_messages").set(self.buffered_message_count())
+        fill = registry.histogram(
+            "bsub_relay_fill_ratio",
+            edges=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        )
+        received = registry.histogram(
+            "bsub_node_received_messages",
+            edges=(0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
+        )
+        for node in sorted(self.states):
+            stats = self.states[node].obs_stats()
+            fill.observe(stats["relay_fill_ratio"])
+            received.observe(stats["received"])
+            for key in ("purged", "evictions", "rejected_carries"):
+                registry.counter(f"bsub_{key}_total").inc(stats[key])
 
     # -- control-plane helpers ---------------------------------------------------
 
@@ -341,28 +413,61 @@ class BsubProtocol(Protocol):
         broker meets a consumer, the higher its counter's value of the
         consumer's interests".
         """
+        recorder = self.recorder
+        max_before = (
+            relay_max_counter(broker.relay) if recorder.enabled else 0.0
+        )
+        self.op_counts["a_merge_consumer"] += 1
         if self.config.interest_encoding == "raw":
             broker.relay.announce(consumer.interests)
-            return
-        announcement = TemporalCountingBloomFilter(
-            family=self.family,
-            initial_value=self.config.initial_value,
-            decay_factor=0.0,
-            time=now,
-        )
-        announcement.insert_batch(list(consumer.interests))
-        broker.relay.a_merge(announcement)
+        else:
+            announcement = TemporalCountingBloomFilter(
+                family=self.family,
+                initial_value=self.config.initial_value,
+                decay_factor=0.0,
+                time=now,
+            )
+            announcement.insert_batch(list(consumer.interests))
+            broker.relay.a_merge(announcement)
+        if recorder.enabled:
+            keys = sorted(consumer.interests)
+            minima = [float(broker.relay.min_counter(k)) for k in keys]
+            recorder.emit(
+                "a_merge", t=now, kind="consumer",
+                node=broker.node_id, src=consumer.node_id,
+                num_keys=len(keys),
+                min_key_counter_after=min(minima) if minima else 0.0,
+                max_before=max_before,
+                max_after=relay_max_counter(broker.relay),
+            )
 
     def _merge_relay(
         self,
         broker: BsubNodeState,
+        peer: int,
         peer_relay_snapshot: TemporalCountingBloomFilter,
         additive: bool,
+        now: float,
     ) -> None:
+        recorder = self.recorder
+        max_before = (
+            relay_max_counter(broker.relay) if recorder.enabled else 0.0
+        )
         if additive:
+            self.op_counts["a_merge_broker"] += 1
             broker.relay.a_merge(peer_relay_snapshot)
         else:
+            self.op_counts["m_merge"] += 1
             broker.relay.m_merge(peer_relay_snapshot)
+        if recorder.enabled:
+            recorder.emit(
+                "a_merge" if additive else "m_merge", t=now,
+                node=broker.node_id, peer=peer,
+                max_before=max_before,
+                max_peer=relay_max_counter(peer_relay_snapshot),
+                max_after=relay_max_counter(broker.relay),
+                **({"kind": "broker"} if additive else {}),
+            )
 
     # -- data-plane helpers ----------------------------------------------------------
 
@@ -410,8 +515,26 @@ class BsubProtocol(Protocol):
                     ):
                         return
                     self.metrics.record_forwarding(message)
+                    self.op_counts["forward_direct"] += 1
+                    if self.recorder.enabled:
+                        self.recorder.emit(
+                            "forward", t=now, kind="direct", msg=self.metrics.message_index(message),
+                            src=holder.node_id, dst=consumer.node_id,
+                            size=float(message.size_bytes),
+                        )
                     consumer.mark_received(message.id)
-                    self.metrics.record_delivery(message, consumer.node_id, now)
+                    if self.metrics.record_delivery(
+                        message, consumer.node_id, now
+                    ):
+                        self.op_counts["deliveries"] += 1
+                        if self.recorder.enabled:
+                            self.recorder.emit(
+                                "delivery", t=now, msg=self.metrics.message_index(message),
+                                node=consumer.node_id,
+                                intended=self.metrics.is_intended(
+                                    message, consumer.node_id
+                                ),
+                            )
 
     def _replicate_to_broker(
         self,
@@ -419,6 +542,7 @@ class BsubProtocol(Protocol):
         broker: BsubNodeState,
         relay_snapshot: TemporalCountingBloomFilter,
         channel: ContactChannel,
+        now: float,
     ) -> None:
         """Push own messages matching the broker's relay filter (ℂ-limited)."""
         if relay_snapshot.is_empty():
@@ -444,7 +568,19 @@ class BsubProtocol(Protocol):
                 ):
                     return
                 self.metrics.record_forwarding(message)
-                self.metrics.record_injection(message)
+                self.op_counts["forward_inject"] += 1
+                is_false, _ = self.metrics.record_injection(message)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "forward", t=now, kind="inject", msg=self.metrics.message_index(message),
+                        src=producer.node_id, dst=broker.node_id,
+                        size=float(message.size_bytes),
+                    )
+                    if is_false:
+                        self.recorder.emit(
+                            "false_injection", t=now, msg=self.metrics.message_index(message),
+                            src=producer.node_id, dst=broker.node_id,
+                        )
                 broker.carry(message)
                 producer.consume_copy(message.id)
                 self._maybe_self_delivery(
@@ -481,7 +617,7 @@ class BsubProtocol(Protocol):
             if preference > 0.0
         ]
         ranked_keys.sort(key=lambda item: (-item[0], item[1]))
-        for _, key in ranked_keys:
+        for preference, key in ranked_keys:
             for message_id in sender.carried.ids_for(key):
                 if receiver.has(message_id):
                     continue
@@ -497,6 +633,13 @@ class BsubProtocol(Protocol):
                 ):
                     return
                 self.metrics.record_forwarding(message)
+                self.op_counts["forward_relay"] += 1
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "forward", t=now, kind="relay", msg=self.metrics.message_index(message),
+                        src=sender.node_id, dst=receiver.node_id,
+                        size=float(message.size_bytes), pref=preference,
+                    )
                 receiver.carry(message)
                 sender.drop_carried(message.id)
                 self._maybe_self_delivery(receiver, message, channel_time=now)
@@ -510,7 +653,16 @@ class BsubProtocol(Protocol):
         """
         if node.interested_in(message) and message.id not in node.received:
             node.mark_received(message.id)
-            self.metrics.record_delivery(message, node.node_id, channel_time)
+            if self.metrics.record_delivery(message, node.node_id, channel_time):
+                self.op_counts["deliveries"] += 1
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "delivery", t=channel_time, msg=self.metrics.message_index(message),
+                        node=node.node_id,
+                        intended=self.metrics.is_intended(
+                            message, node.node_id
+                        ),
+                    )
 
     # -- introspection ----------------------------------------------------------------
 

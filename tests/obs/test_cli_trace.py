@@ -1,0 +1,67 @@
+"""End-to-end CLI acceptance for ``--trace-out`` / ``--metrics-out``.
+
+The deliberately tiny 32-bit filters make relay-filter false positives
+(and hence ``false_injection`` events) occur, so one seeded CLI run
+exercises the full eight-type event vocabulary.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs import EVENT_TYPES, read_trace
+
+RUN_ARGS = [
+    "run",
+    "--trace", "haggle",
+    "--scale", "0.01",
+    "--seed", "3",
+    "--protocol", "B-SUB",
+    "--ttl-min", "120",
+    "--num-bits", "32",
+    "--num-hashes", "2",
+]
+
+
+class TestCliTraceOutput:
+    def test_traced_run_emits_all_event_types(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.jsonl"
+        metrics_path = tmp_path / "run.metrics.json"
+        code = main(
+            RUN_ARGS
+            + ["--trace-out", str(trace_path), "--metrics-out", str(metrics_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Event trace" in out
+        assert "Phase timings" in out
+        assert "Metrics registry" in out
+
+        # The JSONL file is valid line-delimited JSON covering all
+        # eight event types, with dense sequence numbers.
+        seen = set()
+        for i, line in enumerate(trace_path.read_text().splitlines()):
+            record = json.loads(line)
+            assert record["seq"] == i
+            seen.add(record["type"])
+        assert seen == set(EVENT_TYPES)
+        assert len(list(read_trace(str(trace_path)))) == i + 1
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["bsub_deliveries_total"] > 0
+        assert metrics["counters"]["bsub_m_merge_total"] > 0
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+
+    def test_summary_table_identical_without_flags(self, tmp_path, capsys):
+        # With observability off (no flags) the CLI output must be
+        # byte-identical to the head of the instrumented run's output:
+        # instrumentation only appends, never perturbs.
+        code = main(RUN_ARGS)
+        plain = capsys.readouterr().out
+        assert code == 0
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        code = main(RUN_ARGS + ["--trace-out", str(trace_path)])
+        traced = capsys.readouterr().out
+        assert code == 0
+        assert traced.startswith(plain)
+        assert trace_path.exists()

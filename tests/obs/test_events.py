@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.obs.events`."""
+
+import json
+
+import pytest
+
+from repro.obs import EVENT_TYPES, TraceEvent
+
+
+class TestEventTypes:
+    def test_exactly_eight_types(self):
+        assert len(EVENT_TYPES) == 8
+        assert len(set(EVENT_TYPES)) == 8
+
+    def test_expected_vocabulary(self):
+        assert set(EVENT_TYPES) == {
+            "contact",
+            "a_merge",
+            "m_merge",
+            "decay_tick",
+            "forward",
+            "delivery",
+            "false_injection",
+            "broker_role",
+        }
+
+
+class TestTraceEvent:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            TraceEvent(seq=0, t=0.0, type="teleport", fields={})
+
+    def test_to_dict_is_flat(self):
+        event = TraceEvent(
+            seq=3, t=12.5, type="forward", fields={"msg": 7, "src": 1, "dst": 2}
+        )
+        assert event.to_dict() == {
+            "seq": 3, "t": 12.5, "type": "forward", "msg": 7, "src": 1, "dst": 2,
+        }
+
+    def test_envelope_collision_rejected(self):
+        event = TraceEvent(seq=0, t=0.0, type="contact", fields={"seq": 99})
+        with pytest.raises(ValueError, match="collides"):
+            event.to_dict()
+
+    def test_to_json_is_canonical(self):
+        event = TraceEvent(seq=0, t=1.0, type="contact", fields={"b": 2, "a": 1})
+        line = event.to_json()
+        assert line == '{"a":1,"b":2,"seq":0,"t":1.0,"type":"contact"}'
+        # Canonical means: parsing and re-encoding reproduces the bytes.
+        assert (
+            json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+            == line
+        )
+
+    def test_numpy_scalars_coerced(self):
+        np = pytest.importorskip("numpy")
+        event = TraceEvent(
+            seq=0, t=0.0, type="decay_tick",
+            fields={"dt": np.float64(2.5), "bits": np.int64(4)},
+        )
+        record = event.to_dict()
+        assert type(record["dt"]) is float and record["dt"] == 2.5
+        assert type(record["bits"]) is int and record["bits"] == 4
+
+    def test_nan_rejected(self):
+        event = TraceEvent(
+            seq=0, t=0.0, type="delivery", fields={"x": float("nan")}
+        )
+        with pytest.raises(ValueError):
+            event.to_json()
+
+    def test_from_dict_roundtrip(self):
+        event = TraceEvent(
+            seq=5, t=30.0, type="delivery",
+            fields={"msg": 1, "node": 4, "intended": True},
+        )
+        rebuilt = TraceEvent.from_dict(json.loads(event.to_json()))
+        assert rebuilt == event
+        assert rebuilt.to_json() == event.to_json()

@@ -1,0 +1,111 @@
+"""Golden-trace regression tests.
+
+Pin SHA-256 digests of the canonical JSONL event trace (and of the
+metrics-registry JSON) produced by seeded mini-runs.  Any behavioural
+drift in the protocol — an extra merge, a reordered forward, a changed
+counter value — changes the digest and fails these tests.
+
+If a digest changes because of an *intentional* protocol or
+instrumentation change, re-derive the constants below by running the
+scenario (see ``conftest.MINI_FIG7_TRACE`` / ``MINI_FIG7_CONFIG``) and
+pasting the new ``obs.tracer.digest()`` value; mention the re-pin in
+the commit message.
+"""
+
+import hashlib
+import json
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.obs import EVENT_TYPES, Observability, read_trace
+from repro.traces import haggle_like
+
+from .conftest import run_mini_fig7
+
+# Mini Fig. 7 (Haggle-style run, 32-bit filters): conftest scenario.
+MINI_FIG7_TRACE_DIGEST = (
+    "a513d899aee89484dd37ad99e96a65271ec21c507024359bd940125a7fdbf54e"
+)
+MINI_FIG7_REGISTRY_DIGEST = (
+    "8f99655406707da01692e0f5e1de0b4b33ca93d430a11ae9b684391b43c6c703"
+)
+MINI_FIG7_EVENT_COUNTS = {
+    "contact": 719,
+    "a_merge": 1238,
+    "m_merge": 1040,
+    "decay_tick": 1436,
+    "forward": 9943,
+    "delivery": 4078,
+    "false_injection": 142,
+    "broker_role": 70,
+}
+
+# Mini Fig. 9 (DF sweep at two decay factors, same trace/geometry).
+MINI_FIG9_TRACE = dict(scale=0.01, seed=5)
+MINI_FIG9_DIGESTS = {
+    0.1: "b3b61a26a971ee3f741eb4445cc00f6f32d555e1037858bba7c99e903f0d97d2",
+    2.0: "c8de5d2cbcae89ebe3b7de1577131ad7ea6ec1ead25f6324d08bfb2454d117d8",
+}
+
+
+class TestMiniFig7Golden:
+    def test_trace_digest_pinned(self, mini_fig7):
+        obs, _ = mini_fig7
+        assert obs.tracer.digest() == MINI_FIG7_TRACE_DIGEST
+
+    def test_event_counts_pinned(self, mini_fig7):
+        obs, _ = mini_fig7
+        assert obs.tracer.counts() == MINI_FIG7_EVENT_COUNTS
+
+    def test_all_eight_event_types_occur(self, mini_fig7):
+        obs, _ = mini_fig7
+        counts = obs.tracer.counts()
+        assert all(counts[t] > 0 for t in EVENT_TYPES), counts
+
+    def test_registry_digest_pinned(self, mini_fig7):
+        obs, _ = mini_fig7
+        digest = hashlib.sha256(obs.registry.to_json().encode()).hexdigest()
+        assert digest == MINI_FIG7_REGISTRY_DIGEST
+
+    def test_same_seed_reproduces_trace_exactly(self, mini_fig7):
+        obs, _ = mini_fig7
+        repeat = Observability.enabled()
+        run_mini_fig7(repeat)
+        assert repeat.tracer.digest() == obs.tracer.digest()
+        assert repeat.registry.to_json() == obs.registry.to_json()
+
+    def test_trace_survives_jsonl_roundtrip(self, mini_fig7, tmp_path):
+        obs, _ = mini_fig7
+        path = tmp_path / "mini_fig7.jsonl"
+        count = obs.tracer.write_jsonl(str(path))
+        assert count == len(obs.tracer.events)
+        events = list(read_trace(str(path)))
+        assert events == obs.tracer.events
+        # Every line is valid, canonical, self-describing JSON.
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["type"] in EVENT_TYPES
+            assert record["seq"] >= 0
+
+    def test_event_times_monotone_per_sequence(self, mini_fig7):
+        # seq is emit order; simulation time may only move forward
+        # between contacts, and every protocol event carries the time
+        # of its enclosing contact.
+        obs, _ = mini_fig7
+        contact_times = [e.t for e in obs.tracer.events_of("contact")]
+        assert contact_times == sorted(contact_times)
+
+
+class TestMiniFig9Golden:
+    def test_df_sweep_digests_pinned(self):
+        trace = haggle_like(**MINI_FIG9_TRACE)
+        for df, expected in MINI_FIG9_DIGESTS.items():
+            config = ExperimentConfig(
+                ttl_min=120.0,
+                min_rate_per_s=1 / 1800.0,
+                num_bits=32,
+                num_hashes=2,
+                decay_factor_per_min=df,
+            )
+            obs = Observability.enabled()
+            run_experiment(trace, "B-SUB", config, obs=obs)
+            assert obs.tracer.digest() == expected, f"DF={df}"

@@ -1,0 +1,65 @@
+"""Observability must only observe.
+
+A seeded run's *behaviour* — its MetricsSummary, its engine
+accounting — must be identical whether observability is absent
+(``obs=None``), explicitly disabled, or fully enabled.  The recorder
+pattern guarantees it structurally (``if recorder.enabled:`` guards
+around every emit), and these tests enforce it end to end.
+
+Timing overhead is asserted separately in
+``benchmarks/bench_tcbf_ops.py`` (kept out of tier-1 so wall-clock
+noise cannot fail the suite).
+"""
+
+from repro.obs import NULL_RECORDER, Observability
+
+from .conftest import run_mini_fig7
+
+
+def _summaries_equal(a, b):
+    # MetricsSummary is a frozen dataclass of numbers; direct equality
+    # is exact (and the mini run has deliveries, so no NaN fields).
+    return a == b
+
+
+class TestBehaviourUnchanged:
+    def test_plain_run_matches_instrumented_run(self, mini_fig7):
+        obs, instrumented = mini_fig7
+        plain = run_mini_fig7(obs=None)
+        assert _summaries_equal(plain.summary, instrumented.summary)
+        assert plain.engine.bytes_transferred == (
+            instrumented.engine.bytes_transferred
+        )
+        assert plain.engine.num_contacts == instrumented.engine.num_contacts
+        assert plain.broker_fraction == instrumented.broker_fraction
+
+    def test_disabled_bundle_matches_instrumented_run(self, mini_fig7):
+        _, instrumented = mini_fig7
+        disabled = Observability.disabled()
+        result = run_mini_fig7(obs=disabled)
+        assert _summaries_equal(result.summary, instrumented.summary)
+        # A disabled bundle must stay disabled: nothing recorded.
+        assert disabled.tracer is NULL_RECORDER
+        assert disabled.registry is None
+
+    def test_null_recorder_never_accumulates(self):
+        # The null recorder is a shared singleton: if any code path
+        # wrote state into it, every later run would see it.
+        assert not hasattr(NULL_RECORDER, "events")
+        NULL_RECORDER.emit("contact", t=0.0, a=1, b=2)
+        assert not hasattr(NULL_RECORDER, "events")
+
+
+class TestOpCountsAlwaysOn:
+    def test_op_counts_identical_with_and_without_tracing(self, mini_fig7):
+        # The protocol's plain-int op counters are maintained whether
+        # or not events are traced, so registry output never depends
+        # on the tracer being on.
+        obs, instrumented = mini_fig7
+        counts = obs.tracer.counts()
+        plain = run_mini_fig7(obs=None)
+        # Cross-check against the trace: the always-on counters and
+        # the event stream must agree event-for-event.
+        assert counts["delivery"] == plain.summary.num_deliveries
+        assert counts["forward"] == plain.summary.num_forwardings
+        assert counts["false_injection"] == plain.summary.num_false_injections

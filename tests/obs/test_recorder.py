@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.obs.recorder`."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    read_trace,
+    trace_digest,
+)
+
+
+class TestNullRecorder:
+    def test_disabled_flag_is_class_attribute(self):
+        # Hot paths guard on `recorder.enabled`; the null recorder must
+        # answer False without any instance state.
+        assert NullRecorder.enabled is False
+        assert NULL_RECORDER.enabled is False
+
+    def test_emit_is_a_no_op(self):
+        assert NULL_RECORDER.emit("contact", t=0.0, a=1, b=2) is None
+
+
+class TestTraceRecorder:
+    def test_enabled(self):
+        assert TraceRecorder().enabled is True
+
+    def test_sequence_numbers_are_dense(self):
+        rec = TraceRecorder()
+        rec.emit("contact", t=1.0, a=0, b=1)
+        rec.emit("forward", t=2.0, msg=0, src=0, dst=1)
+        rec.emit("delivery", t=2.0, msg=0, node=1, intended=True)
+        assert [e.seq for e in rec.events] == [0, 1, 2]
+        assert len(rec) == 3
+
+    def test_events_of_filters_by_type(self):
+        rec = TraceRecorder()
+        rec.emit("contact", t=1.0, a=0, b=1)
+        rec.emit("forward", t=2.0, msg=0, src=0, dst=1)
+        rec.emit("contact", t=3.0, a=1, b=2)
+        assert [e.t for e in rec.events_of("contact")] == [1.0, 3.0]
+        with pytest.raises(ValueError, match="unknown event type"):
+            rec.events_of("nope")
+
+    def test_counts_include_zero_types(self):
+        rec = TraceRecorder()
+        rec.emit("contact", t=1.0, a=0, b=1)
+        counts = rec.counts()
+        assert set(counts) == set(EVENT_TYPES)
+        assert counts["contact"] == 1
+        assert counts["m_merge"] == 0
+
+    def test_jsonl_roundtrip_through_file(self, tmp_path):
+        rec = TraceRecorder()
+        rec.emit("contact", t=1.0, a=0, b=1, duration=60.0)
+        rec.emit("broker_role", t=2.0, node=1, action="promote", by=0)
+        path = tmp_path / "trace.jsonl"
+        assert rec.write_jsonl(str(path)) == 2
+        events = list(read_trace(str(path)))
+        assert events == rec.events
+        only_roles = list(read_trace(str(path), type="broker_role"))
+        assert [e.type for e in only_roles] == ["broker_role"]
+
+    def test_streaming_sink_matches_buffered_encoding(self):
+        sink = io.StringIO()
+        rec = TraceRecorder(sink=sink)
+        rec.emit("contact", t=1.0, a=0, b=1)
+        rec.emit("decay_tick", t=5.0, node=0, dt=4.0)
+        assert sink.getvalue() == rec.to_jsonl()
+
+    def test_digest_depends_on_content(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.emit("contact", t=1.0, a=0, b=1)
+        b.emit("contact", t=1.0, a=0, b=1)
+        assert a.digest() == b.digest()
+        b.emit("contact", t=2.0, a=0, b=2)
+        assert a.digest() != b.digest()
+
+    def test_digest_is_not_line_concatenation_ambiguous(self):
+        # Two events must never hash like one longer event.
+        one = TraceRecorder()
+        one.emit("contact", t=1.0, a=0, b=1)
+        assert trace_digest(one.events) == one.digest()
+        empty = TraceRecorder()
+        assert empty.digest() != one.digest()
+
+    def test_jsonl_lines_parse_individually(self):
+        rec = TraceRecorder()
+        rec.emit("forward", t=1.0, msg=0, src=0, dst=1, kind="direct", size=100)
+        for line in rec.to_jsonl().splitlines():
+            record = json.loads(line)
+            assert record["type"] in EVENT_TYPES

@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.obs.registry`."""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="cannot inc"):
+            counter.inc(-1)
+
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_fixed_edges_bucketing(self):
+        h = Histogram("delay", edges=[1.0, 2.0, 5.0])
+        for value in [0.5, 1.0, 1.5, 4.0, 100.0]:
+            h.observe(value)
+        # buckets: <=1, <=2, <=5, overflow
+        assert h.buckets == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.mean == pytest.approx(107.0 / 5)
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=[1.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", edges=[2.0, 1.0])
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=[])
+
+    def test_registry_requires_edges_on_creation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="pass its edges"):
+            reg.histogram("h")
+        h = reg.histogram("h", edges=[1.0, 2.0])
+        assert reg.histogram("h") is h
+        assert reg.histogram("h", edges=[1.0, 2.0]) is h
+
+    def test_edge_redeclaration_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=[1.0, 2.0])
+        with pytest.raises(ValueError, match="already declared"):
+            reg.histogram("h", edges=[1.0, 3.0])
+
+
+class TestSerialization:
+    def test_to_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zulu").inc()
+        reg.counter("alpha").inc(2)
+        reg.gauge("mid").set(0.5)
+        snapshot = reg.to_dict()
+        assert list(snapshot["counters"]) == ["alpha", "zulu"]
+        assert snapshot["gauges"] == {"mid": 0.5}
+
+    def test_to_json_is_canonical_and_newline_terminated(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h", edges=[1.0]).observe(0.5)
+        text = reg.to_json()
+        assert text.endswith("\n")
+        body = text[:-1]
+        assert (
+            json.dumps(json.loads(body), sort_keys=True, separators=(",", ":"))
+            == body
+        )
+
+    def test_identical_usage_identical_bytes(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("forwards").inc(10)
+            reg.gauge("ratio").set(0.25)
+            h = reg.histogram("fill", edges=[0.1, 0.5, 1.0])
+            for v in (0.05, 0.45, 0.99):
+                h.observe(v)
+            return reg
+
+        assert build().to_json() == build().to_json()
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        path = tmp_path / "metrics.json"
+        reg.write_json(str(path))
+        assert path.read_text() == reg.to_json()
+
+    def test_numpy_values_serialize_as_plain(self):
+        np = pytest.importorskip("numpy")
+        reg = MetricsRegistry()
+        reg.counter("n").inc(np.int64(3))
+        reg.gauge("g").set(np.float64(0.5))
+        snapshot = json.loads(reg.to_json())
+        assert snapshot["counters"]["n"] == 3
+        assert snapshot["gauges"]["g"] == 0.5

@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.obs.timers` and the Observability bundle."""
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_RECORDER,
+    Observability,
+    PhaseTimers,
+    TraceRecorder,
+)
+
+
+class TestPhaseTimers:
+    def test_accumulates_across_reentry(self):
+        timers = PhaseTimers()
+        with timers.phase("work"):
+            pass
+        with timers.phase("work"):
+            pass
+        summary = timers.summary()
+        assert len(summary) == 1
+        name, seconds, entries = summary[0]
+        assert name == "work"
+        assert entries == 2
+        assert seconds >= 0.0
+        assert timers.elapsed("work") == seconds
+
+    def test_unknown_phase_elapsed_is_zero(self):
+        assert PhaseTimers().elapsed("nope") == 0.0
+
+    def test_summary_preserves_first_entry_order(self):
+        timers = PhaseTimers()
+        for name in ("setup", "simulate", "setup", "summarize"):
+            with timers.phase(name):
+                pass
+        assert [row[0] for row in timers.summary()] == [
+            "setup", "simulate", "summarize",
+        ]
+
+    def test_records_time_even_on_exception(self):
+        timers = PhaseTimers()
+        try:
+            with timers.phase("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert timers.summary()[0][2] == 1
+
+    def test_total_sums_phases(self):
+        timers = PhaseTimers()
+        with timers.phase("a"):
+            pass
+        with timers.phase("b"):
+            pass
+        assert timers.total() == timers.elapsed("a") + timers.elapsed("b")
+
+
+class TestObservabilityBundle:
+    def test_default_is_fully_disabled(self):
+        obs = Observability()
+        assert obs.tracer is NULL_RECORDER
+        assert obs.registry is None
+        assert obs.timers is None
+
+    def test_disabled_classmethod(self):
+        obs = Observability.disabled()
+        assert obs.tracer.enabled is False
+        assert obs.registry is None
+
+    def test_enabled_classmethod(self):
+        obs = Observability.enabled()
+        assert isinstance(obs.tracer, TraceRecorder)
+        assert isinstance(obs.registry, MetricsRegistry)
+        assert isinstance(obs.timers, PhaseTimers)
+
+    def test_phase_is_noop_without_timers(self):
+        obs = Observability.disabled()
+        with obs.phase("anything"):
+            pass  # must not raise and must not create state
+
+    def test_phase_times_with_timers(self):
+        obs = Observability.enabled()
+        with obs.phase("setup"):
+            pass
+        assert obs.timers.summary()[0][0] == "setup"

@@ -18,6 +18,9 @@ Bloom-Filter-Based Publish-Subscribe System for Human Networks"
   assignment, centrality-scaled message generation.
 * :mod:`repro.experiments` — the harness that regenerates every table
   and figure of the paper's evaluation.
+* :mod:`repro.faults` — deterministic fault injection (frame loss,
+  truncation, corruption, node churn) for resilience studies.
+* :mod:`repro.api` — the typed public entry points re-exported here.
 
 Quickstart::
 
@@ -29,13 +32,13 @@ Quickstart::
     interests.advance(now=600.0)          # decays the counters
     assert "NewMoon" not in interests     # temporal deletion
 
-or run a full pub-sub simulation::
+or run a full pub-sub simulation through the typed API::
 
+    from repro import ExperimentSpec, run
     from repro.traces import haggle_like
-    from repro.experiments import ExperimentConfig, run_experiment
 
-    result = run_experiment(haggle_like(scale=0.1), "B-SUB",
-                            ExperimentConfig(ttl_min=600))
+    result = run(haggle_like(scale=0.1),
+                 ExperimentSpec(protocol="B-SUB", ttl_min=600))
     print(result.summary.delivery_ratio)
 """
 
@@ -55,13 +58,15 @@ from .pubsub import (
     PushProtocol,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BloomFilter",
     "BsubConfig",
     "BsubProtocol",
     "CountingBloomFilter",
+    "ExperimentSpec",
+    "FaultSpec",
     "HashFamily",
     "Message",
     "MetricsCollector",
@@ -70,4 +75,28 @@ __all__ = [
     "TCBFCollection",
     "TemporalCountingBloomFilter",
     "__version__",
+    "replicate",
+    "resilience",
+    "run",
+    "sweep",
 ]
+
+# The api/faults layers pull in the experiment harness (numpy-heavy);
+# resolve them lazily so `import repro` stays cheap for filter-only use.
+_LAZY_API = ("ExperimentSpec", "run", "sweep", "replicate", "resilience")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_API:
+        from . import api
+
+        return getattr(api, name)
+    if name == "FaultSpec":
+        from .faults.spec import FaultSpec
+
+        return FaultSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

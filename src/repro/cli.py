@@ -5,7 +5,9 @@ code:
 
 * ``run``       — one simulation, one protocol, printed summary; add
   ``--trace-out`` / ``--metrics-out`` for a structured event trace
-  (JSONL) and a metrics snapshot (see ``docs/observability.md``).
+  (JSONL) and a metrics snapshot (see ``docs/observability.md``), or
+  ``--faults loss=0.1,crash=2`` to inject faults and print the
+  degradation against the fault-free twin (see ``docs/faults.md``).
 * ``sweep-ttl`` — the Fig. 7/8 TTL sweep as series tables.
 * ``sweep-df``  — the Fig. 9 DF sweep as series tables.
 * ``tables``    — regenerate Table I and Table II.
@@ -22,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import ExperimentSpec, resilience, run, sweep
 from .experiments import (
     DF_SWEEP_TTL_MIN,
     ascii_chart,
@@ -29,16 +32,14 @@ from .experiments import (
     PAPER_DF_VALUES_PER_MIN,
     PAPER_TTL_VALUES_MIN,
     ExperimentConfig,
-    df_sweep,
     figure_series,
     format_table,
     format_table_i,
     format_table_ii,
     metric_series,
-    run_experiment,
     series_table,
-    ttl_sweep,
 )
+from .faults import FaultSpec
 from .traces import (
     ContactTrace,
     compute_stats,
@@ -113,13 +114,21 @@ def _config(args, **overrides) -> ExperimentConfig:
 
 def _cmd_run(args) -> int:
     trace = resolve_trace(args.trace, args.scale, args.seed)
+    faults = FaultSpec.parse(args.faults) if args.faults else None
     config = _config(
         args, ttl_min=args.ttl_min, decay_factor_per_min=args.df,
         num_bits=args.num_bits, num_hashes=args.num_hashes,
+        faults=faults,
     )
+    spec = ExperimentSpec.from_config(config, protocol=args.protocol)
     observing = args.trace_out or args.metrics_out
     obs = Observability.enabled() if observing else None
-    result = run_experiment(trace, args.protocol, config, obs=obs)
+    report = None
+    if faults is not None and faults.enabled:
+        report = resilience(trace, spec, obs=obs)
+        result = report.faulted
+    else:
+        result = run(trace, spec, obs=obs)
     s = result.summary
     rows = [
         ["trace", trace.name],
@@ -136,6 +145,12 @@ def _cmd_run(args) -> int:
         ["bytes transferred", round(result.engine.bytes_transferred)],
     ]
     print(format_table(["metric", "value"], rows, title="Run summary"))
+    if report is not None:
+        print()
+        print(format_table(
+            ["metric", "faulted", "fault-free"], report.rows(),
+            title=f"Resilience vs fault-free twin ({faults.describe()})",
+        ))
     if obs is not None:
         print()
         print(format_observability(obs))
@@ -151,15 +166,14 @@ def _cmd_run(args) -> int:
 def _cmd_sweep_ttl(args) -> int:
     trace = resolve_trace(args.trace, args.scale, args.seed)
     ttls = args.ttl or list(PAPER_TTL_VALUES_MIN)
-    sweep = ttl_sweep(
-        trace, ttl_values_min=ttls, base_config=_config(args), jobs=args.jobs
-    )
+    spec = ExperimentSpec.from_config(_config(args))
+    results = sweep(trace, spec, ttl_min=ttls, jobs=args.jobs)
     for metric, title in [
         ("delivery_ratio", "Delivery ratio"),
         ("delay_min", "Delay (minutes)"),
         ("forwardings", "Forwardings per delivered message"),
     ]:
-        data = figure_series(sweep, metric)
+        data = figure_series(results, metric)
         print(series_table("TTL(min)", ttls, data,
                            title=f"{title} — {trace.name}"))
         print()
@@ -171,10 +185,8 @@ def _cmd_sweep_ttl(args) -> int:
 def _cmd_sweep_df(args) -> int:
     trace = resolve_trace(args.trace, args.scale, args.seed)
     dfs = args.df_values or list(PAPER_DF_VALUES_PER_MIN)
-    results = df_sweep(
-        trace, df_values_per_min=dfs, ttl_min=args.ttl_min,
-        base_config=_config(args), jobs=args.jobs,
-    )
+    spec = ExperimentSpec.from_config(_config(args, ttl_min=args.ttl_min))
+    results = sweep(trace, spec, df_per_min=dfs, jobs=args.jobs)
     for metric, title in [
         ("delivery_ratio", "Delivery ratio"),
         ("delay_min", "Delay (minutes)"),
@@ -244,12 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--protocol", default="B-SUB",
                      choices=["PUSH", "B-SUB", "PULL", "SPRAY"])
     run.add_argument("--ttl-min", type=float, default=600.0)
-    run.add_argument("--df", type=float, default=None,
+    run.add_argument("--df", "--df-per-min", type=float, default=None,
                      help="DF per minute (default: derive via Eq. 5)")
-    run.add_argument("--num-bits", type=int, default=256,
+    run.add_argument("--num-bits", "--m", type=int, default=256,
                      help="filter size m in bits (default: 256)")
-    run.add_argument("--num-hashes", type=int, default=4,
+    run.add_argument("--num-hashes", "--k", type=int, default=4,
                      help="hash functions k per filter (default: 4)")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject faults and compare against the fault-free "
+                          "twin; SPEC is e.g. "
+                          "'loss=0.1,trunc=0.05,crash=2,downtime=1800,"
+                          "mode=age,seed=3' (see docs/faults.md)")
     run.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write the structured event trace as JSONL")
     run.add_argument("--metrics-out", default=None, metavar="PATH",

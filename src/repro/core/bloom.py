@@ -26,6 +26,7 @@ import numpy as np
 
 from .backends import make_bit_store, resolve_backend
 from .hashing import DEFAULT_SEED, HashFamily
+from .params import resolve_param
 
 __all__ = ["BloomFilter"]
 
@@ -47,18 +48,26 @@ class BloomFilter:
     backend:
         ``"dict"`` or ``"array"`` bit storage (``None`` -> the process
         default, see :mod:`repro.core.backends`).
+    m, k:
+        Keyword-only paper-notation aliases for ``num_bits`` /
+        ``num_hashes``; passing both spellings is a ``TypeError``.
     """
 
     __slots__ = ("family", "backend", "_store")
 
     def __init__(
         self,
-        num_bits: int = 256,
-        num_hashes: int = 4,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
         backend: Optional[str] = None,
+        *,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
     ):
+        num_bits = resolve_param("num_bits", num_bits, "m", m, 256)
+        num_hashes = resolve_param("num_hashes", num_hashes, "k", k, 4)
         self.family = family if family is not None else HashFamily(
             num_hashes, num_bits, seed
         )
@@ -158,14 +167,18 @@ class BloomFilter:
     def of(
         cls,
         keys: Iterable[str],
-        num_bits: int = 256,
-        num_hashes: int = 4,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
         backend: Optional[str] = None,
+        *,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
     ) -> "BloomFilter":
         """Build a filter containing every key in *keys*."""
-        bf = cls(num_bits, num_hashes, seed, family=family, backend=backend)
+        bf = cls(num_bits, num_hashes, seed, family=family, backend=backend,
+                 m=m, k=k)
         bf.insert_batch(list(keys))
         return bf
 

@@ -25,23 +25,33 @@ import numpy as np
 from .backends import make_counter_store, resolve_backend
 from .bloom import BloomFilter
 from .hashing import DEFAULT_SEED, HashFamily
+from .params import resolve_param
 
 __all__ = ["CountingBloomFilter"]
 
 
 class CountingBloomFilter:
-    """A counting Bloom filter supporting insert, delete, and query."""
+    """A counting Bloom filter supporting insert, delete, and query.
+
+    ``m`` / ``k`` are keyword-only paper-notation aliases for
+    ``num_bits`` / ``num_hashes``.
+    """
 
     __slots__ = ("family", "backend", "_store")
 
     def __init__(
         self,
-        num_bits: int = 256,
-        num_hashes: int = 4,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
         backend: Optional[str] = None,
+        *,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
     ):
+        num_bits = resolve_param("num_bits", num_bits, "m", m, 256)
+        num_hashes = resolve_param("num_hashes", num_hashes, "k", k, 4)
         self.family = family if family is not None else HashFamily(
             num_hashes, num_bits, seed
         )

@@ -1,0 +1,38 @@
+"""Keyword-alias resolution for filter parameters.
+
+The paper writes filter geometry as ``m`` (bits) and ``k`` (hash
+functions) and the decay factor as ``DF``; the library spells them
+``num_bits``, ``num_hashes``, and ``decay_factor``.  Constructors
+accept both: the canonical name and a keyword-only paper-style alias
+(``m`` / ``k`` / ``df``).  Passing both spellings explicitly is a
+``TypeError`` — silently preferring one would hide a caller bug.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TypeVar
+
+__all__ = ["resolve_param"]
+
+T = TypeVar("T")
+
+
+def resolve_param(
+    name: str,
+    value: Optional[T],
+    alias: str,
+    alias_value: Optional[T],
+    default: T,
+) -> T:
+    """Pick between a canonical parameter and its alias.
+
+    Both are ``None``-sentinel keywords; whichever was given wins, the
+    *default* applies when neither was, and giving both raises.
+    """
+    if alias_value is None:
+        return default if value is None else value
+    if value is not None:
+        raise TypeError(
+            f"got values for both {name!r} and its alias {alias!r}; pass one"
+        )
+    return alias_value

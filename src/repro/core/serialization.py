@@ -92,19 +92,63 @@ def encode_bloom(bf: BloomFilter) -> bytes:
     return header + _pack_raw_bits(positions, bf.num_bits)
 
 
-def decode_bloom(
-    data: bytes, family: HashFamily, backend: Optional[str] = None
-) -> BloomFilter:
-    """Decode :func:`encode_bloom` output against a known hash family."""
+def _checked_header(data: bytes, family: HashFamily) -> Tuple[int, int, int]:
+    """Parse and sanity-check the common filter header.
+
+    Raises ``ValueError`` (never struct/index errors) on short input,
+    geometry mismatch, or a set-bit count exceeding the filter size —
+    the defences a receiver of corrupted bytes needs before trusting
+    any length derived from the header.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError(
+            f"filter header needs {_HEADER.size} bytes, got {len(data)}"
+        )
     tag, num_bits, count = _HEADER.unpack_from(data)
     if num_bits != family.num_bits:
         raise ValueError(
             f"encoded filter has m={num_bits}, family expects {family.num_bits}"
         )
+    if count > num_bits:
+        raise ValueError(f"claims {count} set bits in an m={num_bits} filter")
+    return tag, num_bits, count
+
+
+def _require(body: bytes, needed: int, what: str) -> None:
+    if len(body) < needed:
+        raise ValueError(f"truncated filter body: {what} needs {needed} bytes, "
+                         f"got {len(body)}")
+
+
+def _checked_locations(
+    body: bytes, count: int, width: int, num_bits: int
+) -> Tuple[int, ...]:
+    positions = _unpack_locations(body, count, width)
+    for position in positions:
+        if position >= num_bits:
+            raise ValueError(
+                f"bit location {position} out of range for m={num_bits}"
+            )
+    return positions
+
+
+def decode_bloom(
+    data: bytes, family: HashFamily, backend: Optional[str] = None
+) -> BloomFilter:
+    """Decode :func:`encode_bloom` output against a known hash family.
+
+    Raises ``ValueError`` on any malformed input — short buffers,
+    geometry mismatches, impossible counts, out-of-range locations —
+    and never reads past the supplied bytes.
+    """
+    tag, num_bits, count = _checked_header(data, family)
     body = data[_HEADER.size :]
     if tag == _TAG_LOCATIONS:
-        positions = _unpack_locations(body, count, _location_bytes(num_bits))
+        width = _location_bytes(num_bits)
+        _require(body, count * width, f"{count} locations")
+        positions = _checked_locations(body, count, width, num_bits)
     elif tag == _TAG_RAW_BITS:
+        _require(body, (num_bits + 7) // 8, "the raw bit-vector")
         positions = _unpack_raw_bits(body, num_bits)
     else:
         raise ValueError(f"unexpected wire tag {tag:#x} for a plain BF")
@@ -190,12 +234,13 @@ def decode_tcbf(
 
     The resulting filter is marked *merged* — a received filter is never
     an insertion target (Sec. IV-A), only a merge operand.
+
+    Raises ``ValueError`` on any malformed input — short buffers,
+    impossible counts, out-of-range locations, or a non-finite /
+    non-positive counter scale — and never reads past the supplied
+    bytes.
     """
-    tag, num_bits, count = _HEADER.unpack_from(data)
-    if num_bits != family.num_bits:
-        raise ValueError(
-            f"encoded filter has m={num_bits}, family expects {family.num_bits}"
-        )
+    tag, num_bits, count = _checked_header(data, family)
     width = _location_bytes(num_bits)
     body = data[_HEADER.size :]
     tcbf = TemporalCountingBloomFilter(
@@ -205,32 +250,40 @@ def decode_tcbf(
         time=time,
         backend=backend,
     )
-    if tag == _TAG_FULL_COUNTERS:
-        (scale,) = _SCALE.unpack_from(body)
-        body = body[_SCALE.size :]
-        positions = _unpack_locations(body, count, width)
-        values = body[count * width : count * width + count]
-        for position, raw in zip(positions, values):
-            tcbf._set_counter(position, raw * scale)
-    elif tag == _TAG_RAW_FULL_COUNTERS:
-        (scale,) = _SCALE.unpack_from(body)
-        body = body[_SCALE.size :]
-        vector_len = (num_bits + 7) // 8
-        positions = _unpack_raw_bits(body[:vector_len], num_bits)
-        values = body[vector_len : vector_len + count]
-        for position, raw in zip(positions, values):  # ascending order
-            tcbf._set_counter(position, raw * scale)
-    elif tag == _TAG_SHARED_COUNTER:
-        (scale,) = _SCALE.unpack_from(body)
-        shared = body[_SCALE.size]
-        positions = _unpack_locations(body[_SCALE.size + 1 :], count, width)
-        for position in positions:
-            tcbf._set_counter(position, shared * scale)
-    else:
+    if tag not in (_TAG_FULL_COUNTERS, _TAG_RAW_FULL_COUNTERS, _TAG_SHARED_COUNTER):
         raise ValueError(
             f"unexpected wire tag {tag:#x} for a TCBF (use decode_bloom "
             "for counter-stripped filters)"
         )
+    _require(body, _SCALE.size, "the counter scale")
+    (scale,) = _SCALE.unpack_from(body)
+    if not math.isfinite(scale) or scale <= 0.0:
+        raise ValueError(f"counter scale must be finite and positive, got {scale}")
+    body = body[_SCALE.size :]
+    if tag == _TAG_FULL_COUNTERS:
+        _require(body, count * width + count, f"{count} locations + counters")
+        positions = _checked_locations(body, count, width, num_bits)
+        values = body[count * width : count * width + count]
+        for position, raw in zip(positions, values):
+            tcbf._set_counter(position, raw * scale)
+    elif tag == _TAG_RAW_FULL_COUNTERS:
+        vector_len = (num_bits + 7) // 8
+        _require(body, vector_len + count, "the bit-vector + counters")
+        positions = _unpack_raw_bits(body[:vector_len], num_bits)
+        if len(positions) != count:
+            raise ValueError(
+                f"bit-vector has {len(positions)} set bits but header "
+                f"claims {count}"
+            )
+        values = body[vector_len : vector_len + count]
+        for position, raw in zip(positions, values):  # ascending order
+            tcbf._set_counter(position, raw * scale)
+    else:  # _TAG_SHARED_COUNTER
+        _require(body, 1 + count * width, "the shared counter + locations")
+        shared = body[0]
+        positions = _checked_locations(body[1:], count, width, num_bits)
+        for position in positions:
+            tcbf._set_counter(position, shared * scale)
     tcbf._merged = True
     return tcbf
 

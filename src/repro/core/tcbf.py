@@ -52,6 +52,7 @@ import numpy as np
 from .backends import make_counter_store, resolve_backend
 from .bloom import BloomFilter
 from .hashing import DEFAULT_SEED, HashFamily
+from .params import resolve_param
 
 __all__ = ["TemporalCountingBloomFilter", "DEFAULT_INITIAL_VALUE"]
 
@@ -77,6 +78,10 @@ class TemporalCountingBloomFilter:
     backend:
         ``"dict"`` or ``"array"`` counter storage (``None`` -> the
         process default, see :mod:`repro.core.backends`).
+    m, k, df:
+        Keyword-only paper-notation aliases for ``num_bits`` /
+        ``num_hashes`` / ``decay_factor``; passing both spellings of a
+        parameter is a ``TypeError``.
     """
 
     __slots__ = (
@@ -91,15 +96,22 @@ class TemporalCountingBloomFilter:
 
     def __init__(
         self,
-        num_bits: int = 256,
-        num_hashes: int = 4,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
         initial_value: float = DEFAULT_INITIAL_VALUE,
-        decay_factor: float = 0.0,
+        decay_factor: Optional[float] = None,
         time: float = 0.0,
         backend: Optional[str] = None,
+        *,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        df: Optional[float] = None,
     ):
+        num_bits = resolve_param("num_bits", num_bits, "m", m, 256)
+        num_hashes = resolve_param("num_hashes", num_hashes, "k", k, 4)
+        decay_factor = resolve_param("decay_factor", decay_factor, "df", df, 0.0)
         if initial_value <= 0:
             raise ValueError(f"initial_value must be positive, got {initial_value}")
         if decay_factor < 0:
@@ -356,14 +368,18 @@ class TemporalCountingBloomFilter:
     def of(
         cls,
         keys: Iterable[str],
-        num_bits: int = 256,
-        num_hashes: int = 4,
+        num_bits: Optional[int] = None,
+        num_hashes: Optional[int] = None,
         seed: int = DEFAULT_SEED,
         family: Optional[HashFamily] = None,
         initial_value: float = DEFAULT_INITIAL_VALUE,
-        decay_factor: float = 0.0,
+        decay_factor: Optional[float] = None,
         time: float = 0.0,
         backend: Optional[str] = None,
+        *,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        df: Optional[float] = None,
     ) -> "TemporalCountingBloomFilter":
         """A fresh TCBF containing every key in *keys*."""
         tcbf = cls(
@@ -375,6 +391,9 @@ class TemporalCountingBloomFilter:
             decay_factor=decay_factor,
             time=time,
             backend=backend,
+            m=m,
+            k=k,
+            df=df,
         )
         tcbf.insert_batch(list(keys))
         return tcbf

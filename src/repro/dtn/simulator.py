@@ -57,6 +57,18 @@ class Protocol(abc.ABC):
     def finish(self, now: float) -> None:
         """Called once after the last event (trace end time)."""
 
+    def on_node_crashed(self, node: int, now: float, mode: str = "wipe") -> None:
+        """Fault injection: *node* crashed at *now*, losing volatile state.
+
+        ``mode="wipe"`` loses everything; ``mode="age"`` may keep
+        state that plausibly survives on flash (protocol-defined).
+        Default: no-op, for protocols that carry no volatile state
+        worth modelling.
+        """
+
+    def on_node_recovered(self, node: int, now: float) -> None:
+        """Fault injection: *node* came back online at *now*.  Default no-op."""
+
 
 @dataclass
 class SimulationReport:
@@ -96,6 +108,13 @@ class Simulation:
         contact is emitted as a ``contact`` event *before* the protocol
         handles it, so per-contact protocol events nest after their
         announcing contact in the trace.
+    faults:
+        Optional fault plan (duck-typed — see
+        :class:`repro.faults.FaultPlan`): supplies churn via
+        ``advance(now, protocol)`` / ``is_down(node)``, per-contact
+        channels via ``make_channel(contact, index, rate_bps)``, and
+        degradation tallies via ``accounting``.  ``None`` (the default)
+        takes the exact fault-free code path.
     """
 
     def __init__(
@@ -105,6 +124,7 @@ class Simulation:
         message_events: Iterable[MessageEvent] = (),
         rate_bps: Optional[float] = BLUETOOTH_EFFECTIVE_BPS,
         recorder=NULL_RECORDER,
+        faults=None,
     ):
         self.trace = trace
         self.protocol = protocol
@@ -113,6 +133,7 @@ class Simulation:
         )
         self.rate_bps = rate_bps
         self.recorder = recorder
+        self.faults = faults
         self.report = SimulationReport()
         self._ran = False
 
@@ -130,6 +151,7 @@ class Simulation:
         contacts: Sequence[Contact] = self.trace.contacts
         events = self.message_events
         report = self.report
+        faults = self.faults
 
         ci = mi = 0
         now = 0.0
@@ -141,13 +163,32 @@ class Simulation:
                 event = events[mi]
                 mi += 1
                 now = max(now, event.time)
+                if faults is not None:
+                    faults.advance(event.time, self.protocol)
+                    if faults.is_down(event.node):
+                        # The producer's device is off: the message is
+                        # never created (it still shrinks the intended
+                        # workload, which is the point).
+                        faults.accounting.messages_skipped += 1
+                        continue
                 self.protocol.on_message_created(event.node, event.message, event.time)
                 report.num_messages_created += 1
             else:
                 contact = contacts[ci]
+                index = ci
                 ci += 1
                 now = max(now, contact.start)
-                channel = ContactChannel(contact.duration, self.rate_bps)
+                if faults is not None:
+                    faults.advance(contact.start, self.protocol)
+                    if faults.is_down(contact.a) or faults.is_down(contact.b):
+                        # A crashed endpoint cannot communicate; the
+                        # contact never happens at the protocol level.
+                        faults.accounting.contacts_skipped += 1
+                        report.num_contacts += 1
+                        continue
+                    channel = faults.make_channel(contact, index, self.rate_bps)
+                else:
+                    channel = ContactChannel(contact.duration, self.rate_bps)
                 if self.recorder.enabled:
                     self.recorder.emit(
                         "contact", t=contact.start, a=contact.a,
@@ -173,6 +214,11 @@ class Simulation:
                     )
 
         end_time = max(now, self.trace.end_time)
+        if faults is not None:
+            # Drain churn events due before the end so recoveries are
+            # accounted and the protocol sees a consistent final state.
+            faults.advance(end_time, self.protocol)
+            report.extra["faults"] = faults.accounting.as_dict()
         self.protocol.finish(end_time)
         report.end_time = end_time
         return report

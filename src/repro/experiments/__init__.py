@@ -8,6 +8,7 @@ from .config import (
 )
 from .parallel import RunTask, execute_tasks, resolve_jobs
 from .replication import MetricStats, ReplicatedResult, run_replicated
+from .resilience import ResilienceReport, resilience_report
 from .report import (
     ascii_chart,
     figure_series,
@@ -42,6 +43,7 @@ __all__ = [
     "MetricStats",
     "PROTOCOL_NAMES",
     "ReplicatedResult",
+    "ResilienceReport",
     "RunResult",
     "RunTask",
     "ALL_PROTOCOLS",
@@ -56,6 +58,7 @@ __all__ = [
     "format_table_i",
     "format_table_ii",
     "metric_series",
+    "resilience_report",
     "resolve_jobs",
     "run_experiment",
     "run_replicated",

@@ -10,6 +10,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..dtn.bandwidth import BLUETOOTH_EFFECTIVE_BPS
+from ..faults.spec import FaultSpec
 from ..pubsub.adaptive import AdaptiveDecayConfig
 
 __all__ = [
@@ -70,6 +71,9 @@ class ExperimentConfig:
     push_summary_exchange: str = "free"
     spray_copies: int = 8
     interest_encoding: str = "tcbf"
+    #: Fault-injection model (:mod:`repro.faults`).  ``None`` — or a
+    #: spec with every rate at zero — takes the exact fault-free path.
+    faults: Optional[FaultSpec] = None
 
     @property
     def ttl_s(self) -> float:
@@ -80,3 +84,6 @@ class ExperimentConfig:
 
     def with_df(self, df_per_min: Optional[float]) -> "ExperimentConfig":
         return replace(self, decay_factor_per_min=df_per_min)
+
+    def with_faults(self, faults: Optional[FaultSpec]) -> "ExperimentConfig":
+        return replace(self, faults=faults)

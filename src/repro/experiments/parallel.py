@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 from ..traces.model import ContactTrace
 from ..workload.keys import KeyDistribution
 from .config import ExperimentConfig
-from .runner import RunResult, run_experiment
+from .runner import RunResult, _run_experiment
 
 __all__ = ["RunTask", "execute_tasks", "resolve_jobs"]
 
@@ -58,7 +58,7 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _execute(task: RunTask) -> RunResult:
-    return run_experiment(
+    return _run_experiment(
         task.trace, task.protocol_name, task.config, task.distribution
     )
 

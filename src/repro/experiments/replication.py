@@ -10,6 +10,7 @@ what EXPERIMENTS.md reports.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -60,6 +61,26 @@ class ReplicatedResult:
 
 
 def run_replicated(
+    trace_factory: Callable[[int], ContactTrace],
+    protocol_name: str,
+    config: Optional[ExperimentConfig] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
+) -> ReplicatedResult:
+    """Deprecated alias for :func:`repro.api.replicate` (same behaviour)."""
+    warnings.warn(
+        "run_replicated() is deprecated; use repro.api.replicate("
+        "trace_factory, spec, seeds=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_replicated(
+        trace_factory, protocol_name, config, seeds, distribution, jobs
+    )
+
+
+def _run_replicated(
     trace_factory: Callable[[int], ContactTrace],
     protocol_name: str,
     config: Optional[ExperimentConfig] = None,

@@ -10,11 +10,13 @@ DFs", Sec. VII-B).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 from ..core.analysis import expected_unique_keys, recommended_decay_factor
 from ..dtn.simulator import Simulation, SimulationReport
+from ..faults.plan import FaultPlan
 from ..obs import NULL_RECORDER, Observability
 from ..pubsub.baselines import PullProtocol, PushProtocol
 from ..pubsub.extra_baselines import SprayAndWaitProtocol
@@ -52,6 +54,9 @@ class RunResult:
     summary: MetricsSummary
     engine: SimulationReport
     broker_fraction: float
+    #: Fault-injection tallies (``None`` for a fault-free run); see
+    #: :class:`repro.faults.FaultAccounting` for the keys.
+    fault_accounting: Optional[Dict[str, int]] = field(default=None)
 
 
 def average_peers_met_within(trace: ContactTrace, window_s: float) -> float:
@@ -164,6 +169,28 @@ def run_experiment(
     distribution: Optional[KeyDistribution] = None,
     obs: Optional[Observability] = None,
 ) -> RunResult:
+    """Deprecated alias for :func:`repro.api.run` (same behaviour).
+
+    Kept as a thin shim so existing callers keep working; new code
+    should build a typed :class:`repro.api.ExperimentSpec` and call
+    :func:`repro.api.run` instead.
+    """
+    warnings.warn(
+        "run_experiment() is deprecated; use repro.api.run(trace, "
+        "ExperimentSpec(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_experiment(trace, protocol_name, config, distribution, obs)
+
+
+def _run_experiment(
+    trace: ContactTrace,
+    protocol_name: str,
+    config: Optional[ExperimentConfig] = None,
+    distribution: Optional[KeyDistribution] = None,
+    obs: Optional[Observability] = None,
+) -> RunResult:
     """Run one (trace, protocol, config) simulation and aggregate metrics.
 
     Interests and the message workload are derived deterministically
@@ -176,6 +203,11 @@ def run_experiment(
     wall-clock to ``obs.timers`` (phases ``setup`` / ``simulate`` /
     ``summarize``).  Observability never changes run behaviour — the
     same seed produces identical results with and without it.
+
+    When ``config.faults`` is an enabled :class:`repro.faults.FaultSpec`,
+    a :class:`repro.faults.FaultPlan` is threaded through the simulator
+    and the run's fault tallies land in ``RunResult.fault_accounting``;
+    a ``None``/disabled spec takes the byte-identical fault-free path.
     """
     config = config or ExperimentConfig()
     distribution = distribution or twitter_trends_2009()
@@ -206,9 +238,12 @@ def run_experiment(
             protocol_name, interests, metrics, config, df_per_min,
             recorder=obs.tracer, registry=obs.registry,
         )
+        plan = None
+        if config.faults is not None and config.faults.enabled:
+            plan = FaultPlan(config.faults, trace, recorder=obs.tracer)
         simulation = Simulation(
             trace, protocol, events, rate_bps=config.rate_bps,
-            recorder=obs.tracer,
+            recorder=obs.tracer, faults=plan,
         )
 
     with obs.phase("simulate"):
@@ -223,6 +258,14 @@ def run_experiment(
         summary = metrics.summary()
         if obs.registry is not None:
             _harvest_run(obs, engine_report, summary)
+            if plan is not None:
+                # Fault counters only exist for faulted runs, so the
+                # metrics document of a fault-free run is unchanged.
+                tallies = plan.accounting.as_dict()
+                for name in sorted(tallies):
+                    obs.registry.counter(f"faults_{name}_total").inc(
+                        tallies[name]
+                    )
     return RunResult(
         protocol=protocol_name,
         trace_name=trace.name,
@@ -231,6 +274,9 @@ def run_experiment(
         summary=summary,
         engine=engine_report,
         broker_fraction=broker_fraction,
+        fault_accounting=(
+            plan.accounting.as_dict() if plan is not None else None
+        ),
     )
 
 

@@ -8,6 +8,7 @@ path for any ``jobs`` value.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from ..traces.model import ContactTrace
@@ -25,6 +26,26 @@ __all__ = ["ttl_sweep", "df_sweep"]
 
 
 def ttl_sweep(
+    trace: ContactTrace,
+    ttl_values_min: Sequence[float] = PAPER_TTL_VALUES_MIN,
+    protocols: Sequence[str] = PROTOCOL_NAMES,
+    base_config: Optional[ExperimentConfig] = None,
+    distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, List[RunResult]]:
+    """Deprecated alias for :func:`repro.api.sweep` with ``ttl_min=...``."""
+    warnings.warn(
+        "ttl_sweep() is deprecated; use repro.api.sweep(trace, spec, "
+        "ttl_min=[...]) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _ttl_sweep(
+        trace, ttl_values_min, protocols, base_config, distribution, jobs
+    )
+
+
+def _ttl_sweep(
     trace: ContactTrace,
     ttl_values_min: Sequence[float] = PAPER_TTL_VALUES_MIN,
     protocols: Sequence[str] = PROTOCOL_NAMES,
@@ -53,6 +74,26 @@ def ttl_sweep(
 
 
 def df_sweep(
+    trace: ContactTrace,
+    df_values_per_min: Sequence[float] = PAPER_DF_VALUES_PER_MIN,
+    ttl_min: float = DF_SWEEP_TTL_MIN,
+    base_config: Optional[ExperimentConfig] = None,
+    distribution: Optional[KeyDistribution] = None,
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """Deprecated alias for :func:`repro.api.sweep` with ``df_per_min=...``."""
+    warnings.warn(
+        "df_sweep() is deprecated; use repro.api.sweep(trace, spec, "
+        "df_per_min=[...]) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _df_sweep(
+        trace, df_values_per_min, ttl_min, base_config, distribution, jobs
+    )
+
+
+def _df_sweep(
     trace: ContactTrace,
     df_values_per_min: Sequence[float] = PAPER_DF_VALUES_PER_MIN,
     ttl_min: float = DF_SWEEP_TTL_MIN,

@@ -1,0 +1,34 @@
+"""Deterministic, seeded fault injection for B-SUB runs.
+
+The paper targets human networks, where contacts break mid-transfer and
+devices die; this package models both adversities without touching the
+fault-free code path:
+
+* :class:`FaultSpec` — a frozen, validated description of the fault
+  model (channel rates + churn process + root seed), parseable from the
+  ``--faults`` CLI string.
+* :class:`FaultyContactChannel` — per-contact frame loss, corruption,
+  and mid-transfer truncation at the wire boundary.
+* :class:`ChurnSchedule` / :class:`ChurnEvent` — pre-drawn per-node
+  crash/restart schedules.
+* :class:`FaultPlan` / :class:`FaultAccounting` — a spec bound to a
+  trace: what the simulator replays, and the degradation tallies it
+  reports.
+
+See ``docs/faults.md`` for the full model and determinism guarantees.
+"""
+
+from .channel import FaultyContactChannel
+from .churn import ChurnEvent, ChurnSchedule
+from .plan import FaultAccounting, FaultPlan
+from .spec import NO_FAULTS, FaultSpec
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "FaultAccounting",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyContactChannel",
+    "NO_FAULTS",
+]

@@ -1,0 +1,155 @@
+"""Channel-level fault injection.
+
+:class:`FaultyContactChannel` wraps the per-contact byte budget with
+three wire-level failure modes, all drawn from a per-contact RNG keyed
+``f"{seed}:contact:{index}"`` so a contact's faults depend only on the
+spec and its position in the trace:
+
+* **frame loss** — the transfer consumes airtime (the bytes are charged
+  to the budget and attributed to the endpoints) but the frame never
+  arrives: :meth:`send` returns ``False``;
+* **corruption** — identical budget accounting, but the failure is
+  attributed to a decode rejection at the receiver
+  (``cause="corruption"``; see the hardened
+  :func:`repro.pubsub.wire.decode_frames`);
+* **truncation** — the contact breaks at a cutoff drawn uniformly
+  inside the byte budget: the frame straddling the cutoff is lost
+  (received prefixes of a frame are useless — the documented truncation
+  semantics of the wire format) and every later transfer is refused,
+  which is exactly the paper's bandwidth-cutoff case, just earlier than
+  the nominal ``duration × rate`` budget.
+
+Loss and corruption draws are made *unconditionally* whenever their
+rate is non-zero, one draw per active fault per transfer, so whether an
+earlier frame was lost never shifts a later frame's fate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..dtn.bandwidth import BLUETOOTH_EFFECTIVE_BPS, ContactChannel
+from ..obs.recorder import NULL_RECORDER
+from .spec import FaultSpec
+
+__all__ = ["FaultyContactChannel"]
+
+
+class FaultyContactChannel(ContactChannel):
+    """A :class:`ContactChannel` with seeded loss/corruption/truncation.
+
+    Parameters
+    ----------
+    duration_s, rate_bps:
+        As for :class:`ContactChannel`.
+    spec:
+        The fault rates to apply.
+    rng:
+        The contact's dedicated random stream.
+    now:
+        Contact start time (timestamps the emitted events).
+    accounting:
+        Shared :class:`repro.faults.plan.FaultAccounting` tallies.
+    recorder:
+        Observability recorder for ``frame_dropped`` /
+        ``frame_truncated`` events.
+    """
+
+    __slots__ = (
+        "_spec",
+        "_rng",
+        "_now",
+        "_accounting",
+        "_recorder",
+        "_cutoff",
+        "_cut_hit",
+    )
+
+    def __init__(
+        self,
+        duration_s: float,
+        rate_bps: Optional[float] = BLUETOOTH_EFFECTIVE_BPS,
+        *,
+        spec: FaultSpec,
+        rng: random.Random,
+        now: float = 0.0,
+        accounting=None,
+        recorder=NULL_RECORDER,
+    ):
+        super().__init__(duration_s, rate_bps)
+        self._spec = spec
+        self._rng = rng
+        self._now = now
+        self._accounting = accounting
+        self._recorder = recorder
+        self._cutoff: Optional[float] = None
+        self._cut_hit = False
+        # The truncation draw happens once, up front: either this
+        # contact breaks mid-transfer or it does not.  An infinite
+        # budget has no meaningful "fraction", so it never truncates.
+        if spec.truncation > 0 and self.budget_bytes != float("inf"):
+            if rng.random() < spec.truncation:
+                self._cutoff = rng.uniform(0.0, self.budget_bytes)
+                if accounting is not None:
+                    accounting.contacts_truncated += 1
+
+    def send(self, num_bytes: float, sender=None, receiver=None) -> bool:
+        if num_bytes < 0:
+            raise ValueError(f"cannot send a negative size: {num_bytes}")
+        # Contact break: the frame straddling the cutoff is cut mid-air
+        # and everything after it is refused.
+        if self._cutoff is not None and self._spent + num_bytes > self._cutoff:
+            if not self._cut_hit:
+                self._cut_hit = True
+                # The straddling frame's transmitted prefix still burns
+                # airtime up to the break point.
+                prefix = max(0.0, self._cutoff - self._spent)
+                self._spent += prefix
+                self.budget_bytes = self._spent  # nothing more can flow
+                if self._accounting is not None:
+                    self._accounting.frames_truncated += 1
+                if self._recorder.enabled:
+                    self._recorder.emit(
+                        "frame_truncated", t=self._now, src=sender,
+                        dst=receiver, size=float(num_bytes),
+                        sent=float(prefix),
+                    )
+            self._refused += 1
+            return False
+        if not self.can_send(num_bytes):
+            self._refused += 1
+            return False
+        # Unconditional draws per active fault keep the stream stable.
+        spec = self._spec
+        cause = None
+        if spec.frame_loss > 0 and self._rng.random() < spec.frame_loss:
+            cause = "loss"
+        if spec.corruption > 0 and self._rng.random() < spec.corruption:
+            if cause is None:
+                cause = "corruption"
+        if cause is None:
+            return super().send(num_bytes, sender=sender, receiver=receiver)
+        # Lost or corrupted: full airtime is consumed — the radio sent
+        # every byte — but the frame is unusable at the receiver.
+        self._spent += num_bytes
+        if sender is not None:
+            self.tx_bytes[sender] = self.tx_bytes.get(sender, 0.0) + num_bytes
+        if receiver is not None:
+            self.rx_bytes[receiver] = self.rx_bytes.get(receiver, 0.0) + num_bytes
+        if self._accounting is not None:
+            if cause == "loss":
+                self._accounting.frames_lost += 1
+            else:
+                self._accounting.frames_corrupted += 1
+        if self._recorder.enabled:
+            self._recorder.emit(
+                "frame_dropped", t=self._now, src=sender, dst=receiver,
+                size=float(num_bytes), cause=cause,
+            )
+        return False
+
+    @property
+    def truncated(self) -> bool:
+        """True when this contact drew a mid-transfer break."""
+        return self._cutoff is not None

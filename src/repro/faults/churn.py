@@ -1,0 +1,94 @@
+"""Node churn: deterministic crash/restart schedules.
+
+Each node gets an independent Poisson crash process at
+``crash_rate_per_day`` with exponentially distributed downtimes
+(mean ``mean_downtime_s``).  Draws come from a per-node
+``random.Random(f"{seed}:churn:{node}")`` — Python seeds strings via
+SHA-512, so schedules are stable across processes and unaffected by how
+many other nodes exist or what the channel layer draws.
+
+A schedule is just a time-ordered list of :class:`ChurnEvent` records
+(``kind`` = ``"crash"`` | ``"recover"``); the simulator replays it
+interleaved with the contact trace via :class:`repro.faults.plan.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .spec import FaultSpec
+
+__all__ = ["ChurnEvent", "ChurnSchedule"]
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True, order=True)
+class ChurnEvent:
+    """One crash or recovery of one node."""
+
+    time: float
+    node: int
+    kind: str  # "crash" | "recover"
+
+    def __post_init__(self):
+        if self.kind not in ("crash", "recover"):
+            raise ValueError(f"kind must be 'crash' or 'recover', got {self.kind!r}")
+
+
+class ChurnSchedule:
+    """A time-ordered crash/recovery schedule for a node population."""
+
+    def __init__(self, events: Iterable[ChurnEvent]):
+        self.events: Tuple[ChurnEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.node, e.kind))
+        )
+        down = set()
+        for event in self.events:
+            if event.kind == "crash":
+                if event.node in down:
+                    raise ValueError(f"node {event.node} crashes while already down")
+                down.add(event.node)
+            else:
+                if event.node not in down:
+                    raise ValueError(f"node {event.node} recovers while already up")
+                down.discard(event.node)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @classmethod
+    def generate(
+        cls,
+        spec: FaultSpec,
+        nodes: Sequence[int],
+        start_time: float,
+        end_time: float,
+    ) -> "ChurnSchedule":
+        """Draw every node's schedule for the window [start, end).
+
+        Crashes past *end_time* are discarded; a recovery past the end
+        is kept so the node is still down when the run finishes (its
+        outage genuinely extends beyond the trace).
+        """
+        if not spec.churn:
+            return cls(())
+        rate_per_s = spec.crash_rate_per_day / _SECONDS_PER_DAY
+        events: List[ChurnEvent] = []
+        for node in sorted(set(nodes)):
+            rng = random.Random(f"{spec.seed}:churn:{node}")
+            t = start_time
+            while True:
+                t += rng.expovariate(rate_per_s)
+                if t >= end_time:
+                    break
+                downtime = max(1.0, rng.expovariate(1.0 / spec.mean_downtime_s))
+                events.append(ChurnEvent(t, node, "crash"))
+                events.append(ChurnEvent(t + downtime, node, "recover"))
+                t += downtime
+        return cls(events)

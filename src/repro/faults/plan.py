@@ -1,0 +1,153 @@
+"""A fault plan: one spec bound to one trace, ready to inject.
+
+:class:`FaultPlan` is the object the simulator actually talks to.  It
+owns the pre-drawn churn schedule, the set of currently-down nodes, the
+per-contact channel RNGs, and the :class:`FaultAccounting` tallies that
+end up in ``SimulationReport.extra["faults"]``.
+
+The simulator takes the plan duck-typed (it never imports this module),
+so the fault layer stays an optional dependency of the engine: a run
+without a plan executes the exact pre-fault code path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Set
+
+from ..dtn.bandwidth import ContactChannel
+from ..obs.recorder import NULL_RECORDER
+from ..traces.model import Contact, ContactTrace
+from .channel import FaultyContactChannel
+from .churn import ChurnSchedule
+from .spec import FaultSpec
+
+__all__ = ["FaultAccounting", "FaultPlan"]
+
+
+@dataclass
+class FaultAccounting:
+    """Tallies of every injected fault in one run."""
+
+    frames_lost: int = 0
+    frames_corrupted: int = 0
+    frames_truncated: int = 0
+    contacts_truncated: int = 0
+    contacts_skipped: int = 0
+    messages_skipped: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class FaultPlan:
+    """One :class:`FaultSpec` bound to one trace.
+
+    Parameters
+    ----------
+    spec:
+        The fault model; must be :attr:`FaultSpec.enabled` (a disabled
+        spec has no business constructing injection machinery — the
+        caller should pass no plan at all, keeping the fault-free path
+        provably untouched).
+    trace:
+        The trace the run will replay (defines the node population and
+        the churn window).
+    recorder:
+        Observability recorder; fault events (``frame_dropped``,
+        ``frame_truncated``, ``node_crashed``, ``node_recovered``) are
+        emitted through it when enabled.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        trace: ContactTrace,
+        recorder=NULL_RECORDER,
+    ):
+        if not spec.enabled:
+            raise ValueError(
+                "refusing to build a FaultPlan for a disabled FaultSpec; "
+                "pass faults=None instead"
+            )
+        self.spec = spec
+        self.recorder = recorder
+        self.accounting = FaultAccounting()
+        self._schedule = ChurnSchedule.generate(
+            spec, trace.nodes, trace.start_time, trace.end_time
+        )
+        self._events = self._schedule.events
+        self._next = 0
+        self._down: Set[int] = set()
+
+    # -- churn -----------------------------------------------------------------
+
+    def advance(self, now: float, protocol) -> None:
+        """Apply every churn event due at or before *now*.
+
+        Crashes call ``protocol.on_node_crashed`` (wiping/aging that
+        node's volatile state), recoveries call
+        ``protocol.on_node_recovered``; both are emitted as obs events.
+        """
+        events = self._events
+        while self._next < len(events) and events[self._next].time <= now:
+            event = events[self._next]
+            self._next += 1
+            if event.kind == "crash":
+                self._down.add(event.node)
+                self.accounting.crashes += 1
+                protocol.on_node_crashed(
+                    event.node, event.time, mode=self.spec.crash_mode
+                )
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "node_crashed", t=event.time, node=event.node,
+                        mode=self.spec.crash_mode,
+                    )
+            else:
+                self._down.discard(event.node)
+                self.accounting.recoveries += 1
+                protocol.on_node_recovered(event.node, event.time)
+                if self.recorder.enabled:
+                    self.recorder.emit(
+                        "node_recovered", t=event.time, node=event.node,
+                    )
+
+    def is_down(self, node: int) -> bool:
+        """Whether *node* is currently crashed."""
+        return node in self._down
+
+    @property
+    def down_nodes(self) -> Set[int]:
+        return set(self._down)
+
+    @property
+    def schedule(self) -> ChurnSchedule:
+        return self._schedule
+
+    # -- channels --------------------------------------------------------------
+
+    def make_channel(
+        self, contact: Contact, index: int, rate_bps: Optional[float]
+    ) -> ContactChannel:
+        """The (possibly faulty) channel for the trace's *index*-th contact.
+
+        The RNG is keyed by the contact's trace ordinal, so channel
+        faults are independent of churn draws and of how many earlier
+        contacts were skipped.
+        """
+        if not self.spec.channel_faults:
+            return ContactChannel(contact.duration, rate_bps)
+        rng = random.Random(f"{self.spec.seed}:contact:{index}")
+        return FaultyContactChannel(
+            contact.duration,
+            rate_bps,
+            spec=self.spec,
+            rng=rng,
+            now=contact.start,
+            accounting=self.accounting,
+            recorder=self.recorder,
+        )

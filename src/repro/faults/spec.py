@@ -1,0 +1,204 @@
+"""Fault-model specification.
+
+A :class:`FaultSpec` is a frozen, fully-seeded description of the
+adversarial conditions a run is subjected to.  Two fault families are
+modelled, mirroring what actually breaks in human networks:
+
+* **Channel faults** — per-transfer frame loss and corruption plus
+  per-contact mid-transfer truncation, applied at the wire boundary
+  (every transfer is a frame; a lost/corrupted frame consumes airtime
+  but never usably arrives, and a truncated contact behaves exactly
+  like the paper's bandwidth-cutoff case).
+* **Node churn** — crash/restart schedules that cost a node its
+  volatile protocol state (filters, buffers, broker role).  Recovery
+  relies on the protocol's natural anti-entropy: genuine filters are
+  re-announced on the next contact.
+
+Everything is deterministic: the same spec (including ``seed``) against
+the same trace produces byte-identical behaviour, and a spec with all
+rates at zero is provably inert (the simulator takes the exact same
+code path as with no fault layer at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["FaultSpec", "NO_FAULTS"]
+
+#: Valid crash-recovery modes: ``"wipe"`` loses every piece of volatile
+#: state; ``"age"`` models filters persisted to flash — the relay
+#: filter survives (and keeps decaying through the outage) while
+#: buffers, receipts, and the broker role are still lost.
+CRASH_MODES = ("wipe", "age")
+
+#: Short aliases accepted by :meth:`FaultSpec.parse` (the CLI surface).
+_PARSE_ALIASES = {
+    "loss": "frame_loss",
+    "frame_loss": "frame_loss",
+    "trunc": "truncation",
+    "truncation": "truncation",
+    "corrupt": "corruption",
+    "corruption": "corruption",
+    "crash": "crash_rate_per_day",
+    "crash_rate_per_day": "crash_rate_per_day",
+    "downtime": "mean_downtime_s",
+    "mean_downtime_s": "mean_downtime_s",
+    "mode": "crash_mode",
+    "crash_mode": "crash_mode",
+    "seed": "seed",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic description of injected faults for one run.
+
+    Attributes
+    ----------
+    frame_loss:
+        Probability that any single transfer (a wire frame) is lost in
+        flight.  Airtime is still consumed — the bytes are charged to
+        the contact budget — but the frame never arrives.
+    truncation:
+        Probability that a contact breaks mid-transfer.  A truncated
+        contact picks a uniform cutoff inside its byte budget; the
+        frame that straddles the cutoff is lost (received prefixes of a
+        frame are useless) and every later transfer is refused, which
+        is exactly the paper's bandwidth-cutoff semantics.
+    corruption:
+        Probability that a transfer arrives with flipped bytes.  The
+        receiver's frame decode rejects it, so the effect equals a
+        loss, but it is accounted separately (``cause="corruption"``).
+    crash_rate_per_day:
+        Expected crashes per node per day (a Poisson process per node).
+    mean_downtime_s:
+        Mean outage duration after a crash (exponentially distributed,
+        at least one second).
+    crash_mode:
+        ``"wipe"`` (all volatile state lost) or ``"age"`` (relay
+        filters persist across the outage and simply keep decaying;
+        buffers, receipts, and the broker flag are still lost).
+    seed:
+        Root seed for every fault decision.  Channel draws are keyed by
+        contact index, churn draws by node id, so the two fault
+        families never perturb each other's randomness.
+    """
+
+    frame_loss: float = 0.0
+    truncation: float = 0.0
+    corruption: float = 0.0
+    crash_rate_per_day: float = 0.0
+    mean_downtime_s: float = 3600.0
+    crash_mode: str = "wipe"
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("frame_loss", "truncation", "corruption"):
+            value = getattr(self, name)
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise ValueError(f"{name} must be a finite number, got {value!r}")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not math.isfinite(self.crash_rate_per_day) or self.crash_rate_per_day < 0:
+            raise ValueError(
+                f"crash_rate_per_day must be >= 0, got {self.crash_rate_per_day}"
+            )
+        if not math.isfinite(self.mean_downtime_s) or self.mean_downtime_s <= 0:
+            raise ValueError(
+                f"mean_downtime_s must be positive, got {self.mean_downtime_s}"
+            )
+        if self.crash_mode not in CRASH_MODES:
+            raise ValueError(
+                f"crash_mode must be one of {CRASH_MODES}, got {self.crash_mode!r}"
+            )
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def channel_faults(self) -> bool:
+        """True when any per-contact channel fault can occur."""
+        return self.frame_loss > 0 or self.truncation > 0 or self.corruption > 0
+
+    @property
+    def churn(self) -> bool:
+        """True when nodes can crash."""
+        return self.crash_rate_per_day > 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when the spec can change behaviour at all.
+
+        A disabled spec is *provably* inert: the simulator refuses to
+        even build the fault plumbing for it, so the fault-free code
+        path is bit-identical to a run with no spec.
+        """
+        return self.channel_faults or self.churn
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """The canonical disabled spec (also available as ``NO_FAULTS``)."""
+        return NO_FAULTS
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from a compact ``key=value,key=value`` string.
+
+        This is the CLI surface (``repro run --faults "loss=0.1,crash=2"``).
+        Accepted keys: ``loss``, ``trunc``, ``corrupt``, ``crash``
+        (per day), ``downtime`` (seconds), ``mode`` (wipe|age), and
+        ``seed`` — full field names work too.
+        """
+        kwargs = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault spec item {part!r}: expected key=value"
+                )
+            key, _, raw = part.partition("=")
+            field = _PARSE_ALIASES.get(key.strip())
+            if field is None:
+                raise ValueError(
+                    f"unknown fault spec key {key.strip()!r}; expected one of "
+                    f"{sorted(set(_PARSE_ALIASES))}"
+                )
+            if field == "crash_mode":
+                kwargs[field] = raw.strip()
+            elif field == "seed":
+                kwargs[field] = int(raw)
+            else:
+                kwargs[field] = float(raw)
+        return cls(**kwargs)
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same fault model under a different random seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """Compact human-readable summary (CLI/report label)."""
+        if not self.enabled:
+            return "no faults"
+        parts = []
+        if self.frame_loss:
+            parts.append(f"loss={self.frame_loss:g}")
+        if self.truncation:
+            parts.append(f"trunc={self.truncation:g}")
+        if self.corruption:
+            parts.append(f"corrupt={self.corruption:g}")
+        if self.churn:
+            parts.append(
+                f"crash={self.crash_rate_per_day:g}/day"
+                f"~{self.mean_downtime_s:g}s[{self.crash_mode}]"
+            )
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+
+#: Shared disabled spec — the default everywhere a FaultSpec is expected.
+NO_FAULTS = FaultSpec()

@@ -2,7 +2,8 @@
 
 A trace is a sequence of :class:`TraceEvent` records, one per
 protocol-level happening.  Eight event types cover the whole B-SUB
-contact procedure (paper Sec. V):
+contact procedure (paper Sec. V), and four more cover the
+fault-injection layer (:mod:`repro.faults`):
 
 =================  ============================================================
 type               meaning / load-bearing fields
@@ -26,6 +27,14 @@ type               meaning / load-bearing fields
                    (``msg``, ``src``, ``dst``)
 ``broker_role``    the Sec. V-B election changed a node's role (``node``,
                    ``action`` = ``promote`` | ``demote``, ``by``)
+``frame_dropped``  an injected channel fault consumed a transfer's airtime
+                   without delivering it (``src``, ``dst``, ``size``,
+                   ``cause`` = ``loss`` | ``corruption``)
+``frame_truncated``  a contact broke mid-transfer: the straddling frame was
+                   cut (``src``, ``dst``, ``size``, ``sent`` prefix bytes)
+``node_crashed``   a churn crash wiped/aged a node's volatile state
+                   (``node``, ``mode`` = ``wipe`` | ``age``)
+``node_recovered``  a crashed node came back online (``node``)
 =================  ============================================================
 
 Every event additionally carries ``seq`` (a 0-based sequence number
@@ -44,7 +53,8 @@ from typing import Any, Dict
 
 __all__ = ["EVENT_TYPES", "TraceEvent"]
 
-#: The eight event types, in the order they are documented above.
+#: The twelve event types, in the order they are documented above
+#: (eight protocol events, then the four fault-injection events).
 EVENT_TYPES = (
     "contact",
     "a_merge",
@@ -54,6 +64,10 @@ EVENT_TYPES = (
     "delivery",
     "false_injection",
     "broker_role",
+    "frame_dropped",
+    "frame_truncated",
+    "node_crashed",
+    "node_recovered",
 )
 
 _EVENT_TYPE_SET = frozenset(EVENT_TYPES)

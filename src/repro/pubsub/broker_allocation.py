@@ -154,6 +154,21 @@ class BrokerElection:
         """The degree *node* would currently report."""
         return self._meetings[node].degree()
 
+    def reset_node(self, node: int) -> None:
+        """Wipe *node*'s election state after a crash (fault injection).
+
+        The node reboots as a normal user with an empty meeting log and
+        no remembered broker degrees.  This is not an election decision
+        — no ``broker_role`` event, no demotion tally — just state
+        loss.  Other users' stale degree reports about this node are
+        pruned by their own ``_decide`` pass (the ``met_brokers``
+        membership check), which is exactly the sliding-window ``W``
+        semantics surviving the restart.
+        """
+        self._is_broker[node] = False
+        self._meetings[node] = _WindowedMeetings(self.window_s)
+        self._known_broker_degrees[node] = {}
+
     # -- the election step --------------------------------------------------------
 
     def on_contact(self, a: int, b: int, now: float) -> None:
@@ -256,3 +271,6 @@ class StaticBrokerSet:
 
     def on_contact(self, a: int, b: int, now: float) -> None:
         """No-op: the assignment is static."""
+
+    def reset_node(self, node: int) -> None:
+        """No-op: a pinned broker assignment survives crashes."""

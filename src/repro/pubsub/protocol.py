@@ -181,21 +181,7 @@ class BsubProtocol(Protocol):
         cfg = self.config
         start = trace.start_time
         self.states = {
-            node: BsubNodeState(
-                node_id=node,
-                interests=self.interests.get(node, frozenset()),
-                family=self.family,
-                initial_value=cfg.initial_value,
-                decay_factor=cfg.decay_factor_per_s,
-                copy_limit=cfg.copy_limit,
-                start_time=start,
-                relay_fill_threshold=cfg.relay_fill_threshold,
-                relay_max_filters=cfg.relay_max_filters,
-                carried_capacity=cfg.carried_capacity,
-                eviction=cfg.eviction,
-                interest_encoding=cfg.interest_encoding,
-            )
-            for node in trace.nodes
+            node: self._fresh_state(node, start) for node in trace.nodes
         }
         if cfg.adaptive_df is not None:
             self.df_controllers = {
@@ -215,10 +201,67 @@ class BsubProtocol(Protocol):
                 recorder=self.recorder,
             )
 
+    def _fresh_state(self, node: int, start_time: float) -> BsubNodeState:
+        """A from-scratch state for *node*, as if it just booted."""
+        cfg = self.config
+        return BsubNodeState(
+            node_id=node,
+            interests=self.interests.get(node, frozenset()),
+            family=self.family,
+            initial_value=cfg.initial_value,
+            decay_factor=cfg.decay_factor_per_s,
+            copy_limit=cfg.copy_limit,
+            start_time=start_time,
+            relay_fill_threshold=cfg.relay_fill_threshold,
+            relay_max_filters=cfg.relay_max_filters,
+            carried_capacity=cfg.carried_capacity,
+            eviction=cfg.eviction,
+            interest_encoding=cfg.interest_encoding,
+        )
+
     def on_message_created(self, node: int, message: Message, now: float) -> None:
         """A producer creates *message*: buffer it with a ℂ-copy budget."""
         self.metrics.register_message(message)
         self.states[node].produce(message)
+
+    def on_node_crashed(self, node: int, now: float, mode: str = "wipe") -> None:
+        """Churn: *node* loses its volatile B-SUB state.
+
+        Buffers (own + carried messages), receipt bookkeeping, copy
+        budgets, and the broker role are always lost — they live in
+        RAM.  Under ``mode="age"`` the relay filter survives (modelling
+        filters checkpointed to flash) and simply keeps decaying
+        through the outage via its lazy-decay clock; under ``"wipe"``
+        it is lost too.  The genuine filter is rebuilt either way: a
+        user's subscription list is durable configuration.
+
+        Recovery needs no dedicated protocol machinery — re-announcing
+        the genuine filter on the next broker contact (Sec. V-C) is the
+        system's natural anti-entropy, which is exactly what the paper
+        relies on for interest freshness.
+        """
+        state = self.states.get(node)
+        if state is None:
+            return
+        old_relay = state.relay
+        fresh = self._fresh_state(node, now)
+        if mode == "age":
+            fresh.relay = old_relay
+        self.states[node] = fresh
+        self.election.reset_node(node)
+        if self.df_controllers:
+            cfg = self.config
+            self.df_controllers[node] = AdaptiveDecayController(
+                cfg.adaptive_df, initial_df_per_s=cfg.decay_factor_per_s
+            )
+
+    def on_node_recovered(self, node: int, now: float) -> None:
+        """Churn: *node* is back online.
+
+        Nothing to do — the crash handler already left a bootable fresh
+        state, and the election/interest layers re-converge through
+        ordinary contacts.
+        """
 
     def on_contact(
         self, contact: Contact, channel: ContactChannel, now: float

@@ -22,13 +22,21 @@ Every frame is ``[1-byte type][4-byte little-endian body length][body]``.
 Frames are self-delimiting, so a contact transcript is just their
 concatenation and can be cut short when the contact breaks — exactly
 the truncation semantics the bandwidth budget models.
+
+Decoding is *total*: :func:`decode_frames` never raises on garbage.
+It returns a :class:`DecodeResult` — the frames decoded before the
+first problem, plus an optional :class:`FrameError` describing what
+stopped the parse (truncation, an unknown frame type, or a body that
+fails validation).  Receivers in a faulty network (see
+:mod:`repro.faults`) keep every frame that arrived intact and discard
+the rest, instead of crashing on a flipped byte.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from ..core.bloom import BloomFilter
 from ..core.hashing import HashFamily
@@ -42,6 +50,8 @@ __all__ = [
     "RelayFilter",
     "FilterRequest",
     "MessageBundle",
+    "FrameError",
+    "DecodeResult",
     "encode_frame",
     "decode_frames",
     "encode_message",
@@ -107,6 +117,62 @@ class MessageBundle:
 Frame = Union[Hello, InterestAnnouncement, RelayFilter, FilterRequest, MessageBundle]
 
 
+@dataclass(frozen=True)
+class FrameError:
+    """Why a frame-stream parse stopped early.
+
+    Attributes
+    ----------
+    offset:
+        Byte offset of the offending frame's header in the input.
+    frame_type:
+        The frame's declared type byte, when the header was readable.
+    reason:
+        ``"truncated_header"`` — fewer than 5 header bytes remained;
+        ``"truncated_body"`` — the declared body length runs past the
+        end of the buffer (never over-read);
+        ``"unknown_frame_type"`` — an unrecognised type byte (a flipped
+        bit, or a frame from a future protocol version);
+        ``"bad_body"`` — the body failed structural validation while
+        decoding.
+    detail:
+        Free-form diagnostic text.
+    """
+
+    offset: int
+    frame_type: Optional[int]
+    reason: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """The outcome of parsing a (possibly damaged) frame stream.
+
+    Iterable and indexable like the frame list; :attr:`ok` is True when
+    the whole input parsed cleanly.  ``consumed`` is the number of
+    input bytes covered by successfully decoded frames — everything
+    after it was truncated or rejected.
+    """
+
+    frames: Tuple[Frame, ...]
+    error: Optional[FrameError]
+    consumed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __getitem__(self, index):
+        return self.frames[index]
+
+
 # -- message codec -----------------------------------------------------------
 
 
@@ -148,14 +214,20 @@ def decode_message(data: bytes, offset: int = 0) -> Tuple[Message, bytes, int]:
     The decoded :class:`Message` preserves the original id (it is not
     re-allocated), so receipt bookkeeping stays consistent end-to-end.
     """
+    if offset + _MESSAGE_HEADER.size > len(data):
+        raise ValueError("truncated message header")
     msg_id, source, created_at, ttl_s, num_keys, payload_len = (
         _MESSAGE_HEADER.unpack_from(data, offset)
     )
     offset += _MESSAGE_HEADER.size
     keys = []
     for _ in range(num_keys):
+        if offset >= len(data):
+            raise ValueError("truncated message key block")
         length = data[offset]
         offset += 1
+        if offset + length > len(data):
+            raise ValueError("truncated message key")
         keys.append(data[offset : offset + length].decode("utf-8"))
         offset += length
     payload = bytes(data[offset : offset + payload_len])
@@ -205,55 +277,103 @@ def encode_frame(frame: Frame) -> bytes:
     raise TypeError(f"not a wire frame: {type(frame).__name__}")
 
 
+_KNOWN_FRAME_TYPES = frozenset(
+    (
+        FRAME_HELLO,
+        FRAME_INTEREST_ANNOUNCEMENT,
+        FRAME_RELAY_FILTER,
+        FRAME_FILTER_REQUEST,
+        FRAME_MESSAGE_BUNDLE,
+    )
+)
+
+
+def _decode_body(
+    frame_type: int,
+    body: bytes,
+    family: HashFamily,
+    initial_value: float,
+    decay_factor: float,
+    time: float,
+) -> Frame:
+    """Decode one validated-length frame body (raises on bad content)."""
+    if frame_type == FRAME_HELLO:
+        node_id, broker_flag, degree, timestamp = _HELLO_BODY.unpack(body)
+        return Hello(node_id, bool(broker_flag), degree, timestamp)
+    if frame_type == FRAME_INTEREST_ANNOUNCEMENT:
+        return InterestAnnouncement(
+            decode_tcbf(body, family, initial_value, decay_factor, time)
+        )
+    if frame_type == FRAME_RELAY_FILTER:
+        return RelayFilter(
+            decode_tcbf(body, family, initial_value, decay_factor, time)
+        )
+    if frame_type == FRAME_FILTER_REQUEST:
+        return FilterRequest(decode_bloom(body, family))
+    # FRAME_MESSAGE_BUNDLE
+    if len(body) < 2:
+        raise ValueError("truncated bundle count")
+    count = int.from_bytes(body[:2], "little")
+    messages: List[Message] = []
+    payloads: List[bytes] = []
+    cursor = 2
+    for _ in range(count):
+        message, payload, cursor = decode_message(body, cursor)
+        messages.append(message)
+        payloads.append(payload)
+    return MessageBundle(tuple(messages), tuple(payloads))
+
+
 def decode_frames(
     data: bytes,
     family: HashFamily,
     initial_value: float,
     decay_factor: float = 0.0,
     time: float = 0.0,
-) -> List[Frame]:
-    """Decode a contact transcript back into frames.
+) -> DecodeResult:
+    """Decode a contact transcript back into frames — never raises.
 
-    A trailing partial frame (the contact broke mid-transfer) is
-    dropped silently — received prefixes of a frame are useless.
+    Parsing stops at the first problem: a trailing partial frame (the
+    contact broke mid-transfer — received prefixes of a frame are
+    useless), an unrecognised type byte, a declared body length running
+    past the buffer (rejected *without* over-reading), or a body that
+    fails structural validation.  Everything decoded before that point
+    is returned; the problem itself is described by
+    :attr:`DecodeResult.error` (``None`` for a clean parse).
     """
     frames: List[Frame] = []
     offset = 0
-    while offset + _FRAME_HEADER.size <= len(data):
+    error: Optional[FrameError] = None
+    while offset < len(data):
+        if offset + _FRAME_HEADER.size > len(data):
+            error = FrameError(
+                offset, None, "truncated_header",
+                f"{len(data) - offset} header bytes of {_FRAME_HEADER.size}",
+            )
+            break
         frame_type, body_len = _FRAME_HEADER.unpack_from(data, offset)
+        if frame_type not in _KNOWN_FRAME_TYPES:
+            error = FrameError(
+                offset, frame_type, "unknown_frame_type",
+                f"type byte {frame_type:#x}",
+            )
+            break
         start = offset + _FRAME_HEADER.size
         end = start + body_len
         if end > len(data):
-            break  # truncated final frame
+            error = FrameError(
+                offset, frame_type, "truncated_body",
+                f"declared {body_len} body bytes, {len(data) - start} remain",
+            )
+            break
         body = bytes(data[start:end])
+        try:
+            frame = _decode_body(
+                frame_type, body, family, initial_value, decay_factor, time
+            )
+        except (ValueError, struct.error, IndexError, KeyError, OverflowError) as exc:
+            error = FrameError(offset, frame_type, "bad_body", str(exc))
+            break
+        frames.append(frame)
         offset = end
-        if frame_type == FRAME_HELLO:
-            node_id, broker_flag, degree, timestamp = _HELLO_BODY.unpack(body)
-            frames.append(Hello(node_id, bool(broker_flag), degree, timestamp))
-        elif frame_type == FRAME_INTEREST_ANNOUNCEMENT:
-            frames.append(
-                InterestAnnouncement(
-                    decode_tcbf(body, family, initial_value, decay_factor, time)
-                )
-            )
-        elif frame_type == FRAME_RELAY_FILTER:
-            frames.append(
-                RelayFilter(
-                    decode_tcbf(body, family, initial_value, decay_factor, time)
-                )
-            )
-        elif frame_type == FRAME_FILTER_REQUEST:
-            frames.append(FilterRequest(decode_bloom(body, family)))
-        elif frame_type == FRAME_MESSAGE_BUNDLE:
-            count = int.from_bytes(body[:2], "little")
-            messages: List[Message] = []
-            payloads: List[bytes] = []
-            cursor = 2
-            for _ in range(count):
-                message, payload, cursor = decode_message(body, cursor)
-                messages.append(message)
-                payloads.append(payload)
-            frames.append(MessageBundle(tuple(messages), tuple(payloads)))
-        else:
-            raise ValueError(f"unknown frame type {frame_type:#x}")
-    return frames
+    return DecodeResult(frames=tuple(frames), error=error, consumed=offset)

@@ -1,0 +1,131 @@
+"""Unit tests for :class:`repro.faults.FaultyContactChannel`."""
+
+import random
+
+import pytest
+
+from repro.faults import FaultSpec, FaultyContactChannel
+from repro.faults.plan import FaultAccounting
+
+
+def make_channel(spec, *, duration_s=10.0, rate_bps=800.0, seed="x",
+                 accounting=None):
+    # 800 bps for 10 s = 1000 bytes of budget.
+    return FaultyContactChannel(
+        duration_s, rate_bps, spec=spec, rng=random.Random(seed),
+        accounting=accounting,
+    )
+
+
+class TestLoss:
+    def test_loss_charges_airtime_but_reports_failure(self):
+        spec = FaultSpec(frame_loss=1.0)
+        acc = FaultAccounting()
+        ch = make_channel(spec, accounting=acc)
+        assert ch.send(100, sender=1, receiver=2) is False
+        # The radio transmitted: budget spent, bytes attributed.
+        assert ch.spent_bytes == 100
+        assert ch.tx_bytes == {1: 100}
+        assert ch.rx_bytes == {2: 100}
+        assert acc.frames_lost == 1
+        assert acc.frames_corrupted == 0
+
+    def test_all_zero_rates_pass_through(self):
+        ch = make_channel(FaultSpec())  # every rate zero
+        for _ in range(5):
+            assert ch.send(100) is True
+        assert ch.spent_bytes == 500
+
+    def test_deterministic_for_same_rng_seed(self):
+        spec = FaultSpec(frame_loss=0.5)
+
+        def outcomes(seed):
+            ch = make_channel(spec, seed=seed)
+            return [ch.send(50) for _ in range(10)]
+
+        assert outcomes("a") == outcomes("a")
+        assert outcomes("a") != outcomes("b")  # astronomically unlikely equal
+
+    def test_loss_still_counts_toward_exhaustion(self):
+        ch = make_channel(FaultSpec(frame_loss=1.0))
+        for _ in range(10):
+            ch.send(100)
+        assert ch.exhausted()
+        # Budget gone: further sends refused, not drawn.
+        assert ch.send(100) is False
+        assert ch.refused_transfers == 1
+
+
+class TestCorruption:
+    def test_corruption_accounted_separately(self):
+        acc = FaultAccounting()
+        ch = make_channel(FaultSpec(corruption=1.0), accounting=acc)
+        assert ch.send(100) is False
+        assert acc.frames_corrupted == 1
+        assert acc.frames_lost == 0
+
+    def test_loss_wins_attribution_when_both_fire(self):
+        acc = FaultAccounting()
+        ch = make_channel(
+            FaultSpec(frame_loss=1.0, corruption=1.0), accounting=acc
+        )
+        ch.send(100)
+        assert acc.frames_lost == 1 and acc.frames_corrupted == 0
+
+
+class TestTruncation:
+    def test_truncated_contact_cuts_budget(self):
+        spec = FaultSpec(truncation=1.0, seed=0)
+        acc = FaultAccounting()
+        ch = make_channel(spec, accounting=acc)
+        assert ch.truncated
+        assert acc.contacts_truncated == 1
+        sent = 0
+        while ch.send(100):
+            sent += 100
+        # The straddling frame burned the prefix up to the cutoff...
+        assert acc.frames_truncated == 1
+        assert ch.spent_bytes < 1000
+        assert ch.spent_bytes >= sent
+        # ...and the channel is now hard-closed.
+        assert ch.exhausted()
+        assert ch.send(1) is False
+
+    def test_only_first_straddler_counts(self):
+        acc = FaultAccounting()
+        ch = make_channel(FaultSpec(truncation=1.0), accounting=acc)
+        while ch.send(100):
+            pass
+        ch.send(100)
+        ch.send(100)
+        assert acc.frames_truncated == 1
+
+    def test_infinite_budget_never_truncates(self):
+        ch = FaultyContactChannel(
+            10.0, None, spec=FaultSpec(truncation=1.0),
+            rng=random.Random(1),
+        )
+        assert not ch.truncated
+        assert ch.send(10**9) is True
+
+    def test_untruncated_contact_behaves_normally(self):
+        # truncation < 1 with an rng draw that misses.
+        spec = FaultSpec(truncation=0.01, seed=5)
+        ch = make_channel(spec, seed="lucky")
+        assert not ch.truncated
+        assert ch.send(500) is True
+        assert ch.send(500) is True
+        assert ch.send(1) is False  # plain budget exhaustion
+
+
+class TestContract:
+    def test_negative_size_rejected(self):
+        ch = make_channel(FaultSpec(frame_loss=0.5))
+        with pytest.raises(ValueError, match="negative"):
+            ch.send(-1)
+
+    def test_is_a_contact_channel(self):
+        from repro.dtn.bandwidth import ContactChannel
+
+        assert isinstance(make_channel(FaultSpec(frame_loss=0.1)),
+                          ContactChannel)

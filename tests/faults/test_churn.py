@@ -1,0 +1,93 @@
+"""Unit tests for the deterministic churn scheduler."""
+
+import pytest
+
+from repro.faults import ChurnEvent, ChurnSchedule, FaultSpec
+
+SPEC = FaultSpec(crash_rate_per_day=4.0, mean_downtime_s=1800.0, seed=3)
+NODES = tuple(range(10))
+END = 3 * 86_400.0
+
+
+class TestChurnEvent:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ChurnEvent(0.0, 1, "reboot")
+
+    def test_ordering_is_by_time(self):
+        assert ChurnEvent(1.0, 9, "crash") < ChurnEvent(2.0, 0, "crash")
+
+
+class TestScheduleValidation:
+    def test_double_crash_rejected(self):
+        with pytest.raises(ValueError, match="already down"):
+            ChurnSchedule([
+                ChurnEvent(1.0, 0, "crash"),
+                ChurnEvent(2.0, 0, "crash"),
+            ])
+
+    def test_recover_while_up_rejected(self):
+        with pytest.raises(ValueError, match="already up"):
+            ChurnSchedule([ChurnEvent(1.0, 0, "recover")])
+
+    def test_alternation_accepted(self):
+        schedule = ChurnSchedule([
+            ChurnEvent(1.0, 0, "crash"),
+            ChurnEvent(2.0, 0, "recover"),
+            ChurnEvent(3.0, 0, "crash"),
+        ])
+        assert len(schedule) == 3
+
+
+class TestGenerate:
+    def test_deterministic_across_calls(self):
+        one = ChurnSchedule.generate(SPEC, NODES, 0.0, END)
+        two = ChurnSchedule.generate(SPEC, NODES, 0.0, END)
+        assert one.events == two.events
+        assert len(one) > 0
+
+    def test_seed_changes_schedule(self):
+        one = ChurnSchedule.generate(SPEC, NODES, 0.0, END)
+        two = ChurnSchedule.generate(SPEC.with_seed(99), NODES, 0.0, END)
+        assert one.events != two.events
+
+    def test_per_node_streams_independent_of_population(self):
+        # A node's schedule must not shift when other nodes exist.
+        small = ChurnSchedule.generate(SPEC, (3,), 0.0, END)
+        large = ChurnSchedule.generate(SPEC, NODES, 0.0, END)
+        assert [e for e in small if e.node == 3] == [
+            e for e in large if e.node == 3
+        ]
+
+    def test_zero_rate_is_empty(self):
+        spec = FaultSpec(frame_loss=0.5)  # enabled, but no churn
+        assert len(ChurnSchedule.generate(spec, NODES, 0.0, END)) == 0
+
+    def test_crashes_inside_window_recoveries_may_overhang(self):
+        schedule = ChurnSchedule.generate(SPEC, NODES, 0.0, END)
+        for event in schedule:
+            if event.kind == "crash":
+                assert 0.0 < event.time < END
+            else:
+                assert event.time > 0.0  # may exceed END (long outage)
+
+    def test_downtime_at_least_one_second(self):
+        crashes = {}
+        for event in ChurnSchedule.generate(SPEC, NODES, 0.0, END):
+            if event.kind == "crash":
+                crashes[event.node] = event.time
+            else:
+                assert event.time - crashes.pop(event.node) >= 1.0
+
+    def test_rate_scales_event_count(self):
+        lazy = ChurnSchedule.generate(
+            FaultSpec(crash_rate_per_day=0.5, seed=3), NODES, 0.0, END
+        )
+        busy = ChurnSchedule.generate(
+            FaultSpec(crash_rate_per_day=8.0, seed=3), NODES, 0.0, END
+        )
+        assert len(busy) > len(lazy)
+
+    def test_events_sorted_by_time(self):
+        times = [e.time for e in ChurnSchedule.generate(SPEC, NODES, 0.0, END)]
+        assert times == sorted(times)

@@ -1,0 +1,108 @@
+"""Broker election under churn (satellite of the fault subsystem).
+
+The regression this guards: a broker that was demoted (or crashed) must
+not reappear as a broker from *stale* Hello degree data another user
+still remembers.  The sliding window ``W`` semantics must survive a
+restart — the rebooted node's meeting log and degree start from zero,
+and other users prune their remembered degree report for it on their
+next election pass.
+"""
+
+from repro.pubsub.broker_allocation import BrokerElection, StaticBrokerSet
+
+
+def make_election(**kwargs):
+    defaults = dict(
+        nodes=range(6), lower_bound=0, upper_bound=10, window_s=1000.0
+    )
+    defaults.update(kwargs)
+    return BrokerElection(**defaults)
+
+
+class TestResetNode:
+    def test_reset_clears_role_log_and_known_degrees(self):
+        election = make_election(initial_brokers=[3])
+        election.on_contact(3, 4, 100.0)   # gives 3 a degree
+        election.on_contact(0, 3, 150.0)   # user 0 learns 3's degree
+        assert election.is_broker(3)
+        assert election.degree_of(3) == 2
+        assert election._known_broker_degrees[0] == {3: 2}
+
+        election.reset_node(3)
+        assert not election.is_broker(3)
+        assert election.degree_of(3) == 0          # window log gone
+        assert election._known_broker_degrees[3] == {}
+
+    def test_reset_is_not_an_election_decision(self):
+        election = make_election(initial_brokers=[3])
+        election.reset_node(3)
+        assert election.demotions == 0
+        assert election.promotions == 0
+
+
+class TestStaleHelloData:
+    def test_crashed_broker_degree_pruned_from_observers(self):
+        election = make_election(initial_brokers=[3])
+        election.on_contact(0, 3, 100.0)   # 0 remembers 3's degree
+        assert 3 in election._known_broker_degrees[0]
+
+        election.reset_node(3)             # 3 crashes
+        # 0's next election pass (any contact) prunes the stale report
+        # even though 3 is still inside 0's meeting window.
+        election.on_contact(0, 1, 200.0)
+        assert 3 not in election._known_broker_degrees[0]
+        assert not election.is_broker(3)
+
+    def test_demoted_then_crashed_broker_does_not_resurrect(self):
+        # Make 3 a broker everyone has met, demote it via the T_u rule,
+        # then crash it: no later contact may flip it back to broker
+        # except a genuine new promotion decision.
+        election = make_election(
+            lower_bound=0, upper_bound=1, initial_brokers=[1, 2, 3]
+        )
+        # User 0 meets all three brokers: count (3) > T_u (1).  Broker 3
+        # is kept least-popular (no other meetings), so 0 demotes it.
+        election.on_contact(1, 4, 50.0)    # brokers 1, 2 gain degree
+        election.on_contact(2, 4, 60.0)
+        election.on_contact(0, 1, 100.0)
+        election.on_contact(0, 2, 110.0)
+        election.on_contact(0, 3, 120.0)
+        assert not election.is_broker(3)
+        assert election.demotions == 1
+
+        election.reset_node(3)             # ...and now it crashes too
+        # Contacts that do not trigger the T_l rule must never
+        # resurrect it, stale window entries notwithstanding.
+        election.on_contact(0, 3, 130.0)
+        election.on_contact(4, 3, 140.0)
+        assert not election.is_broker(3)
+
+    def test_rebooted_node_rejoins_via_lower_bound_rule_only(self):
+        election = make_election(lower_bound=3, upper_bound=5,
+                                 initial_brokers=[3])
+        election.reset_node(3)
+        assert not election.is_broker(3)
+        # User 0 has met no brokers (< T_l): the next meeting promotes
+        # the rebooted node — the legitimate re-election path.  (Node 3
+        # is equally broker-starved, so the designation is mutual.)
+        election.on_contact(0, 3, 200.0)
+        assert election.is_broker(3)
+        assert election.promotions == 2
+
+    def test_window_restarts_from_zero_after_crash(self):
+        election = make_election(initial_brokers=[3])
+        for t, peer in ((100.0, 0), (200.0, 1), (300.0, 2)):
+            election.on_contact(3, peer, t)
+        assert election.degree_of(3) == 3
+        election.reset_node(3)
+        election.on_contact(3, 5, 400.0)
+        # Pre-crash meetings are gone even though they are within W.
+        assert election.degree_of(3) == 1
+
+
+class TestStaticBrokers:
+    def test_reset_is_noop_for_pinned_assignment(self):
+        static = StaticBrokerSet(range(4), brokers=[2])
+        static.reset_node(2)
+        assert static.is_broker(2)
+        assert static.brokers() == {2}

@@ -1,0 +1,162 @@
+"""FaultPlan + Simulation integration: skips, accounting, channels."""
+
+import pytest
+
+from repro.dtn.bandwidth import ContactChannel
+from repro.dtn.events import MessageEvent
+from repro.dtn.simulator import Protocol, Simulation
+from repro.faults import FaultPlan, FaultSpec, FaultyContactChannel
+from repro.traces.model import Contact, ContactTrace
+
+
+class RecordingProtocol(Protocol):
+    """Logs every engine callback; infinite appetite, no forwarding."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.messages = []
+        self.contacts = []
+        self.crashes = []
+        self.recoveries = []
+
+    def on_message_created(self, node, message, now):
+        self.messages.append((node, message, now))
+
+    def on_contact(self, contact, channel, now):
+        self.contacts.append((contact.a, contact.b, now, channel))
+
+    def on_node_crashed(self, node, now, mode="wipe"):
+        self.crashes.append((node, now, mode))
+
+    def on_node_recovered(self, node, now):
+        self.recoveries.append((node, now))
+
+
+def make_trace():
+    contacts = [
+        Contact.make(100.0, 60.0, 0, 1),
+        Contact.make(300.0, 60.0, 1, 2),
+        Contact.make(500.0, 60.0, 2, 3),
+        Contact.make(700.0, 60.0, 0, 3),
+    ]
+    return ContactTrace(contacts, nodes=range(4), name="mini")
+
+
+class TestPlanConstruction:
+    def test_disabled_spec_refused(self):
+        with pytest.raises(ValueError, match="disabled FaultSpec"):
+            FaultPlan(FaultSpec(), make_trace())
+
+    def test_schedule_spans_trace_window(self):
+        plan = FaultPlan(
+            FaultSpec(crash_rate_per_day=500.0, seed=1), make_trace()
+        )
+        assert len(plan.schedule) > 0
+        assert all(
+            e.time > 100.0 for e in plan.schedule if e.kind == "crash"
+        )
+
+    def test_channel_only_spec_has_empty_schedule(self):
+        plan = FaultPlan(FaultSpec(frame_loss=0.5), make_trace())
+        assert len(plan.schedule) == 0
+        assert not plan.is_down(0)
+
+
+class TestMakeChannel:
+    def test_channel_faults_build_faulty_channel(self):
+        plan = FaultPlan(FaultSpec(frame_loss=0.5), make_trace())
+        channel = plan.make_channel(make_trace().contacts[0], 0, 250_000)
+        assert isinstance(channel, FaultyContactChannel)
+
+    def test_churn_only_spec_builds_plain_channel(self):
+        plan = FaultPlan(FaultSpec(crash_rate_per_day=1.0), make_trace())
+        channel = plan.make_channel(make_trace().contacts[0], 0, 250_000)
+        assert type(channel) is ContactChannel
+
+    def test_channel_keyed_by_contact_index(self):
+        plan = FaultPlan(FaultSpec(frame_loss=0.5, seed=3), make_trace())
+        contact = make_trace().contacts[0]
+
+        def outcomes(index):
+            ch = plan.make_channel(contact, index, 250_000)
+            return [ch.send(100) for _ in range(20)]
+
+        assert outcomes(0) == outcomes(0)
+        assert outcomes(0) != outcomes(1)
+
+
+class TestSimulationIntegration:
+    def test_down_producer_skips_message(self):
+        trace = make_trace()
+        plan = FaultPlan(FaultSpec(frame_loss=0.001), trace)
+        # Force node 1 down by hand for the whole run.
+        plan._down.add(1)
+        protocol = RecordingProtocol()
+        events = [MessageEvent(150.0, 1, "from-1"), MessageEvent(160.0, 2, "from-2")]
+        report = Simulation(trace, protocol, events, faults=plan).run()
+        assert [m[1] for m in protocol.messages] == ["from-2"]
+        assert report.num_messages_created == 1
+        assert plan.accounting.messages_skipped == 1
+
+    def test_down_endpoint_skips_contact(self):
+        trace = make_trace()
+        plan = FaultPlan(FaultSpec(frame_loss=0.001), trace)
+        plan._down.add(2)  # kills contacts (1,2) and (2,3)
+        protocol = RecordingProtocol()
+        report = Simulation(trace, protocol, faults=plan).run()
+        assert [(a, b) for a, b, _, _ in protocol.contacts] == [(0, 1), (0, 3)]
+        # Skipped contacts still count as engine-level trace progress...
+        assert report.num_contacts == 4
+        assert plan.accounting.contacts_skipped == 2
+        # ...but do not appear in per-node contact attribution.
+        assert report.contacts_by_node == {0: 2, 1: 1, 3: 1}
+
+    def test_churn_callbacks_reach_protocol(self):
+        trace = make_trace()
+        plan = FaultPlan(
+            FaultSpec(crash_rate_per_day=2000.0, mean_downtime_s=30.0,
+                      crash_mode="age", seed=7),
+            trace,
+        )
+        protocol = RecordingProtocol()
+        Simulation(trace, protocol, faults=plan).run()
+        assert len(protocol.crashes) == plan.accounting.crashes > 0
+        assert len(protocol.recoveries) == plan.accounting.recoveries
+        assert all(mode == "age" for _, _, mode in protocol.crashes)
+        # Recoveries never outnumber crashes; any gap is an overhanging
+        # outage past the trace end.
+        assert 0 <= (
+            plan.accounting.crashes - plan.accounting.recoveries
+        ) <= len(trace.nodes)
+
+    def test_accounting_lands_in_report_extra(self):
+        trace = make_trace()
+        plan = FaultPlan(FaultSpec(frame_loss=1.0, seed=1), trace)
+        protocol = RecordingProtocol()
+        report = Simulation(trace, protocol, faults=plan).run()
+        assert report.extra["faults"] == plan.accounting.as_dict()
+        assert set(report.extra["faults"]) == {
+            "frames_lost", "frames_corrupted", "frames_truncated",
+            "contacts_truncated", "contacts_skipped", "messages_skipped",
+            "crashes", "recoveries",
+        }
+
+    def test_no_plan_leaves_report_extra_empty(self):
+        report = Simulation(make_trace(), RecordingProtocol()).run()
+        assert "faults" not in report.extra
+
+    def test_full_loss_run_is_deterministic(self):
+        trace = make_trace()
+
+        def run_once():
+            plan = FaultPlan(
+                FaultSpec(frame_loss=0.5, crash_rate_per_day=1000.0,
+                          mean_downtime_s=60.0, seed=11),
+                trace,
+            )
+            protocol = RecordingProtocol()
+            Simulation(trace, protocol, faults=plan).run()
+            return plan.accounting.as_dict(), protocol.crashes
+
+        assert run_once() == run_once()

@@ -1,0 +1,132 @@
+"""B-SUB crash/recovery semantics (``on_node_crashed``/``on_node_recovered``).
+
+The fault model: a crash loses RAM — message buffers, receipt sets,
+copy budgets, and the broker flag always go.  ``mode="age"`` keeps the
+relay filter (checkpointed to flash; it simply continues decaying via
+its lazy-decay clock) while ``mode="wipe"`` loses that too.  The
+genuine filter is always rebuilt from the node's interests: a user's
+subscription list is durable configuration, not volatile state.
+"""
+
+from repro.pubsub.messages import Message
+from repro.pubsub.metrics import MetricsCollector
+from repro.pubsub.protocol import BsubConfig, BsubProtocol
+from repro.traces.model import Contact, ContactTrace
+
+INTERESTS = {
+    0: frozenset({"alpha"}),
+    1: frozenset({"beta"}),
+    2: frozenset({"gamma"}),
+}
+
+
+def build_protocol(**overrides):
+    config = BsubConfig(
+        num_bits=64, num_hashes=2, decay_factor_per_min=0.1, **overrides
+    )
+    metrics = MetricsCollector(INTERESTS, "B-SUB")
+    protocol = BsubProtocol(INTERESTS, metrics, config)
+    trace = ContactTrace(
+        [Contact.make(10.0, 60.0, 0, 1)], nodes=sorted(INTERESTS)
+    )
+    protocol.setup(trace)
+    return protocol
+
+
+def load_node(protocol, node=1):
+    """Give *node* a relay entry, a buffered message, and the broker role."""
+    state = protocol.states[node]
+    state.relay.insert("hot-topic")
+    message = Message.create("gamma", node, 20.0, 600.0, size_bytes=10)
+    protocol.metrics.register_message(message)
+    state.produce(message)
+    protocol.election._is_broker[node] = True
+    return state, message
+
+
+class TestWipe:
+    def test_volatile_state_lost(self):
+        protocol = build_protocol()
+        old_state, message = load_node(protocol)
+        protocol.on_node_crashed(1, 50.0, mode="wipe")
+        fresh = protocol.states[1]
+        assert fresh is not old_state
+        assert "hot-topic" not in fresh.relay
+        assert len(fresh.own) == 0 and len(fresh.carried) == 0
+        assert not fresh.has(message.id)
+        assert fresh.copies_left == {}
+        assert not protocol.election.is_broker(1)
+
+    def test_genuine_filter_rebuilt_from_interests(self):
+        protocol = build_protocol()
+        load_node(protocol)
+        protocol.on_node_crashed(1, 50.0, mode="wipe")
+        fresh = protocol.states[1]
+        assert "beta" in fresh.genuine          # durable subscription
+        assert "beta" in fresh.genuine_bloom
+
+    def test_relay_clock_restarts_at_crash_time(self):
+        protocol = build_protocol()
+        protocol.on_node_crashed(1, 500.0, mode="wipe")
+        assert protocol.states[1].relay.time == 500.0
+
+
+class TestAge:
+    def test_relay_filter_survives(self):
+        protocol = build_protocol()
+        old_state, _ = load_node(protocol)
+        old_relay = old_state.relay
+        protocol.on_node_crashed(1, 50.0, mode="age")
+        fresh = protocol.states[1]
+        assert fresh.relay is old_relay
+        assert "hot-topic" in fresh.relay
+
+    def test_buffers_and_role_still_lost(self):
+        protocol = build_protocol()
+        _, message = load_node(protocol)
+        protocol.on_node_crashed(1, 50.0, mode="age")
+        fresh = protocol.states[1]
+        assert len(fresh.own) == 0
+        assert not fresh.has(message.id)
+        assert not protocol.election.is_broker(1)
+
+    def test_surviving_relay_keeps_decaying(self):
+        protocol = build_protocol()
+        state, _ = load_node(protocol)
+        protocol.on_node_crashed(1, 50.0, mode="age")
+        relay = protocol.states[1].relay
+        # DF = 0.1/min and C = 50 -> fully decayed after 500 min; the
+        # outage consumed simulated time like any other idle stretch.
+        relay.advance(50.0 + 600 * 60.0)
+        assert "hot-topic" not in relay
+
+
+class TestEdgeCases:
+    def test_unknown_node_is_noop(self):
+        protocol = build_protocol()
+        protocol.on_node_crashed(99, 50.0, mode="wipe")  # must not raise
+
+    def test_recovered_is_noop(self):
+        protocol = build_protocol()
+        before = protocol.states[1]
+        protocol.on_node_recovered(1, 80.0)
+        assert protocol.states[1] is before
+
+    def test_contact_works_after_crash(self):
+        # The node must be bootable: a post-crash contact runs the full
+        # Sec. V procedure against the fresh state without errors.
+        protocol = build_protocol()
+        load_node(protocol)
+        protocol.on_node_crashed(1, 50.0, mode="wipe")
+        from repro.dtn.bandwidth import ContactChannel
+
+        contact = Contact.make(60.0, 60.0, 0, 1)
+        protocol.on_contact(contact, ContactChannel(60.0, None), 60.0)
+
+    def test_adaptive_df_controller_reset(self):
+        from repro.pubsub.adaptive import AdaptiveDecayConfig
+
+        protocol = build_protocol(adaptive_df=AdaptiveDecayConfig())
+        before = protocol.df_controllers[1]
+        protocol.on_node_crashed(1, 50.0, mode="wipe")
+        assert protocol.df_controllers[1] is not before

@@ -1,0 +1,109 @@
+"""Unit tests for :class:`repro.faults.FaultSpec`."""
+
+import pytest
+
+from repro.faults import NO_FAULTS, FaultSpec
+
+
+class TestValidation:
+    def test_defaults_are_disabled(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+        assert not spec.channel_faults
+        assert not spec.churn
+
+    @pytest.mark.parametrize("field", ["frame_loss", "truncation", "corruption"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), float("inf")])
+    def test_probability_fields_bounded(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultSpec(**{field: bad})
+
+    def test_negative_crash_rate_rejected(self):
+        with pytest.raises(ValueError, match="crash_rate_per_day"):
+            FaultSpec(crash_rate_per_day=-1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("nan")])
+    def test_downtime_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="mean_downtime_s"):
+            FaultSpec(mean_downtime_s=bad)
+
+    def test_unknown_crash_mode_rejected(self):
+        with pytest.raises(ValueError, match="crash_mode"):
+            FaultSpec(crash_mode="explode")
+
+    def test_boundary_probabilities_allowed(self):
+        spec = FaultSpec(frame_loss=1.0, truncation=0.0, corruption=1.0)
+        assert spec.enabled
+
+
+class TestClassification:
+    def test_channel_only(self):
+        spec = FaultSpec(frame_loss=0.1)
+        assert spec.channel_faults and not spec.churn and spec.enabled
+
+    def test_churn_only(self):
+        spec = FaultSpec(crash_rate_per_day=2.0)
+        assert spec.churn and not spec.channel_faults and spec.enabled
+
+    def test_none_is_shared_disabled_instance(self):
+        assert FaultSpec.none() is NO_FAULTS
+        assert not NO_FAULTS.enabled
+
+    def test_nonzero_downtime_alone_stays_disabled(self):
+        # Downtime without a crash rate can never fire.
+        assert not FaultSpec(mean_downtime_s=60.0).enabled
+
+
+class TestParse:
+    def test_full_spec(self):
+        spec = FaultSpec.parse(
+            "loss=0.1,trunc=0.2,corrupt=0.01,crash=2,downtime=1800,"
+            "mode=age,seed=3"
+        )
+        assert spec == FaultSpec(
+            frame_loss=0.1, truncation=0.2, corruption=0.01,
+            crash_rate_per_day=2.0, mean_downtime_s=1800.0,
+            crash_mode="age", seed=3,
+        )
+
+    def test_full_field_names_accepted(self):
+        assert FaultSpec.parse("frame_loss=0.5") == FaultSpec(frame_loss=0.5)
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        assert FaultSpec.parse(" loss=0.1 , ,crash=1 ") == FaultSpec(
+            frame_loss=0.1, crash_rate_per_day=1.0
+        )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultSpec.parse("explosions=0.5")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultSpec.parse("loss")
+
+    def test_parse_validates(self):
+        with pytest.raises(ValueError, match="frame_loss"):
+            FaultSpec.parse("loss=2.0")
+
+
+class TestHelpers:
+    def test_with_seed(self):
+        spec = FaultSpec(frame_loss=0.1, seed=0).with_seed(7)
+        assert spec.seed == 7 and spec.frame_loss == 0.1
+
+    def test_describe_disabled(self):
+        assert FaultSpec().describe() == "no faults"
+
+    def test_describe_mentions_active_faults(self):
+        text = FaultSpec(
+            frame_loss=0.25, crash_rate_per_day=2.0, seed=3
+        ).describe()
+        assert "loss=0.25" in text
+        assert "crash=2/day" in text
+        assert "seed=3" in text
+        assert "trunc" not in text
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultSpec().frame_loss = 0.5

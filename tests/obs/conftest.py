@@ -9,7 +9,8 @@ simulation executes once, however many tests inspect it.
 
 import pytest
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.api import ExperimentSpec, run
+from repro.experiments import ExperimentConfig
 from repro.obs import Observability
 from repro.traces import haggle_like
 
@@ -30,7 +31,7 @@ def run_mini_fig7(obs=None):
     """One fresh instrumented (or plain) run of the mini Fig. 7 scenario."""
     trace = haggle_like(**MINI_FIG7_TRACE)
     config = ExperimentConfig(**MINI_FIG7_CONFIG)
-    return run_experiment(trace, "B-SUB", config, obs=obs)
+    return run(trace, ExperimentSpec.from_config(config), obs=obs)
 
 
 @pytest.fixture(scope="session")

@@ -36,14 +36,19 @@ class TestCliTraceOutput:
         assert "Phase timings" in out
         assert "Metrics registry" in out
 
-        # The JSONL file is valid line-delimited JSON covering all
-        # eight event types, with dense sequence numbers.
+        # The JSONL file is valid line-delimited JSON covering every
+        # protocol event type (fault events need --faults), with dense
+        # sequence numbers.
+        fault_types = {
+            "frame_dropped", "frame_truncated",
+            "node_crashed", "node_recovered",
+        }
         seen = set()
         for i, line in enumerate(trace_path.read_text().splitlines()):
             record = json.loads(line)
             assert record["seq"] == i
             seen.add(record["type"])
-        assert seen == set(EVENT_TYPES)
+        assert seen == set(EVENT_TYPES) - fault_types
         assert len(list(read_trace(str(trace_path)))) == i + 1
 
         metrics = json.loads(metrics_path.read_text())

@@ -8,9 +8,9 @@ from repro.obs import EVENT_TYPES, TraceEvent
 
 
 class TestEventTypes:
-    def test_exactly_eight_types(self):
-        assert len(EVENT_TYPES) == 8
-        assert len(set(EVENT_TYPES)) == 8
+    def test_exactly_twelve_types(self):
+        assert len(EVENT_TYPES) == 12
+        assert len(set(EVENT_TYPES)) == 12
 
     def test_expected_vocabulary(self):
         assert set(EVENT_TYPES) == {
@@ -22,6 +22,10 @@ class TestEventTypes:
             "delivery",
             "false_injection",
             "broker_role",
+            "frame_dropped",
+            "frame_truncated",
+            "node_crashed",
+            "node_recovered",
         }
 
 

@@ -15,7 +15,8 @@ the commit message.
 import hashlib
 import json
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.api import ExperimentSpec, run
+from repro.experiments import ExperimentConfig
 from repro.obs import EVENT_TYPES, Observability, read_trace
 from repro.traces import haggle_like
 
@@ -37,7 +38,20 @@ MINI_FIG7_EVENT_COUNTS = {
     "delivery": 4078,
     "false_injection": 142,
     "broker_role": 70,
+    # Fault events exist in the vocabulary but never fire without an
+    # enabled FaultSpec — zeros are part of the golden identity.
+    "frame_dropped": 0,
+    "frame_truncated": 0,
+    "node_crashed": 0,
+    "node_recovered": 0,
 }
+
+#: The event types a *fault-free* run must exercise.
+PROTOCOL_EVENT_TYPES = tuple(
+    t for t in EVENT_TYPES
+    if t not in ("frame_dropped", "frame_truncated",
+                 "node_crashed", "node_recovered")
+)
 
 # Mini Fig. 9 (DF sweep at two decay factors, same trace/geometry).
 MINI_FIG9_TRACE = dict(scale=0.01, seed=5)
@@ -56,10 +70,15 @@ class TestMiniFig7Golden:
         obs, _ = mini_fig7
         assert obs.tracer.counts() == MINI_FIG7_EVENT_COUNTS
 
-    def test_all_eight_event_types_occur(self, mini_fig7):
+    def test_all_protocol_event_types_occur(self, mini_fig7):
         obs, _ = mini_fig7
         counts = obs.tracer.counts()
-        assert all(counts[t] > 0 for t in EVENT_TYPES), counts
+        assert all(counts[t] > 0 for t in PROTOCOL_EVENT_TYPES), counts
+        # Fault-free runs must never emit fault events.
+        assert all(
+            counts[t] == 0
+            for t in EVENT_TYPES if t not in PROTOCOL_EVENT_TYPES
+        ), counts
 
     def test_registry_digest_pinned(self, mini_fig7):
         obs, _ = mini_fig7
@@ -107,5 +126,5 @@ class TestMiniFig9Golden:
                 decay_factor_per_min=df,
             )
             obs = Observability.enabled()
-            run_experiment(trace, "B-SUB", config, obs=obs)
+            run(trace, ExperimentSpec.from_config(config), obs=obs)
             assert obs.tracer.digest() == expected, f"DF={df}"

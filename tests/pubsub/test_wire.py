@@ -9,6 +9,7 @@ from repro.core.hashing import HashFamily
 from repro.core.tcbf import TemporalCountingBloomFilter
 from repro.pubsub.messages import Message
 from repro.pubsub.wire import (
+    DecodeResult,
     FilterRequest,
     Hello,
     InterestAnnouncement,
@@ -23,7 +24,9 @@ from repro.pubsub.wire import (
 
 def roundtrip(frames, family, initial_value=50.0):
     blob = b"".join(encode_frame(f) for f in frames)
-    return decode_frames(blob, family, initial_value)
+    result = decode_frames(blob, family, initial_value)
+    assert result.ok and result.consumed == len(blob)
+    return result
 
 
 class TestMessageCodec:
@@ -72,7 +75,8 @@ class TestMessageCodec:
 class TestFrames:
     def test_hello_roundtrip(self, family):
         frames = roundtrip([Hello(7, True, 42, 123.5)], family)
-        assert frames == [Hello(7, True, 42, 123.5)]
+        assert isinstance(frames, DecodeResult)
+        assert list(frames) == [Hello(7, True, 42, 123.5)]
 
     def test_interest_announcement_roundtrip(self, family):
         genuine = TemporalCountingBloomFilter.of(
@@ -134,12 +138,35 @@ class TestFrames:
         frames = [Hello(1, False, 3, 0.0), Hello(2, True, 5, 0.0)]
         blob = b"".join(encode_frame(f) for f in frames)
         decoded = decode_frames(blob[:-4], family, 50.0)  # cut mid-frame
-        assert decoded == [Hello(1, False, 3, 0.0)]
+        assert list(decoded) == [Hello(1, False, 3, 0.0)]
+        assert not decoded.ok
+        assert decoded.error.reason == "truncated_body"
+        assert decoded.consumed == len(encode_frame(frames[0]))
 
-    def test_unknown_frame_type_rejected(self, family):
+    def test_unknown_frame_type_reported(self, family):
         blob = bytes([0xEE]) + (4).to_bytes(4, "little") + b"\x00" * 4
-        with pytest.raises(ValueError, match="unknown frame"):
-            decode_frames(blob, family, 50.0)
+        result = decode_frames(blob, family, 50.0)
+        assert list(result) == []
+        assert result.error.reason == "unknown_frame_type"
+        assert result.error.frame_type == 0xEE
+        assert result.consumed == 0
+
+    def test_declared_length_overrun_rejected(self, family):
+        # Header declares a huge body; only a few bytes follow.  Must
+        # be rejected as truncated_body without reading past the end.
+        blob = bytes([0x10]) + (10_000).to_bytes(4, "little") + b"\x00" * 8
+        result = decode_frames(blob, family, 50.0)
+        assert list(result) == []
+        assert result.error.reason == "truncated_body"
+
+    def test_good_frames_before_corrupt_body_survive(self, family):
+        good = encode_frame(Hello(1, False, 3, 0.0))
+        # A valid header for an interest announcement with garbage body.
+        bad = bytes([0x11]) + (3).to_bytes(4, "little") + b"\xff\xff\xff"
+        result = decode_frames(good + bad, family, 50.0)
+        assert list(result) == [Hello(1, False, 3, 0.0)]
+        assert result.error.reason == "bad_body"
+        assert result.consumed == len(good)
 
     def test_not_a_frame_rejected(self):
         with pytest.raises(TypeError, match="not a wire frame"):

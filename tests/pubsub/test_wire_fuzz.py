@@ -1,0 +1,194 @@
+"""Property/fuzz tests for the hardened wire codec.
+
+The fault layer can hand ``decode_frames`` any damaged byte string —
+truncated at an arbitrary point, bit-flipped, or outright garbage — so
+the decoder's contract is: *never raise*, never read past a declared
+length, and always return the cleanly decoded prefix plus a structured
+:class:`FrameError`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import TemporalCountingBloomFilter
+from repro.pubsub.messages import Message
+from repro.pubsub.wire import (
+    FilterRequest,
+    Hello,
+    InterestAnnouncement,
+    MessageBundle,
+    RelayFilter,
+    decode_frames,
+    encode_frame,
+)
+
+FAMILY = HashFamily(4, 256, seed=1)
+INITIAL_VALUE = 50.0
+
+_keys = st.lists(
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+
+@st.composite
+def hello_frames(draw):
+    return Hello(
+        node_id=draw(st.integers(0, 2**31 - 1)),
+        is_broker=draw(st.booleans()),
+        degree=draw(st.integers(0, 2**31 - 1)),
+        time=draw(st.floats(0, 1e9)),
+    )
+
+
+@st.composite
+def interest_frames(draw):
+    tcbf = TemporalCountingBloomFilter.of(
+        draw(_keys), family=FAMILY, initial_value=INITIAL_VALUE
+    )
+    return InterestAnnouncement(tcbf)
+
+
+@st.composite
+def relay_frames(draw):
+    relay = TemporalCountingBloomFilter(
+        family=FAMILY, initial_value=INITIAL_VALUE
+    )
+    for keys in draw(st.lists(_keys, min_size=0, max_size=3)):
+        relay.a_merge(
+            TemporalCountingBloomFilter.of(
+                keys, family=FAMILY, initial_value=INITIAL_VALUE
+            )
+        )
+    return RelayFilter(relay)
+
+
+@st.composite
+def request_frames(draw):
+    return FilterRequest(BloomFilter.of(draw(_keys), family=FAMILY))
+
+
+@st.composite
+def bundle_frames(draw):
+    sizes = draw(st.lists(st.integers(1, 60), min_size=0, max_size=3))
+    messages = tuple(
+        Message.create(f"key-{i}", i, float(i), 600.0, size_bytes=size)
+        for i, size in enumerate(sizes)
+    )
+    return MessageBundle(messages, tuple(bytes(size) for size in sizes))
+
+
+any_frame = st.one_of(
+    hello_frames(),
+    interest_frames(),
+    relay_frames(),
+    request_frames(),
+    bundle_frames(),
+)
+
+
+def decode(blob: bytes):
+    return decode_frames(blob, FAMILY, INITIAL_VALUE)
+
+
+@given(frames=st.lists(any_frame, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_every_frame_type_roundtrips(frames):
+    blob = b"".join(encode_frame(f) for f in frames)
+    result = decode(blob)
+    assert result.ok
+    assert result.consumed == len(blob)
+    assert [type(f) for f in result] == [type(f) for f in frames]
+    # Hello and MessageBundle round-trip exactly; filter frames are
+    # compared by behaviour elsewhere (float quantisation).
+    for original, decoded in zip(frames, result):
+        if isinstance(original, (Hello, MessageBundle)):
+            assert decoded == original
+
+
+@given(
+    frames=st.lists(any_frame, min_size=1, max_size=3),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_truncation_never_raises_and_keeps_prefix(frames, data):
+    encoded = [encode_frame(f) for f in frames]
+    blob = b"".join(encoded)
+    cut = data.draw(st.integers(0, len(blob) - 1), label="cut")
+    result = decode(blob[:cut])
+    # Whole frames before the cut decode; the remainder is an error,
+    # except when the cut lands exactly on a frame boundary.
+    boundaries = [0]
+    for part in encoded:
+        boundaries.append(boundaries[-1] + len(part))
+    whole = sum(1 for b in boundaries[1:] if b <= cut)
+    assert len(result) == whole
+    if cut in boundaries:
+        assert result.ok
+    else:
+        assert result.error is not None
+        assert result.error.reason in (
+            "truncated_header", "truncated_body", "bad_body"
+        )
+    assert result.consumed <= cut
+
+
+@given(
+    frames=st.lists(any_frame, min_size=1, max_size=2),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_bitflips_never_raise(frames, data):
+    blob = bytearray(b"".join(encode_frame(f) for f in frames))
+    num_flips = data.draw(st.integers(1, 4), label="num_flips")
+    for _ in range(num_flips):
+        index = data.draw(st.integers(0, len(blob) - 1), label="index")
+        blob[index] ^= data.draw(st.integers(1, 255), label="mask")
+    result = decode(bytes(blob))  # must not raise
+    assert result.consumed <= len(blob)
+    assert (result.error is None) == result.ok
+
+
+@given(garbage=st.binary(min_size=0, max_size=300))
+@settings(max_examples=120, deadline=None)
+def test_raw_garbage_never_raises(garbage):
+    result = decode(garbage)
+    assert result.consumed <= len(garbage)
+    if garbage and result.ok:
+        # A clean parse of random bytes must have consumed everything.
+        assert result.consumed == len(garbage)
+
+
+@given(declared=st.integers(1, 2**31 - 1), available=st.integers(0, 64))
+@settings(max_examples=60, deadline=None)
+def test_declared_overrun_rejected_without_overread(declared, available):
+    if available >= declared:
+        available = declared - 1 if declared > 0 else 0
+    blob = bytes([0x10]) + declared.to_bytes(4, "little") + bytes(available)
+    result = decode(blob)
+    assert list(result) == []
+    assert result.error.reason == "truncated_body"
+    assert result.consumed == 0
+
+
+def test_empty_input_is_clean():
+    result = decode(b"")
+    assert result.ok and list(result) == [] and result.consumed == 0
+
+
+@pytest.mark.parametrize("type_byte", [0x00, 0x0F, 0x15, 0xFF])
+def test_unknown_type_bytes_reported(type_byte):
+    blob = bytes([type_byte]) + (0).to_bytes(4, "little")
+    result = decode(blob)
+    assert result.error is not None
+    assert result.error.reason == "unknown_frame_type"
+    assert result.error.frame_type == type_byte

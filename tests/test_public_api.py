@@ -13,7 +13,7 @@ import repro
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_headline_exports(self):
         for name in (
@@ -34,6 +34,91 @@ class TestTopLevel:
     def test_all_is_importable(self):
         for name in repro.__all__:
             assert getattr(repro, name, None) is not None, name
+
+    def test_lazy_exports_listed_by_dir(self):
+        # The typed API loads lazily (PEP 562) but must still be
+        # discoverable.
+        for name in ("ExperimentSpec", "run", "sweep", "replicate",
+                     "resilience", "FaultSpec"):
+            assert name in dir(repro), name
+
+
+class TestSurfaceSnapshot:
+    """Exact export snapshots: adding or removing a name is an API event.
+
+    If one of these fails because of a *deliberate* surface change,
+    re-pin the list here and call the change out in the PR description.
+    """
+
+    def test_top_level_all(self):
+        assert sorted(repro.__all__) == [
+            "BloomFilter", "BsubConfig", "BsubProtocol",
+            "CountingBloomFilter", "ExperimentSpec", "FaultSpec",
+            "HashFamily", "Message", "MetricsCollector", "PullProtocol",
+            "PushProtocol", "TCBFCollection", "TemporalCountingBloomFilter",
+            "__version__", "replicate", "resilience", "run", "sweep",
+        ]
+
+    def test_api_module_all(self):
+        import repro.api
+
+        assert sorted(repro.api.__all__) == [
+            "ExperimentSpec", "replicate", "resilience", "run", "sweep",
+        ]
+
+    def test_faults_module_all(self):
+        import repro.faults
+
+        assert sorted(repro.faults.__all__) == [
+            "ChurnEvent", "ChurnSchedule", "FaultAccounting", "FaultPlan",
+            "FaultSpec", "FaultyContactChannel", "NO_FAULTS",
+        ]
+
+    def test_entry_point_signatures(self):
+        import inspect
+
+        from repro import api
+
+        def params(fn):
+            return list(inspect.signature(fn).parameters)
+
+        assert params(api.run) == ["trace", "spec", "distribution", "obs"]
+        assert params(api.sweep) == [
+            "trace", "spec", "ttl_min", "df_per_min", "protocols", "jobs",
+            "distribution",
+        ]
+        assert params(api.replicate) == [
+            "trace_factory", "spec", "seeds", "jobs", "distribution",
+        ]
+        assert params(api.resilience) == [
+            "trace", "spec", "distribution", "obs",
+        ]
+
+    def test_experiment_spec_fields(self):
+        import dataclasses
+
+        from repro.api import ExperimentSpec
+
+        names = [f.name for f in dataclasses.fields(ExperimentSpec)]
+        assert names[:3] == ["protocol", "ttl_min", "df_per_min"]
+        assert "faults" in names
+        # Normalised names only — the aliases live at call sites.
+        assert "num_bits" in names and "m" not in names
+        assert "num_hashes" in names and "k" not in names
+
+    def test_filter_constructors_accept_aliases(self):
+        import inspect
+
+        from repro import BloomFilter, TemporalCountingBloomFilter
+
+        for cls in (BloomFilter, TemporalCountingBloomFilter):
+            params = inspect.signature(cls.__init__).parameters
+            assert "num_bits" in params and "m" in params, cls.__name__
+            assert "num_hashes" in params and "k" in params, cls.__name__
+            assert params["m"].kind is inspect.Parameter.KEYWORD_ONLY
+        tcbf_of = inspect.signature(TemporalCountingBloomFilter.of).parameters
+        assert "df" in tcbf_of and tcbf_of["df"].kind is \
+            inspect.Parameter.KEYWORD_ONLY
 
 
 class TestSubpackageSurfaces:
@@ -73,6 +158,13 @@ class TestSubpackageSurfaces:
                 "run_replicated", "format_table_i", "format_table_ii",
                 "ascii_chart", "ALL_PROTOCOLS",
             ]),
+            ("repro.api", [
+                "ExperimentSpec", "run", "sweep", "replicate", "resilience",
+            ]),
+            ("repro.faults", [
+                "FaultSpec", "FaultPlan", "FaultyContactChannel",
+                "ChurnEvent", "ChurnSchedule", "FaultAccounting", "NO_FAULTS",
+            ]),
         ],
     )
     def test_surface(self, module, names):
@@ -85,6 +177,7 @@ class TestSubpackageSurfaces:
         [
             "repro.core", "repro.pubsub", "repro.dtn", "repro.traces",
             "repro.social", "repro.workload", "repro.experiments",
+            "repro.api", "repro.faults",
         ],
     )
     def test_all_lists_resolve(self, module):
@@ -115,6 +208,8 @@ class TestDocstrings:
             "repro.dtn.energy", "repro.traces.synthetic",
             "repro.traces.mobility", "repro.social.communities",
             "repro.workload.keys", "repro.experiments.runner",
+            "repro.experiments.resilience", "repro.api", "repro.faults.spec",
+            "repro.faults.channel", "repro.faults.churn", "repro.faults.plan",
             "repro.cli",
         ],
     )

@@ -1,30 +1,308 @@
-"""Engine throughput — contacts per second of simulated replay.
+"""Simulator scaling benchmark: columnar vs object trace backends.
 
-Not a paper artefact, but the number that bounds every other bench:
-how fast the trace-driven engine plus each protocol chews through
-contact events.  Useful as a performance-regression tripwire.
+Measures the end-to-end cost (synthetic trace build + engine replay)
+of a node/contact scaling curve from 10k to 1M contacts under both
+trace backends, and persists the measurements to
+``benchmarks/results/BENCH_sim.json`` so regressions are mechanically
+checkable.
+
+Two separate passes per cell:
+
+* **timing pass** — wall-clock, with tracemalloc *off* (tracing hooks
+  every allocation and would inflate the object backend's numbers by
+  5–10x, unfairly flattering the columnar backend);
+* **memory pass** — tracemalloc, with the peak reset between the build
+  and replay phases.  The headline memory number is the replay-phase
+  peak *with the trace resident* — the steady-state working set of a
+  replay — recorded alongside the build-phase peak for transparency.
+
+Replay uses :class:`repro.dtn.PassiveProtocol` (pure engine
+accounting), so the curve measures the engine, not protocol logic; a
+per-cell equivalence check asserts both backends produce the same
+:class:`SimulationReport`.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_simulator.py           # full curve
+    PYTHONPATH=src python benchmarks/bench_simulator.py --smoke   # CI quick mode
+
+or through pytest (smoke cell only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator.py -q
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.experiments.runner import run_experiment
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Optional
 
-from .conftest import bench_config
+from repro.dtn import PassiveProtocol, Simulation
+from repro.traces import FLAT_PROFILE, SyntheticTraceConfig, generate_trace
+from repro.traces.backends import TRACE_BACKEND_ENV_VAR, TRACE_BACKENDS
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sim.json"
+
+#: The headline acceptance thresholds at the largest cell.
+REQUIRED_SPEEDUP = 4.0
+REQUIRED_MEMORY_RATIO = 4.0
+
+#: (label, target contacts, nodes) — the node count grows with the
+#: contact count so the curve exercises both axes.  Targets are
+#: pre-merge Poisson targets: overlapping per-pair draws coalesce
+#: (two devices cannot be in contact twice at once), so each target is
+#: chosen to land the *merged* contact count near its label — the 1M
+#: cell replays ~0.96M contacts.
+FULL_CELLS = [
+    ("10k", 10_000, 60),
+    ("100k", 120_000, 80),
+    ("1M", 1_700_000, 100),
+]
+SMOKE_CELLS = [("10k", 10_000, 60)]
 
 
-@pytest.mark.parametrize("protocol", ["PUSH", "B-SUB", "PULL"])
-def test_engine_throughput(benchmark, haggle_trace, protocol):
-    config = bench_config(ttl_min=300.0)
-
-    def replay():
-        return run_experiment(haggle_trace, protocol, config)
-
-    result = benchmark.pedantic(replay, rounds=1, iterations=1)
-    contacts_per_s = haggle_trace.num_contacts / max(
-        benchmark.stats.stats.mean, 1e-9
+def _bench_config(target_contacts: int, num_nodes: int) -> SyntheticTraceConfig:
+    return SyntheticTraceConfig(
+        num_nodes=num_nodes,
+        duration_days=3.0,
+        target_contacts=target_contacts,
+        num_communities=4,
+        intra_community_boost=3.0,
+        activity_sigma=0.6,
+        profile=FLAT_PROFILE,
+        seed=7,
+        name=f"bench-{target_contacts}c-{num_nodes}n",
     )
-    benchmark.extra_info["contacts_per_second"] = round(contacts_per_s)
-    benchmark.extra_info["contacts"] = haggle_trace.num_contacts
-    assert result.engine.num_contacts == haggle_trace.num_contacts
-    # a laptop should replay at least a few hundred contacts/second
-    assert contacts_per_s > 100
+
+
+def _build(config: SyntheticTraceConfig, backend: str):
+    previous = os.environ.get(TRACE_BACKEND_ENV_VAR)
+    os.environ[TRACE_BACKEND_ENV_VAR] = backend
+    try:
+        return generate_trace(config)
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_BACKEND_ENV_VAR, None)
+        else:
+            os.environ[TRACE_BACKEND_ENV_VAR] = previous
+
+
+def _replay(trace):
+    return Simulation(trace, PassiveProtocol()).run()
+
+
+def _report_fingerprint(report) -> tuple:
+    return (
+        report.num_contacts,
+        report.channels_exhausted,
+        report.end_time,
+        dict(report.contacts_by_node),
+        report.bytes_transferred,
+        report.refused_transfers,
+    )
+
+
+def _measure_backend(
+    config: SyntheticTraceConfig, backend: str, measure_memory: bool,
+    timing_rounds: int = 1,
+):
+    """One backend, one cell: timing pass, then optional memory pass.
+
+    Small cells are timed over several rounds (best-of, the standard
+    estimator for minimum achievable cost) because their absolute times
+    sit close to scheduler noise.
+    """
+    best_build = best_replay = best_e2e = None
+    trace = report = None
+    for _ in range(max(1, timing_rounds)):
+        del trace, report
+        t0 = time.perf_counter()
+        trace = _build(config, backend)
+        t1 = time.perf_counter()
+        report = _replay(trace)
+        t2 = time.perf_counter()
+        if best_e2e is None or t2 - t0 < best_e2e:
+            best_build, best_replay, best_e2e = t1 - t0, t2 - t1, t2 - t0
+    result = {
+        "num_contacts": trace.num_contacts,
+        "num_nodes": trace.num_nodes,
+        "build_s": best_build,
+        "replay_s": best_replay,
+        "end_to_end_s": best_e2e,
+    }
+    fingerprint = _report_fingerprint(report)
+    del trace, report
+
+    if measure_memory:
+        tracemalloc.start()
+        try:
+            base_current, _ = tracemalloc.get_traced_memory()
+            trace = _build(config, backend)
+            built_current, build_peak = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            _replay(trace)
+            _, replay_peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        result["trace_resident_bytes"] = built_current - base_current
+        result["build_peak_bytes"] = build_peak - base_current
+        result["replay_peak_bytes"] = replay_peak - base_current
+        del trace
+    return result, fingerprint
+
+
+def run_cell(
+    label: str,
+    target_contacts: int,
+    num_nodes: int,
+    measure_memory: bool = True,
+    log=print,
+) -> Dict:
+    """Measure one scaling cell under every trace backend."""
+    config = _bench_config(target_contacts, num_nodes)
+    cell: Dict = {
+        "label": label,
+        "target_contacts": target_contacts,
+        "num_nodes": num_nodes,
+        "backends": {},
+    }
+    timing_rounds = 3 if target_contacts < 500_000 else 1
+    fingerprints = {}
+    for backend in TRACE_BACKENDS:
+        log(f"  [{label}] backend={backend} ...")
+        measured, fingerprint = _measure_backend(
+            config, backend, measure_memory, timing_rounds=timing_rounds
+        )
+        cell["backends"][backend] = measured
+        fingerprints[backend] = fingerprint
+    if fingerprints["object"] != fingerprints["columnar"]:
+        raise AssertionError(
+            f"cell {label}: backends disagree on the simulation report"
+        )
+    obj = cell["backends"]["object"]
+    col = cell["backends"]["columnar"]
+    cell["speedup_end_to_end"] = obj["end_to_end_s"] / col["end_to_end_s"]
+    cell["speedup_replay"] = obj["replay_s"] / col["replay_s"]
+    if measure_memory:
+        cell["replay_peak_ratio"] = (
+            obj["replay_peak_bytes"] / col["replay_peak_bytes"]
+        )
+        cell["trace_resident_ratio"] = (
+            obj["trace_resident_bytes"] / col["trace_resident_bytes"]
+        )
+    log(
+        f"  [{label}] contacts={obj['num_contacts']} "
+        f"e2e object={obj['end_to_end_s']:.3f}s "
+        f"columnar={col['end_to_end_s']:.3f}s "
+        f"speedup={cell['speedup_end_to_end']:.2f}x"
+        + (
+            f" replay-peak ratio={cell['replay_peak_ratio']:.2f}x"
+            if measure_memory
+            else ""
+        )
+    )
+    return cell
+
+
+def run_benchmark(
+    smoke: bool = False,
+    out_path: Optional[Path] = RESULTS_PATH,
+    log=print,
+) -> Dict:
+    cells_spec = SMOKE_CELLS if smoke else FULL_CELLS
+    cells: List[Dict] = []
+    for label, contacts, nodes in cells_spec:
+        cells.append(run_cell(label, contacts, nodes, log=log))
+    document = {
+        "mode": "smoke" if smoke else "full",
+        "required_speedup_end_to_end": REQUIRED_SPEEDUP,
+        "required_replay_peak_ratio": REQUIRED_MEMORY_RATIO,
+        "notes": {
+            "timing": "wall-clock seconds, tracemalloc off",
+            "memory": (
+                "tracemalloc bytes; replay_peak_bytes is the peak during "
+                "replay with the trace resident (steady-state working set)"
+            ),
+            "replay": "PassiveProtocol (engine accounting only)",
+        },
+        "cells": cells,
+    }
+    headline = cells[-1]
+    document["headline"] = {
+        "cell": headline["label"],
+        "speedup_end_to_end": headline["speedup_end_to_end"],
+        "replay_peak_ratio": headline.get("replay_peak_ratio"),
+    }
+    if out_path is not None:
+        out_path.parent.mkdir(exist_ok=True)
+        out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        log(f"wrote {out_path}")
+    return document
+
+
+def check_thresholds(document: Dict) -> List[str]:
+    """Threshold failures for a *full* benchmark document ([] = pass)."""
+    headline = document["headline"]
+    failures = []
+    if headline["speedup_end_to_end"] < document["required_speedup_end_to_end"]:
+        failures.append(
+            f"end-to-end speedup {headline['speedup_end_to_end']:.2f}x "
+            f"< required {document['required_speedup_end_to_end']}x"
+        )
+    ratio = headline.get("replay_peak_ratio")
+    if ratio is not None and ratio < document["required_replay_peak_ratio"]:
+        failures.append(
+            f"replay peak-memory ratio {ratio:.2f}x "
+            f"< required {document['required_replay_peak_ratio']}x"
+        )
+    return failures
+
+
+# -- pytest entry point (smoke cell only; asserts backend equivalence) ----
+
+
+def test_bench_simulator_smoke():
+    document = run_benchmark(smoke=True, out_path=None)
+    cell = document["cells"][0]
+    assert cell["backends"]["object"]["num_contacts"] > 0
+    # At smoke scale the end-to-end time is dominated by the shared
+    # generation arithmetic, so only the backend-sensitive phases are
+    # asserted; the 4x thresholds are enforced on the full 1M run.
+    assert cell["speedup_replay"] > 1.0
+    assert cell["replay_peak_ratio"] > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quick mode: smallest cell only, no threshold enforcement",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULTS_PATH,
+        help=f"output JSON path (default: {RESULTS_PATH})",
+    )
+    args = parser.parse_args(argv)
+    document = run_benchmark(smoke=args.smoke, out_path=args.out)
+    if not args.smoke:
+        failures = check_thresholds(document)
+        for failure in failures:
+            print(f"THRESHOLD FAILURE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    headline = document["headline"]
+    print(
+        f"headline [{headline['cell']}]: "
+        f"{headline['speedup_end_to_end']:.2f}x end-to-end, "
+        f"{headline['replay_peak_ratio']:.2f}x lower replay peak memory"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ Traces come from the built-in generators (``haggle``, ``mit``,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -49,6 +50,7 @@ from .traces import (
     mit_reality_like,
 )
 from .obs import Observability
+from .traces.backends import TRACE_BACKEND_ENV_VAR, TRACE_BACKENDS
 from .traces.mobility import MobilityConfig, simulate_mobility
 
 __all__ = ["main", "build_parser", "resolve_trace"]
@@ -81,6 +83,13 @@ def resolve_trace(spec: str, scale: float, seed: int) -> ContactTrace:
     )
 
 
+def _resolve_trace(args) -> ContactTrace:
+    """resolve_trace plus the ``--trace-backend`` override."""
+    if getattr(args, "trace_backend", None):
+        os.environ[TRACE_BACKEND_ENV_VAR] = args.trace_backend
+    return resolve_trace(args.trace, args.scale, args.seed)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default="haggle",
@@ -94,6 +103,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--min-rate", type=float, default=1 / 1800.0,
         help="minimum per-node message rate, msgs/s (paper: 1/1800)",
+    )
+    parser.add_argument(
+        "--trace-backend", choices=list(TRACE_BACKENDS), default=None,
+        help="trace storage backend (default: $BSUB_TRACE_BACKEND or "
+             "columnar); both produce identical results",
     )
 
 
@@ -113,7 +127,13 @@ def _config(args, **overrides) -> ExperimentConfig:
 
 
 def _cmd_run(args) -> int:
-    trace = resolve_trace(args.trace, args.scale, args.seed)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    trace = _resolve_trace(args)
     faults = FaultSpec.parse(args.faults) if args.faults else None
     config = _config(
         args, ttl_min=args.ttl_min, decay_factor_per_min=args.df,
@@ -129,6 +149,8 @@ def _cmd_run(args) -> int:
         result = report.faulted
     else:
         result = run(trace, spec, obs=obs)
+    if profiler is not None:
+        profiler.disable()
     s = result.summary
     rows = [
         ["trace", trace.name],
@@ -160,11 +182,20 @@ def _cmd_run(args) -> int:
         if args.metrics_out:
             obs.registry.write_json(args.metrics_out)
             print(f"wrote metrics to {args.metrics_out}")
+    if profiler is not None:
+        import io
+        import pstats
+
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        print()
+        print(stream.getvalue().rstrip())
     return 0
 
 
 def _cmd_sweep_ttl(args) -> int:
-    trace = resolve_trace(args.trace, args.scale, args.seed)
+    trace = _resolve_trace(args)
     ttls = args.ttl or list(PAPER_TTL_VALUES_MIN)
     spec = ExperimentSpec.from_config(_config(args))
     results = sweep(trace, spec, ttl_min=ttls, jobs=args.jobs)
@@ -183,7 +214,7 @@ def _cmd_sweep_ttl(args) -> int:
 
 
 def _cmd_sweep_df(args) -> int:
-    trace = resolve_trace(args.trace, args.scale, args.seed)
+    trace = _resolve_trace(args)
     dfs = args.df_values or list(PAPER_DF_VALUES_PER_MIN)
     spec = ExperimentSpec.from_config(_config(args, ttl_min=args.ttl_min))
     results = sweep(trace, spec, df_per_min=dfs, jobs=args.jobs)
@@ -214,7 +245,7 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    trace = resolve_trace(args.trace, args.scale, args.seed)
+    trace = _resolve_trace(args)
     stats = compute_stats(trace)
     rows = [
         ["name", stats.name],
@@ -233,7 +264,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_export(args) -> int:
-    trace = resolve_trace(args.trace, args.scale, args.seed)
+    trace = _resolve_trace(args)
     with open(args.output, "w") as fh:
         fh.write("a,b,start,end\n")
         for contact in trace:
@@ -271,6 +302,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the structured event trace as JSONL")
     run.add_argument("--metrics-out", default=None, metavar="PATH",
                      help="write the metrics-registry snapshot as JSON")
+    run.add_argument("--profile", action="store_true",
+                     help="profile trace build + simulation with cProfile "
+                          "and print the 25 hottest functions")
     run.set_defaults(func=_cmd_run)
 
     sweep_ttl = commands.add_parser("sweep-ttl", help="Fig. 7/8 TTL sweep")

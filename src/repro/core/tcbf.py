@@ -92,6 +92,7 @@ class TemporalCountingBloomFilter:
         "_store",
         "_time",
         "_merged",
+        "version",
     )
 
     def __init__(
@@ -125,6 +126,10 @@ class TemporalCountingBloomFilter:
         self._store = make_counter_store(self.backend, self.family.num_bits)
         self._time = float(time)
         self._merged = False
+        #: Mutation counter: bumped by every operation that may change
+        #: the set bits or counters.  Lets derived quantities (e.g.
+        #: encoded wire sizes) be memoised and invalidated cheaply.
+        self.version = 0
 
     # -- basic properties --------------------------------------------------
 
@@ -186,6 +191,7 @@ class TemporalCountingBloomFilter:
             raise ValueError(f"decay amount must be >= 0, got {amount}")
         if amount == 0 or self._store.is_empty():
             return
+        self.version += 1
         self._store.decay(amount)
 
     def advance(self, now: float) -> None:
@@ -223,6 +229,7 @@ class TemporalCountingBloomFilter:
                 "cannot insert into a merged TCBF; insert into a fresh "
                 "filter and A-/M-merge it (paper Sec. IV-A)"
             )
+        self.version += 1
         self._store.arm(self.family.distinct_positions(key), self.initial_value)
 
     def insert_all(self, keys: Iterable[str]) -> None:
@@ -246,6 +253,7 @@ class TemporalCountingBloomFilter:
         if not keys:
             return
         rows = self.family.positions_batch(keys)
+        self.version += 1
         self._store.arm_rows(rows, self.initial_value)
 
     def refresh(self, key: str) -> None:
@@ -258,6 +266,7 @@ class TemporalCountingBloomFilter:
         """
         if self._merged:
             raise RuntimeError("cannot refresh a merged TCBF")
+        self.version += 1
         self._store.assign(self.family.distinct_positions(key), self.initial_value)
 
     # -- merging ----------------------------------------------------------------
@@ -277,6 +286,7 @@ class TemporalCountingBloomFilter:
         if other._time > self._time:
             self.advance(other._time)
         lag = other.decay_factor * (self._time - other._time)
+        self.version += 1
         self._store.combine(other._store, lag, additive)
         self._merged = True
 
@@ -428,12 +438,14 @@ class TemporalCountingBloomFilter:
         )
         clone._store = self._store.copy()
         clone._merged = self._merged
+        clone.version = self.version
         return clone
 
     # -- internals ----------------------------------------------------------------
 
     def _set_counter(self, position: int, value: float) -> None:
         """Directly set one counter (wire decoding only — not a public op)."""
+        self.version += 1
         self._store.set(position, value)
 
     def _check_compatible(self, other: "TemporalCountingBloomFilter") -> None:

@@ -7,7 +7,7 @@ from .bandwidth import (
 )
 from .energy import BLUETOOTH_CLASS2_MODEL, EnergyModel, EnergyReport
 from .events import MessageEvent
-from .simulator import Protocol, Simulation, SimulationReport
+from .simulator import PassiveProtocol, Protocol, Simulation, SimulationReport
 
 __all__ = [
     "BLUETOOTH_EFFECTIVE_BPS",
@@ -17,6 +17,7 @@ __all__ = [
     "EnergyModel",
     "EnergyReport",
     "MessageEvent",
+    "PassiveProtocol",
     "Protocol",
     "Simulation",
     "SimulationReport",

@@ -137,6 +137,7 @@ class BsubNodeState:
         "copies_left",
         "carried",
         "received",
+        "wire_cache",
         "_expiry_heap",
     )
 
@@ -218,6 +219,12 @@ class BsubNodeState:
         self.copies_left: Dict[int, int] = {}
         self.carried = KeyedBuffer()
         self.received: Set[int] = set()
+        #: Memoised wire sizes of this node's filters, maintained by the
+        #: protocol layer: cache key -> (filter object, filter version,
+        #: size in bytes).  Invalidation is by filter version counter,
+        #: so unchanged filters are never re-measured contact after
+        #: contact.
+        self.wire_cache: Dict[tuple, tuple] = {}
         self._expiry_heap: List[Tuple[float, int]] = []
 
     # -- message bookkeeping ----------------------------------------------------

@@ -419,16 +419,31 @@ class BsubProtocol(Protocol):
         """
         if not sender.interests:
             return False
+        cache = sender.wire_cache
+        cache_key = ("genuine", towards_broker)
         if self.config.interest_encoding == "raw":
-            size = 5.0 + raw_interest_wire_bytes(
-                sender.interests, with_counters=towards_broker
-            )
+            # Raw interests are immutable configuration — size is fixed.
+            entry = cache.get(cache_key)
+            if entry is not None:
+                size = entry[2]
+            else:
+                size = 5.0 + raw_interest_wire_bytes(
+                    sender.interests, with_counters=towards_broker
+                )
+                cache[cache_key] = (None, 0, size)
         else:
-            set_bits = len(sender.genuine)
-            mode = "identical" if towards_broker else "none"
-            size = _FILTER_HEADER_BYTES + filter_memory_bytes(
-                set_bits, self.config.num_bits, counters=mode
-            )
+            genuine = sender.genuine
+            version = genuine.version
+            entry = cache.get(cache_key)
+            if entry is not None and entry[0] is genuine and entry[1] == version:
+                size = entry[2]
+            else:
+                set_bits = len(genuine)
+                mode = "identical" if towards_broker else "none"
+                size = _FILTER_HEADER_BYTES + filter_memory_bytes(
+                    set_bits, self.config.num_bits, counters=mode
+                )
+                cache[cache_key] = (genuine, version, size)
         return channel.send(size, sender=sender.node_id, receiver=receiver)
 
     def _relay_wire_bytes(self, broker: BsubNodeState, full: bool) -> float:
@@ -437,14 +452,31 @@ class BsubProtocol(Protocol):
         A Sec. VI-D multi-filter relay pays one frame header per
         constituent filter; a raw-string relay pays the exact key list.
         """
+        relay = broker.relay
         if self.config.interest_encoding == "raw":
-            return 5.0 + broker.relay.wire_bytes(with_counters=full)
-        num_frames = getattr(broker.relay, "num_filters", 1)
-        return num_frames * _FILTER_HEADER_BYTES + filter_memory_bytes(
-            len(broker.relay),
+            return 5.0 + relay.wire_bytes(with_counters=full)
+        version = getattr(relay, "version", None)
+        if version is None:
+            # TCBFCollection relays carry no aggregate version counter;
+            # re-measure (the multi-filter ablation is not a hot path).
+            num_frames = getattr(relay, "num_filters", 1)
+            return num_frames * _FILTER_HEADER_BYTES + filter_memory_bytes(
+                len(relay),
+                self.config.num_bits,
+                counters="full" if full else "none",
+            )
+        cache = broker.wire_cache
+        cache_key = ("relay", full)
+        entry = cache.get(cache_key)
+        if entry is not None and entry[0] is relay and entry[1] == version:
+            return entry[2]
+        size = _FILTER_HEADER_BYTES + filter_memory_bytes(
+            len(relay),
             self.config.num_bits,
             counters="full" if full else "none",
         )
+        cache[cache_key] = (relay, version, size)
+        return size
 
     def _absorb_interests(
         self, broker: BsubNodeState, consumer: BsubNodeState, now: float

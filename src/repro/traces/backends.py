@@ -1,0 +1,383 @@
+"""Storage backends for :class:`~repro.traces.model.ContactTrace`.
+
+The trace model describes *what* a contact sequence is; this module
+provides the *storage* behind it through a seam that mirrors
+:mod:`repro.core.backends`:
+
+* ``object`` — the original representation: a time-sorted Python list
+  of frozen :class:`~repro.traces.model.Contact` dataclasses.  Cheap
+  for small traces and maximally debuggable, but costs a few hundred
+  bytes and a couple of microseconds *per contact*.
+* ``columnar`` — a struct-of-arrays layout: four parallel numpy
+  vectors (``start``, ``duration``, ``a``, ``b``).  Storage is 32
+  bytes per contact, time slicing is a zero-copy ``searchsorted``
+  view, and bulk consumers (the simulator's vectorised accounting
+  path, trace statistics) operate on the columns directly.
+  :class:`Contact` objects are materialised lazily, one at a time,
+  only when somebody actually indexes or iterates the trace.
+
+Both backends are **observationally identical**: they hold the same
+contacts in the same order with the same IEEE-754 start/duration
+values, so slices, statistics, and full simulation runs agree exactly
+(a Hypothesis property test pins this down).  Select the default
+backend process-wide with the ``BSUB_TRACE_BACKEND`` environment
+variable or per trace with the ``backend=`` constructor argument.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "TRACE_BACKENDS",
+    "TRACE_BACKEND_ENV_VAR",
+    "default_trace_backend",
+    "resolve_trace_backend",
+    "make_contact_store",
+    "store_from_arrays",
+    "ObjectContactStore",
+    "ColumnarContactStore",
+]
+
+#: Environment variable overriding the process-wide default backend.
+TRACE_BACKEND_ENV_VAR = "BSUB_TRACE_BACKEND"
+
+#: The recognised trace-backend names.
+TRACE_BACKENDS = ("object", "columnar")
+
+
+def default_trace_backend() -> str:
+    """The process-wide default backend (``columnar`` unless overridden)."""
+    backend = os.environ.get(TRACE_BACKEND_ENV_VAR, "columnar")
+    if backend not in TRACE_BACKENDS:
+        raise ValueError(
+            f"{TRACE_BACKEND_ENV_VAR}={backend!r} is not a valid trace "
+            f"backend; expected one of {TRACE_BACKENDS}"
+        )
+    return backend
+
+
+def resolve_trace_backend(backend: Union[str, None]) -> str:
+    """Normalise a ``backend=`` argument (``None`` -> the default)."""
+    if backend is None:
+        return default_trace_backend()
+    if backend not in TRACE_BACKENDS:
+        raise ValueError(
+            f"unknown trace backend {backend!r}; "
+            f"expected one of {TRACE_BACKENDS}"
+        )
+    return backend
+
+
+def _as_columns(
+    start, duration, a, b
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Coerce the four column inputs to the canonical dtypes."""
+    return (
+        np.ascontiguousarray(start, dtype=np.float64),
+        np.ascontiguousarray(duration, dtype=np.float64),
+        np.ascontiguousarray(a, dtype=np.int64),
+        np.ascontiguousarray(b, dtype=np.int64),
+    )
+
+
+class ObjectContactStore:
+    """The original list-of-:class:`Contact` storage.
+
+    The list must already be sorted by start time (stable); the store
+    never re-sorts.
+    """
+
+    __slots__ = ("_contacts", "_columns")
+
+    backend = "object"
+
+    def __init__(self, contacts: List):
+        self._contacts = contacts
+        self._columns = None
+
+    @classmethod
+    def from_arrays(cls, start, duration, a, b) -> "ObjectContactStore":
+        """Materialise one :class:`Contact` per row (rows pre-sorted)."""
+        from .model import Contact  # circular at import time only
+
+        return cls(
+            [
+                Contact(s, d, na, nb)
+                for s, d, na, nb in zip(
+                    start.tolist(), duration.tolist(), a.tolist(), b.tolist()
+                )
+            ]
+        )
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __getitem__(self, index):
+        return self._contacts[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._contacts)
+
+    # -- bulk views ---------------------------------------------------------
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(start, duration, a, b) numpy columns (built once, cached)."""
+        if self._columns is None:
+            contacts = self._contacts
+            n = len(contacts)
+            self._columns = (
+                np.fromiter((c.start for c in contacts), np.float64, count=n),
+                np.fromiter((c.duration for c in contacts), np.float64, count=n),
+                np.fromiter((c.a for c in contacts), np.int64, count=n),
+                np.fromiter((c.b for c in contacts), np.int64, count=n),
+            )
+        return self._columns
+
+    def start_times(self) -> List[float]:
+        return [c.start for c in self._contacts]
+
+    def end_time(self) -> float:
+        return max((c.end for c in self._contacts), default=0.0)
+
+    def node_ids(self) -> Set[int]:
+        seen: Set[int] = set()
+        for c in self._contacts:
+            seen.add(c.a)
+            seen.add(c.b)
+        return seen
+
+    # -- transforms -----------------------------------------------------------
+
+    def time_slice(self, start: float, end: float) -> "ObjectContactStore":
+        """Contacts *starting* within [start, end)."""
+        return ObjectContactStore(
+            [c for c in self._contacts if start <= c.start < end]
+        )
+
+    def upto(self, horizon: float) -> "ObjectContactStore":
+        return ObjectContactStore(
+            [c for c in self._contacts if c.start < horizon]
+        )
+
+    def shifted(self, offset: float) -> "ObjectContactStore":
+        from .model import Contact
+
+        return ObjectContactStore(
+            [
+                Contact(c.start + offset, c.duration, c.a, c.b)
+                for c in self._contacts
+            ]
+        )
+
+    # -- per-node views -------------------------------------------------------
+
+    def contacts_of(self, node: int) -> List:
+        return [c for c in self._contacts if c.involves(node)]
+
+    def neighbour_ids(self, node: int) -> Set[int]:
+        return {c.peer_of(node) for c in self.contacts_of(node)}
+
+    def pair_counts(self) -> Dict[Tuple[int, int], int]:
+        counts: Dict[Tuple[int, int], int] = {}
+        for c in self._contacts:
+            counts[c.pair] = counts.get(c.pair, 0) + 1
+        return counts
+
+
+class ColumnarContactStore:
+    """Struct-of-arrays contact storage, sorted by start time.
+
+    Rows are identified by position; a :class:`Contact` is only built
+    when a row is individually addressed.  All four columns may be
+    views into a parent store's arrays (time slices are zero-copy).
+    """
+
+    __slots__ = ("start", "duration", "a", "b")
+
+    backend = "columnar"
+
+    def __init__(
+        self,
+        start: np.ndarray,
+        duration: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+    ):
+        self.start, self.duration, self.a, self.b = _as_columns(
+            start, duration, a, b
+        )
+        if not (
+            len(self.start) == len(self.duration) == len(self.a) == len(self.b)
+        ):
+            raise ValueError("trace columns must have equal lengths")
+
+    @classmethod
+    def from_contacts(cls, contacts: List) -> "ColumnarContactStore":
+        """Pack a pre-sorted :class:`Contact` list into columns."""
+        n = len(contacts)
+        return cls(
+            np.fromiter((c.start for c in contacts), np.float64, count=n),
+            np.fromiter((c.duration for c in contacts), np.float64, count=n),
+            np.fromiter((c.a for c in contacts), np.int64, count=n),
+            np.fromiter((c.b for c in contacts), np.int64, count=n),
+        )
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    def _materialise(self, i: int):
+        from .model import Contact
+
+        return Contact(
+            float(self.start[i]),
+            float(self.duration[i]),
+            int(self.a[i]),
+            int(self.b[i]),
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._materialise(i) for i in range(*index.indices(len(self)))]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"contact index {index} out of range")
+        return self._materialise(index)
+
+    def __iter__(self) -> Iterator:
+        from .model import Contact
+
+        for row in zip(
+            self.start.tolist(),
+            self.duration.tolist(),
+            self.a.tolist(),
+            self.b.tolist(),
+        ):
+            yield Contact(*row)
+
+    # -- bulk views ---------------------------------------------------------
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The (start, duration, a, b) columns themselves (no copy)."""
+        return (self.start, self.duration, self.a, self.b)
+
+    def start_times(self) -> List[float]:
+        return self.start.tolist()
+
+    def end_time(self) -> float:
+        if not len(self.start):
+            return 0.0
+        return float(np.max(self.start + self.duration))
+
+    def node_ids(self) -> Set[int]:
+        if not len(self.a):
+            return set()
+        return set(np.unique(np.concatenate((self.a, self.b))).tolist())
+
+    # -- transforms -----------------------------------------------------------
+
+    def time_slice(self, start: float, end: float) -> "ColumnarContactStore":
+        """Zero-copy view of the contacts *starting* within [start, end)."""
+        lo = int(np.searchsorted(self.start, start, side="left"))
+        hi = int(np.searchsorted(self.start, end, side="left"))
+        return ColumnarContactStore(
+            self.start[lo:hi], self.duration[lo:hi], self.a[lo:hi], self.b[lo:hi]
+        )
+
+    def upto(self, horizon: float) -> "ColumnarContactStore":
+        hi = int(np.searchsorted(self.start, horizon, side="left"))
+        return ColumnarContactStore(
+            self.start[:hi], self.duration[:hi], self.a[:hi], self.b[:hi]
+        )
+
+    def shifted(self, offset: float) -> "ColumnarContactStore":
+        return ColumnarContactStore(
+            self.start + offset, self.duration, self.a, self.b
+        )
+
+    # -- per-node views -------------------------------------------------------
+
+    def contacts_of(self, node: int) -> List:
+        mask = (self.a == node) | (self.b == node)
+        indices = np.flatnonzero(mask)
+        return [self._materialise(int(i)) for i in indices]
+
+    def neighbour_ids(self, node: int) -> Set[int]:
+        peers = np.concatenate(
+            (self.b[self.a == node], self.a[self.b == node])
+        )
+        return set(np.unique(peers).tolist())
+
+    def pair_counts(self) -> Dict[Tuple[int, int], int]:
+        if not len(self.a):
+            return {}
+        pairs = np.stack((self.a, self.b), axis=1)
+        unique, counts = np.unique(pairs, axis=0, return_counts=True)
+        return {
+            (int(pa), int(pb)): int(count)
+            for (pa, pb), count in zip(unique.tolist(), counts.tolist())
+        }
+
+
+ContactStore = Union[ObjectContactStore, ColumnarContactStore]
+
+
+def make_contact_store(
+    backend: Union[str, None], sorted_contacts: List
+) -> ContactStore:
+    """Build a store from an already-sorted :class:`Contact` list."""
+    if resolve_trace_backend(backend) == "columnar":
+        return ColumnarContactStore.from_contacts(sorted_contacts)
+    return ObjectContactStore(sorted_contacts)
+
+
+def store_from_arrays(
+    backend: Union[str, None],
+    start: Sequence[float],
+    duration: Sequence[float],
+    a: Sequence[int],
+    b: Sequence[int],
+    validate: bool = True,
+    assume_sorted: bool = False,
+) -> ContactStore:
+    """Build a store directly from columns, never touching Contact objects
+    on the columnar path.
+
+    ``validate`` applies the :meth:`Contact.make` rules vectorised:
+    positive durations, distinct endpoints, canonical (min, max) node
+    order.  ``assume_sorted`` skips the stable sort by start time.
+    """
+    start, duration, a, b = _as_columns(start, duration, a, b)
+    if not (len(start) == len(duration) == len(a) == len(b)):
+        raise ValueError("trace columns must have equal lengths")
+    if validate and len(start):
+        if not (duration > 0).all():
+            bad = float(duration[np.argmin(duration)])
+            raise ValueError(f"contact duration must be > 0, got {bad}")
+        equal = a == b
+        if equal.any():
+            node = int(a[np.argmax(equal)])
+            raise ValueError(
+                f"contact endpoints must differ, got {node} == {node}"
+            )
+        swap = a > b
+        if swap.any():
+            a, b = np.where(swap, b, a), np.where(swap, a, b)
+    if not assume_sorted and len(start):
+        order = np.argsort(start, kind="stable")
+        start = start[order]
+        duration = duration[order]
+        a = a[order]
+        b = b[order]
+    if resolve_trace_backend(backend) == "columnar":
+        return ColumnarContactStore(start, duration, a, b)
+    return ObjectContactStore.from_arrays(start, duration, a, b)

@@ -6,12 +6,35 @@ pairwise Bluetooth contacts.  A :class:`Contact` is an undirected
 meeting between two nodes with a start time and a duration; a
 :class:`ContactTrace` is a time-sorted sequence of contacts plus the
 node population.
+
+Storage lives behind the backend seam in
+:mod:`repro.traces.backends`: the default ``columnar`` backend keeps
+the trace as four numpy columns (32 bytes per contact, zero-copy time
+slicing) and materialises :class:`Contact` objects lazily; the
+``object`` backend keeps the original list-of-dataclasses layout.
+Both expose identical behaviour — pick with ``BSUB_TRACE_BACKEND`` or
+the ``backend=`` argument.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .backends import (
+    ContactStore,
+    make_contact_store,
+    store_from_arrays,
+)
 
 __all__ = ["Contact", "ContactTrace"]
 
@@ -77,13 +100,18 @@ class ContactTrace:
     ----------
     contacts:
         Any iterable of :class:`Contact`; sorted by start time on
-        construction.
+        construction (stable, so equal-start contacts keep their
+        relative order).
     nodes:
         The node population.  Defaults to the union of contact
         endpoints, but can be wider (nodes that never meet anyone still
         exist and count against delivery ratios).
     name:
         Human-readable trace label (shows up in reports).
+    backend:
+        Trace storage backend, ``"columnar"`` or ``"object"``
+        (default: the ``BSUB_TRACE_BACKEND`` environment variable,
+        falling back to ``columnar``).
     """
 
     def __init__(
@@ -91,30 +119,93 @@ class ContactTrace:
         contacts: Iterable[Contact],
         nodes: Optional[Iterable[int]] = None,
         name: str = "trace",
+        backend: Optional[str] = None,
     ):
-        self._contacts: List[Contact] = sorted(contacts, key=lambda c: c.start)
-        seen: Set[int] = set()
-        for c in self._contacts:
-            seen.add(c.a)
-            seen.add(c.b)
+        store = make_contact_store(
+            backend, sorted(contacts, key=lambda c: c.start)
+        )
+        self._init_from_store(store, nodes, name)
+
+    def _init_from_store(
+        self,
+        store: ContactStore,
+        nodes: Optional[Iterable[int]],
+        name: str,
+        check_nodes: bool = True,
+    ) -> None:
+        self._store = store
         if nodes is not None:
             node_set = set(nodes)
-            missing = seen - node_set
-            if missing:
-                raise ValueError(
-                    f"contacts reference nodes outside the population: "
-                    f"{sorted(missing)[:5]}…"
-                )
+            if check_nodes:
+                missing = store.node_ids() - node_set
+                if missing:
+                    raise ValueError(
+                        f"contacts reference nodes outside the population: "
+                        f"{sorted(missing)[:5]}…"
+                    )
         else:
-            node_set = seen
+            node_set = store.node_ids()
         self._nodes: Tuple[int, ...] = tuple(sorted(node_set))
         self.name = name
+
+    @classmethod
+    def from_arrays(
+        cls,
+        start: Sequence[float],
+        duration: Sequence[float],
+        a: Sequence[int],
+        b: Sequence[int],
+        nodes: Optional[Iterable[int]] = None,
+        name: str = "trace",
+        backend: Optional[str] = None,
+        validate: bool = True,
+        assume_sorted: bool = False,
+    ) -> "ContactTrace":
+        """Build a trace straight from columns — the streaming path.
+
+        Loaders and generators hand over four parallel sequences
+        (start, duration, a, b) and never build a Python object per
+        row.  ``validate`` applies :meth:`Contact.make`'s rules
+        vectorised and checks the endpoints against *nodes*; passing
+        ``validate=False`` declares the columns trusted by construction
+        (the in-tree loaders and the synthetic generator qualify) and
+        skips both.  ``assume_sorted`` skips the stable start-time
+        sort.
+        """
+        store = store_from_arrays(
+            backend, start, duration, a, b,
+            validate=validate, assume_sorted=assume_sorted,
+        )
+        self = cls.__new__(cls)
+        self._init_from_store(store, nodes, name, check_nodes=validate)
+        return self
+
+    @classmethod
+    def _wrap(
+        cls, store: ContactStore, nodes: Tuple[int, ...], name: str
+    ) -> "ContactTrace":
+        """Internal: adopt a derived store without re-validating."""
+        self = cls.__new__(cls)
+        self._store = store
+        self._nodes = nodes
+        self.name = name
+        return self
 
     # -- basic accessors ------------------------------------------------------
 
     @property
+    def backend(self) -> str:
+        """The storage backend in use (``"object"`` or ``"columnar"``)."""
+        return self._store.backend
+
+    @property
     def contacts(self) -> Sequence[Contact]:
-        return self._contacts
+        return self._store
+
+    @property
+    def store(self) -> ContactStore:
+        """The raw storage backend (columns for bulk consumers)."""
+        return self._store
 
     @property
     def nodes(self) -> Tuple[int, ...]:
@@ -126,32 +217,32 @@ class ContactTrace:
 
     @property
     def num_contacts(self) -> int:
-        return len(self._contacts)
+        return len(self._store)
 
     @property
     def start_time(self) -> float:
         """Start of the first contact (0.0 for an empty trace)."""
-        return self._contacts[0].start if self._contacts else 0.0
+        return self._store[0].start if len(self._store) else 0.0
 
     @property
     def end_time(self) -> float:
         """Latest contact end (0.0 for an empty trace)."""
-        return max((c.end for c in self._contacts), default=0.0)
+        return self._store.end_time()
 
     @property
     def duration(self) -> float:
         """Trace time span in seconds."""
-        return self.end_time - self.start_time if self._contacts else 0.0
+        return self.end_time - self.start_time if len(self._store) else 0.0
 
     @property
     def duration_days(self) -> float:
         return self.duration / 86_400.0
 
     def __len__(self) -> int:
-        return len(self._contacts)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Contact]:
-        return iter(self._contacts)
+        return iter(self._store)
 
     # -- transforms -------------------------------------------------------------
 
@@ -159,26 +250,25 @@ class ContactTrace:
         """The sub-trace of contacts *starting* within [start, end)."""
         if end < start:
             raise ValueError(f"slice end {end} precedes start {start}")
-        subset = [c for c in self._contacts if start <= c.start < end]
-        return ContactTrace(
-            subset, nodes=self._nodes, name=name or f"{self.name}[{start},{end})"
+        return ContactTrace._wrap(
+            self._store.time_slice(start, end),
+            self._nodes,
+            name or f"{self.name}[{start},{end})",
         )
 
     def first_days(self, days: float, name: Optional[str] = None) -> "ContactTrace":
         """The sub-trace covering the first *days* days."""
         horizon = self.start_time + days * 86_400.0
-        return ContactTrace(
-            (c for c in self._contacts if c.start < horizon),
-            nodes=self._nodes,
-            name=name or f"{self.name}[first {days:g}d]",
+        return ContactTrace._wrap(
+            self._store.upto(horizon),
+            self._nodes,
+            name or f"{self.name}[first {days:g}d]",
         )
 
     def shifted(self, offset: float) -> "ContactTrace":
         """The same trace with all times shifted by *offset*."""
-        return ContactTrace(
-            (Contact(c.start + offset, c.duration, c.a, c.b) for c in self._contacts),
-            nodes=self._nodes,
-            name=self.name,
+        return ContactTrace._wrap(
+            self._store.shifted(offset), self._nodes, self.name
         )
 
     def normalised(self) -> "ContactTrace":
@@ -189,18 +279,15 @@ class ContactTrace:
 
     def contacts_of(self, node: int) -> List[Contact]:
         """All contacts involving *node*, in time order."""
-        return [c for c in self._contacts if c.involves(node)]
+        return self._store.contacts_of(node)
 
     def neighbours(self, node: int) -> Set[int]:
         """Distinct peers *node* ever meets."""
-        return {c.peer_of(node) for c in self.contacts_of(node)}
+        return self._store.neighbour_ids(node)
 
     def pair_contact_counts(self) -> Dict[Tuple[int, int], int]:
         """Number of contacts per (min, max) node pair."""
-        counts: Dict[Tuple[int, int], int] = {}
-        for c in self._contacts:
-            counts[c.pair] = counts.get(c.pair, 0) + 1
-        return counts
+        return self._store.pair_counts()
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,14 @@ active-period slice, campus rhythm, markedly sparser — the paper's only
 cross-trace claims are that MIT is sparser with lower contact
 frequency, which the preset preserves).
 
+Generation is *columnar*: per-pair contact intervals are coalesced
+with vectorised cummax/reduceat arithmetic and accumulated as numpy
+column chunks, so a million-contact trace never builds a Python object
+per row.  The RNG call sequence and every floating-point operation
+match the original per-contact implementation exactly, so seeds keep
+producing byte-identical traces (the golden digests in ``tests/obs``
+pin this).
+
 Real CRAWDAD files, if the user has them, load through
 :mod:`repro.traces.loaders` instead.
 """
@@ -34,7 +42,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from .model import Contact, ContactTrace
+from .model import ContactTrace
 
 __all__ = [
     "DiurnalProfile",
@@ -72,6 +80,29 @@ class DiurnalProfile:
         """Draw *count* timestamps in [0, duration_s) from the profile."""
         if count == 0:
             return np.empty(0)
+        cdf = self._hourly_cdf(duration_s)
+        # Inverse-CDF sampling over hour bins.  This is exactly what
+        # ``rng.choice(num_hours, size=count, p=probabilities)`` does
+        # internally — same single ``rng.random(count)`` draw, same
+        # searchsorted — but against a memoised cdf, because a
+        # generator run re-enters here once per active node pair and
+        # rebuilding the density each time dominated generation cost.
+        hours = cdf.searchsorted(rng.random(count), side="right")
+        offsets = rng.random(count) * 3600.0
+        times = hours * 3600.0 + offsets
+        return np.minimum(times, duration_s - 1e-6)
+
+    def _hourly_cdf(self, duration_s: float) -> np.ndarray:
+        """The hour-bin sampling cdf for a trace of *duration_s*.
+
+        Pure arithmetic — no RNG draws — so memoising it cannot change
+        any generated trace (the golden digests in ``tests/obs`` pin
+        this).
+        """
+        key = (self.hourly_weights, duration_s)
+        cached = _CDF_CACHE.get(key)
+        if cached is not None:
+            return cached
         weights = np.asarray(self.hourly_weights, dtype=float)
         # Density over a full day, tiled across the trace duration and
         # truncated at the end; hour bins of 3600 s.
@@ -81,10 +112,19 @@ class DiurnalProfile:
         last_fraction = duration_s / 3600.0 - (num_hours - 1)
         tiled[-1] *= last_fraction
         probabilities = tiled / tiled.sum()
-        hours = rng.choice(num_hours, size=count, p=probabilities)
-        offsets = rng.random(count) * 3600.0
-        times = hours * 3600.0 + offsets
-        return np.minimum(times, duration_s - 1e-6)
+        cdf = probabilities.cumsum()
+        cdf /= cdf[-1]
+        cdf.flags.writeable = False
+        if len(_CDF_CACHE) >= _CDF_CACHE_LIMIT:
+            _CDF_CACHE.clear()
+        _CDF_CACHE[key] = cdf
+        return cdf
+
+
+#: (hourly_weights, duration_s) -> sampling cdf; bounded so
+#: pathological many-duration workloads cannot grow it without limit.
+_CDF_CACHE: dict = {}
+_CDF_CACHE_LIMIT = 64
 
 
 CONFERENCE_PROFILE = DiurnalProfile(
@@ -169,33 +209,36 @@ class SyntheticTraceConfig:
             raise ValueError("mean_contact_duration_s must be positive")
 
 
-def _merge_pair_contacts(
-    starts: np.ndarray, durations: np.ndarray, a: int, b: int
-) -> List[Contact]:
-    """Contacts of one pair with overlapping intervals coalesced.
+def _merge_pair_intervals(
+    starts: np.ndarray, durations: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Coalesce one pair's overlapping intervals, vectorised.
 
     Two devices cannot be "in contact twice at once"; overlapping draws
     from the Poisson process are merged into a single longer contact,
     exactly as a Bluetooth logger would record them.
+
+    Returns the merged ``(start, duration)`` columns, sorted by start.
+    The result is element-for-element identical to the sequential
+    running-max merge: once intervals are sorted by start, every
+    element of a group that begins after the running maximum end also
+    begins after *all* earlier ends (each end exceeds its own start,
+    and starts are non-decreasing), so the global cumulative maximum of
+    ends equals the within-group running maximum — the merge condition
+    ``s <= current_end`` becomes a single vector comparison against the
+    shifted cummax.
     """
     order = np.argsort(starts)
-    merged: List[Contact] = []
-    current_start = current_end = None
-    for idx in order:
-        s, e = float(starts[idx]), float(starts[idx] + durations[idx])
-        if current_end is not None and s <= current_end:
-            current_end = max(current_end, e)
-        else:
-            if current_end is not None:
-                merged.append(
-                    Contact.make(current_start, current_end - current_start, a, b)
-                )
-            current_start, current_end = s, e
-    if current_end is not None:
-        merged.append(
-            Contact.make(current_start, current_end - current_start, a, b)
-        )
-    return merged
+    s = starts[order]
+    e = s + durations[order]
+    cummax_e = np.maximum.accumulate(e)
+    new_group = np.empty(len(s), dtype=bool)
+    new_group[0] = True
+    new_group[1:] = s[1:] > cummax_e[:-1]
+    heads = np.flatnonzero(new_group)
+    merged_start = s[heads]
+    merged_end = np.maximum.reduceat(e, heads)
+    return merged_start, merged_end - merged_start
 
 
 def generate_trace(config: SyntheticTraceConfig) -> ContactTrace:
@@ -208,39 +251,63 @@ def generate_trace(config: SyntheticTraceConfig) -> ContactTrace:
     activity = rng.lognormal(mean=0.0, sigma=config.activity_sigma, size=n)
 
     # Pairwise rate weights: activity product with community boost.
-    pairs: List[Tuple[int, int]] = [
-        (i, j) for i in range(n) for j in range(i + 1, n)
-    ]
-    weights = np.array(
-        [
-            activity[i]
-            * activity[j]
-            * (
-                config.intra_community_boost
-                if communities[i] == communities[j]
-                else 1.0
-            )
-            for i, j in pairs
-        ]
+    # triu_indices walks (i, j) pairs in the same row-major order as
+    # the nested ``for i … for j > i`` loops this replaces.
+    iu, ju = np.triu_indices(n, k=1)
+    weights = (
+        activity[iu]
+        * activity[ju]
+        * np.where(
+            communities[iu] == communities[ju],
+            config.intra_community_boost,
+            1.0,
+        )
     )
     total_weight = weights.sum()
     if total_weight <= 0 or config.target_contacts == 0:
         return ContactTrace([], nodes=range(n), name=config.name)
     expected_per_pair = weights / total_weight * config.target_contacts
 
-    contacts: List[Contact] = []
     counts = rng.poisson(expected_per_pair)
-    for (i, j), count in zip(pairs, counts):
-        if count == 0:
-            continue
-        starts = config.profile.sample_times(int(count), duration_s, rng)
+    start_chunks: List[np.ndarray] = []
+    duration_chunks: List[np.ndarray] = []
+    a_chunks: List[np.ndarray] = []
+    b_chunks: List[np.ndarray] = []
+    # The per-pair loop must stay a loop: each active pair consumes its
+    # own profile.sample_times + exponential draws, and the RNG stream
+    # order is part of the trace's seeded identity.
+    nonzero = np.flatnonzero(counts)
+    iu_list = iu.tolist()
+    ju_list = ju.tolist()
+    counts_list = counts.tolist()
+    sample_times = config.profile.sample_times
+    for k in nonzero.tolist():
+        count = counts_list[k]
+        starts = sample_times(int(count), duration_s, rng)
         durations = np.maximum(
             rng.exponential(config.mean_contact_duration_s, size=int(count)),
             config.min_contact_duration_s,
         )
-        contacts.extend(_merge_pair_contacts(starts, durations, i, j))
+        m_start, m_duration = _merge_pair_intervals(starts, durations)
+        start_chunks.append(m_start)
+        duration_chunks.append(m_duration)
+        a_chunks.append(np.full(len(m_start), iu_list[k], dtype=np.int64))
+        b_chunks.append(np.full(len(m_start), ju_list[k], dtype=np.int64))
 
-    return ContactTrace(contacts, nodes=range(n), name=config.name)
+    if not start_chunks:
+        return ContactTrace([], nodes=range(n), name=config.name)
+    # Chunks arrive in pair order with each chunk internally sorted;
+    # from_arrays applies the final stable start-time sort, matching
+    # the original sorted(contacts) tie-breaking exactly.
+    return ContactTrace.from_arrays(
+        np.concatenate(start_chunks),
+        np.concatenate(duration_chunks),
+        np.concatenate(a_chunks),
+        np.concatenate(b_chunks),
+        nodes=range(n),
+        name=config.name,
+        validate=False,
+    )
 
 
 def haggle_like(seed: int = 0, scale: float = 1.0) -> ContactTrace:

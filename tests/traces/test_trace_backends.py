@@ -1,0 +1,155 @@
+"""Property tests: the object and columnar trace backends are equal.
+
+The columnar backend is a pure storage swap — same contacts, same
+order, same derived views — so after any construction and any sequence
+of trace transforms the two must agree exactly.  Hypothesis generates
+random contact sets and drives both backends in lockstep; a final test
+replays both through the simulator and compares the reports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtn import PassiveProtocol, Simulation
+from repro.traces import ContactTrace
+from repro.traces.backends import (
+    TRACE_BACKEND_ENV_VAR,
+    TRACE_BACKENDS,
+    default_trace_backend,
+    resolve_trace_backend,
+)
+from repro.traces.model import Contact
+
+contact_st = st.builds(
+    Contact.make,
+    start=st.floats(0.0, 5_000.0, allow_nan=False, allow_infinity=False),
+    duration=st.floats(0.5, 600.0, allow_nan=False, allow_infinity=False),
+    a=st.integers(0, 11),
+    b=st.integers(12, 23),
+)
+
+contacts_st = st.lists(contact_st, min_size=0, max_size=40)
+
+
+def _twins(contacts):
+    return (
+        ContactTrace(contacts, name="twin", backend="object"),
+        ContactTrace(contacts, name="twin", backend="columnar"),
+    )
+
+
+def _assert_traces_agree(obj, col):
+    assert obj.num_contacts == col.num_contacts
+    assert obj.nodes == col.nodes
+    assert obj.start_time == col.start_time
+    assert obj.end_time == col.end_time
+    assert list(obj) == list(col)
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert set(TRACE_BACKENDS) == {"object", "columnar"}
+
+    def test_default_is_columnar(self, monkeypatch):
+        monkeypatch.delenv(TRACE_BACKEND_ENV_VAR, raising=False)
+        assert default_trace_backend() == "columnar"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TRACE_BACKEND_ENV_VAR, "object")
+        assert default_trace_backend() == "object"
+        assert ContactTrace([]).backend == "object"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(TRACE_BACKEND_ENV_VAR, "sqlite")
+        with pytest.raises(ValueError, match="sqlite"):
+            default_trace_backend()
+
+    def test_bad_explicit_backend_rejected(self):
+        with pytest.raises(ValueError, match="parquet"):
+            resolve_trace_backend("parquet")
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(TRACE_BACKEND_ENV_VAR, "object")
+        assert ContactTrace([], backend="columnar").backend == "columnar"
+
+
+class TestEquivalence:
+    @given(contacts=contacts_st)
+    @settings(max_examples=60, deadline=None)
+    def test_same_contacts_and_metadata(self, contacts):
+        obj, col = _twins(contacts)
+        _assert_traces_agree(obj, col)
+
+    @given(contacts=contacts_st)
+    @settings(max_examples=60, deadline=None)
+    def test_materialised_rows_are_plain_contacts(self, contacts):
+        _, col = _twins(contacts)
+        for contact in col:
+            assert type(contact) is Contact
+            assert type(contact.start) is float
+            assert type(contact.duration) is float
+            assert type(contact.a) is int
+            assert type(contact.b) is int
+
+    @given(
+        contacts=contacts_st,
+        lo=st.floats(0.0, 5_000.0, allow_nan=False),
+        span=st.floats(0.0, 5_000.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slices_agree(self, contacts, lo, span):
+        obj, col = _twins(contacts)
+        _assert_traces_agree(
+            obj.slice(lo, lo + span), col.slice(lo, lo + span)
+        )
+        _assert_traces_agree(obj.first_days(span / 86_400.0),
+                             col.first_days(span / 86_400.0))
+
+    @given(
+        contacts=contacts_st,
+        offset=st.floats(-100.0, 100.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shift_and_indexing_agree(self, contacts, offset):
+        obj, col = _twins(contacts)
+        _assert_traces_agree(obj.shifted(offset), col.shifted(offset))
+        for i in range(-len(obj.contacts), len(obj.contacts)):
+            assert obj.contacts[i] == col.contacts[i]
+
+    @given(contacts=contacts_st, node=st.integers(0, 23))
+    @settings(max_examples=60, deadline=None)
+    def test_per_node_views_agree(self, contacts, node):
+        obj, col = _twins(contacts)
+        assert obj.contacts_of(node) == col.contacts_of(node)
+        assert obj.neighbours(node) == col.neighbours(node)
+        assert obj.pair_contact_counts() == col.pair_contact_counts()
+
+    @given(contacts=contacts_st)
+    @settings(max_examples=30, deadline=None)
+    def test_from_arrays_matches_object_construction(self, contacts):
+        ordered = sorted(contacts, key=lambda c: c.start)
+        start = np.array([c.start for c in ordered])
+        duration = np.array([c.duration for c in ordered])
+        a = np.array([c.a for c in ordered], dtype=np.int64)
+        b = np.array([c.b for c in ordered], dtype=np.int64)
+        for backend in TRACE_BACKENDS:
+            built = ContactTrace.from_arrays(
+                start, duration, a, b, backend=backend
+            )
+            assert list(built) == ordered
+
+    @given(contacts=contacts_st)
+    @settings(max_examples=20, deadline=None)
+    def test_simulation_reports_agree(self, contacts):
+        obj, col = _twins(contacts)
+        reports = [
+            Simulation(trace, PassiveProtocol()).run() for trace in (obj, col)
+        ]
+        first, second = reports
+        assert first.num_contacts == second.num_contacts
+        assert first.end_time == second.end_time
+        assert first.channels_exhausted == second.channels_exhausted
+        assert dict(first.contacts_by_node) == dict(second.contacts_by_node)
+        assert first.bytes_transferred == second.bytes_transferred

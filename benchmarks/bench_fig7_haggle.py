@@ -13,7 +13,7 @@ import pytest
 from repro.experiments.report import figure_series, series_table
 from repro.experiments.sweeps import ttl_sweep
 
-from .conftest import bench_config, emit
+from .conftest import bench_config, emit, emit_json, fp_attribution, nan_to_none
 
 TTL_VALUES_MIN = (10.0, 30.0, 100.0, 300.0, 1000.0)
 
@@ -23,6 +23,39 @@ def sweep(haggle_trace):
     return ttl_sweep(
         haggle_trace, ttl_values_min=TTL_VALUES_MIN, base_config=bench_config()
     )
+
+
+def _emit_structured(sweep):
+    """results/BENCH_fig7.json: every panel metric plus, per run, the
+    false-positive attribution breakdown (relay-filter FP vs genuine
+    but stale vs genuine injections, and consumer-side false
+    deliveries)."""
+    emit_json("BENCH_fig7", {
+        "figure": "fig7",
+        "trace": "haggle-like",
+        "ttl_values_min": list(TTL_VALUES_MIN),
+        "protocols": {
+            name: [
+                {
+                    "ttl_min": ttl,
+                    "delivery_ratio": nan_to_none(s.delivery_ratio),
+                    "mean_delay_min": nan_to_none(s.mean_delay_min),
+                    "forwardings_per_delivered": nan_to_none(
+                        s.forwardings_per_delivered
+                    ),
+                    "false_positive_ratio": nan_to_none(
+                        s.false_positive_ratio
+                    ),
+                    "fp_attribution": fp_attribution(s),
+                }
+                for ttl, s in zip(
+                    TTL_VALUES_MIN,
+                    (r.summary for r in results),
+                )
+            ]
+            for name, results in sweep.items()
+        },
+    })
 
 
 def _emit_panels(sweep, trace_label, file_prefix):
@@ -58,6 +91,7 @@ def test_fig7_sweep(benchmark, haggle_trace):
         iterations=1,
     )
     _emit_panels(result, "Fig. 7", "fig7_haggle")
+    _emit_structured(result)
     _assert_delivery_ordering(result)
     _assert_delivery_increases_with_ttl(result)
     _assert_delay_ordering(result)

@@ -31,7 +31,7 @@ from repro.core.analysis import false_positive_rate
 from repro.experiments.report import metric_series, series_table
 from repro.experiments.sweeps import df_sweep
 
-from .conftest import bench_config, emit
+from .conftest import bench_config, emit, emit_json, fp_attribution, nan_to_none
 
 DF_VALUES = (0.0, 0.069, 0.138, 0.25, 0.5, 1.0, 2.0)
 TTL_MIN = 20.0 * 60.0
@@ -99,6 +99,39 @@ def _assert_df_zero_best_delivery(sweeps):
         assert ratios[0] >= max(ratios) - 0.03, name
 
 
+def _emit_structured(sweeps):
+    """results/BENCH_fig9.json: panel metrics per trace and DF value,
+    each with the false-positive attribution breakdown — panel (d)
+    decomposed into its causes."""
+    bound = false_positive_rate(38, 256, 4)
+    emit_json("BENCH_fig9", {
+        "figure": "fig9",
+        "ttl_min": TTL_MIN,
+        "df_values_per_min": list(DF_VALUES),
+        "theoretical_fpr_bound_38_keys": bound,
+        "traces": {
+            name: [
+                {
+                    "df_per_min": df,
+                    "delivery_ratio": nan_to_none(s.delivery_ratio),
+                    "mean_delay_min": nan_to_none(s.mean_delay_min),
+                    "forwardings_per_delivered": nan_to_none(
+                        s.forwardings_per_delivered
+                    ),
+                    "false_positive_ratio": nan_to_none(
+                        s.false_positive_ratio
+                    ),
+                    "fp_attribution": fp_attribution(s),
+                }
+                for df, s in zip(
+                    DF_VALUES, (r.summary for r in results)
+                )
+            ]
+            for name, results in sweeps.items()
+        },
+    })
+
+
 def test_fig9_sweep(benchmark, haggle_trace, mit_trace):
     sweeps = benchmark.pedantic(
         lambda: run_sweeps(haggle_trace, mit_trace), rounds=1, iterations=1
@@ -126,6 +159,7 @@ def test_fig9_sweep(benchmark, haggle_trace, mit_trace):
     bound = false_positive_rate(38, 256, 4)
     blocks.append(f"Theoretical worst-case filter FPR (38 keys): {bound:.4f}")
     emit("fig9_df_sweep", "\n\n".join(blocks))
+    _emit_structured(sweeps)
     _assert_delivery_decreases(sweeps)
     _assert_forwardings_decrease(sweeps)
     _assert_fpr_max_at_zero(sweeps)

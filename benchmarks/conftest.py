@@ -10,6 +10,7 @@ it to ``benchmarks/results/<name>.txt`` so the output survives pytest's
 capture.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -40,6 +41,52 @@ def emit(name: str, text: str) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     return text
+
+
+def emit_json(name: str, document: dict) -> Path:
+    """Persist a machine-readable bench result under results/.
+
+    Written as canonical JSON (sorted keys) so downstream tooling can
+    diff two bench runs directly.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2, allow_nan=False)
+        + "\n"
+    )
+    print(f"wrote {path}")
+    return path
+
+
+def nan_to_none(value):
+    """JSON-safe number: sparse bench scales produce NaN metrics."""
+    import math
+
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def fp_attribution(summary) -> dict:
+    """False-positive attribution breakdown of one run summary.
+
+    Mirrors the taxonomy of ``repro.obs.analyze``: false injections are
+    pure relay-filter Bloom collisions; the remaining useless
+    injections carried genuinely-announced but recipient-less keys;
+    false deliveries can only come from the consumer-side filter.
+    """
+    return {
+        "injections": summary.num_injections,
+        "relay_filter_fp": summary.num_false_injections,
+        "genuine_but_stale": (
+            summary.num_useless_injections - summary.num_false_injections
+        ),
+        "genuine": summary.num_injections - summary.num_useless_injections,
+        "false_deliveries": summary.num_false_deliveries,
+        "false_injection_ratio": summary.false_injection_ratio,
+        "useless_injection_ratio": summary.useless_injection_ratio,
+    }
 
 
 @pytest.fixture(scope="session")

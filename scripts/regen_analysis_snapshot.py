@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Regenerate tests/obs/data/mini_fig7_analysis.json.
+
+Run after an *intentional* change to the trace schema, the analyzer,
+or the mini Fig. 7 scenario:
+
+    PYTHONPATH=src python scripts/regen_analysis_snapshot.py
+
+The snapshot is what the CI analyze-smoke step and
+tests/obs/test_analyze.py compare against, so regenerating it is an
+explicit, reviewable act — attribution drift must never slip through
+silently.
+"""
+
+import os
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, REPO)
+
+from repro.obs import Observability, analyze_trace  # noqa: E402
+
+from tests.obs.conftest import run_mini_fig7  # noqa: E402
+
+SNAPSHOT = os.path.join(REPO, "tests", "obs", "data",
+                        "mini_fig7_analysis.json")
+
+
+def main() -> int:
+    obs = Observability.enabled()
+    run_mini_fig7(obs)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "mini.trace.jsonl")
+        obs.tracer.write_jsonl(trace_path)
+        analysis = analyze_trace(trace_path)
+    os.makedirs(os.path.dirname(SNAPSHOT), exist_ok=True)
+    analysis.write_json(SNAPSHOT)
+    print(f"wrote {SNAPSHOT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ code:
   (JSONL) and a metrics snapshot (see ``docs/observability.md``), or
   ``--faults loss=0.1,crash=2`` to inject faults and print the
   degradation against the fault-free twin (see ``docs/faults.md``).
+* ``analyze``   — per-message lineage, latency decomposition, and
+  false-positive attribution over a recorded trace.
 * ``sweep-ttl`` — the Fig. 7/8 TTL sweep as series tables.
 * ``sweep-df``  — the Fig. 9 DF sweep as series tables.
 * ``tables``    — regenerate Table I and Table II.
@@ -180,8 +182,13 @@ def _cmd_run(args) -> int:
             count = obs.tracer.write_jsonl(args.trace_out)
             print(f"\nwrote {count} events to {args.trace_out}")
         if args.metrics_out:
-            obs.registry.write_json(args.metrics_out)
-            print(f"wrote metrics to {args.metrics_out}")
+            if args.metrics_format == "prom":
+                obs.registry.write_prom(args.metrics_out)
+            else:
+                obs.registry.write_json(args.metrics_out)
+            print(
+                f"wrote metrics ({args.metrics_format}) to {args.metrics_out}"
+            )
     if profiler is not None:
         import io
         import pstats
@@ -191,6 +198,116 @@ def _cmd_run(args) -> int:
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
         print()
         print(stream.getvalue().rstrip())
+    return 0
+
+
+def _format_seconds(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value / 60.0:.1f} min" if value >= 60 else f"{value:.1f} s"
+
+
+def _cmd_analyze(args) -> int:
+    from .obs import analyze_trace
+
+    analysis = analyze_trace(args.trace_file, top_k=args.top)
+    doc = analysis.to_dict()
+    messages = doc["messages"]
+    deliveries = doc["deliveries"]
+    injections = doc["injections"]
+    attribution = doc["attribution"]
+    latency = doc["latency"]
+    overview = [
+        ["trace schema", doc["schema"]["trace"]],
+        ["events", sum(doc["events"].values())],
+        ["messages created", messages["created"]],
+        ["intended pairs", messages["intended_pairs"]],
+        ["fully delivered", messages["fully_delivered"]],
+        ["partially delivered", messages["partially_delivered"]],
+        ["undelivered (had recipients)", messages["undelivered"]],
+        ["deliveries", deliveries["total"]],
+        ["  intended", deliveries["intended"]],
+        ["  false", deliveries["false"]],
+        ["delivery ratio",
+         round(deliveries["delivery_ratio"], 4)
+         if deliveries["delivery_ratio"] is not None else "-"],
+        ["mean delay", _format_seconds(deliveries["delay_mean_s"])],
+        ["median delay", _format_seconds(deliveries["delay_median_s"])],
+        ["injections", injections["total"]],
+        ["false injections", injections["false"]],
+        ["peak live messages (analyzer)",
+         doc["memory"]["peak_live_messages"]],
+    ]
+    print(format_table(["metric", "value"], overview,
+                       title=f"Trace analysis — {args.trace_file}"))
+    print()
+    attribution_rows = [
+        ["false injection: relay-filter Bloom FP",
+         attribution["relay_filter_fp"]],
+        ["wasted injection: genuine but stale interest",
+         attribution["genuine_but_stale"]],
+        ["false delivery: consumer-filter Bloom FP",
+         attribution["direct_bf_fp"]],
+        ["false delivery: producer self-match",
+         attribution["producer_self"]],
+        ["false injections attributed",
+         f'{attribution["false_injections_attributed"]}'
+         f'/{injections["false"]}'],
+    ]
+    print(format_table(["cause", "count"], attribution_rows,
+                       title="False-positive attribution"))
+    print()
+    latency_rows = [
+        ["deliveries decomposed", latency["decomposed"]],
+        ["mean wait at producer",
+         _format_seconds(latency["producer_wait_mean_s"])],
+        ["mean in-flight carry (broker dwell)",
+         _format_seconds(latency["carry_mean_s"])],
+        ["mean final hop", _format_seconds(latency["final_hop_mean_s"])],
+        ["max decomposition residual (s)",
+         f'{latency["max_residual_s"]:.2e}'],
+    ]
+    print(format_table(["component", "value"], latency_rows,
+                       title="Latency decomposition"))
+    if doc["brokers"]:
+        print()
+        broker_rows = [
+            [
+                b["node"],
+                _format_seconds(b["dwell_s"]),
+                b["deliveries_carried"],
+                b["relay_forwards"],
+                b["injections_received"],
+                b["false_injections_received"],
+            ]
+            for b in doc["brokers"]
+        ]
+        print(format_table(
+            ["node", "dwell", "carried", "relayed", "injected", "false inj"],
+            broker_rows,
+            title="Top broker contributions (by total dwell)",
+        ))
+    if doc["slowest"]:
+        print()
+        slow_rows = [
+            [
+                entry["msg"],
+                entry["node"],
+                _format_seconds(entry["delay_s"]),
+                entry["hops"],
+                "yes" if entry["intended"] else "no",
+                entry["chain"],
+            ]
+            for entry in doc["slowest"]
+        ]
+        print(format_table(
+            ["msg", "node", "delay", "hops", "intended", "hop chain"],
+            slow_rows,
+            title=f"Slowest {len(slow_rows)} deliveries",
+        ))
+    if args.json:
+        analysis.write_json(args.json)
+        print(f"\nwrote analysis to {args.json}")
     return 0
 
 
@@ -301,11 +418,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", default=None, metavar="PATH",
                      help="write the structured event trace as JSONL")
     run.add_argument("--metrics-out", default=None, metavar="PATH",
-                     help="write the metrics-registry snapshot as JSON")
+                     help="write the metrics-registry snapshot")
+    run.add_argument("--metrics-format", choices=["json", "prom"],
+                     default="json",
+                     help="metrics snapshot format: canonical JSON "
+                          "(default) or Prometheus text exposition")
     run.add_argument("--profile", action="store_true",
                      help="profile trace build + simulation with cProfile "
                           "and print the 25 hottest functions")
     run.set_defaults(func=_cmd_run)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="lineage / latency / false-positive analysis of a trace",
+        description="Reconstruct per-message lineage from a JSONL event "
+                    "trace (as written by 'run --trace-out') and report "
+                    "latency decomposition, per-broker contributions, and "
+                    "false-positive attribution.",
+    )
+    analyze.add_argument("trace_file", metavar="TRACE",
+                         help="JSONL event trace (from run --trace-out)")
+    analyze.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the machine-readable analysis.json")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="rows in the slowest-deliveries and "
+                              "broker tables (default: 10)")
+    analyze.set_defaults(func=_cmd_analyze)
 
     sweep_ttl = commands.add_parser("sweep-ttl", help="Fig. 7/8 TTL sweep")
     _add_common(sweep_ttl)

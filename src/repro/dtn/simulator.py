@@ -375,5 +375,13 @@ class Simulation:
             faults.advance(end_time, protocol)
             report.extra["faults"] = faults.accounting.as_dict()
         protocol.finish(end_time)
+        if rec_enabled:
+            # End-of-run anchor: lets offline analyzers finalise every
+            # still-live message lineage and cross-check engine totals
+            # without re-running the simulation.
+            rec_emit(
+                "sim_end", t=end_time,
+                contacts=contacts_seen, messages=num_messages_created,
+            )
         report.end_time = end_time
         return report

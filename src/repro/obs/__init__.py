@@ -35,13 +35,24 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional
 
-from .events import EVENT_TYPES, TraceEvent
+from .analyze import ANALYSIS_VERSION, TraceAnalysis, analyze_trace
+from .events import EVENT_TYPES, TRACE_SCHEMA_VERSION, TraceEvent
 from .introspect import relay_max_counter, relay_set_bits
+from .lineage import (
+    DeliveryLeg,
+    Hop,
+    LatencyDecomposition,
+    LineageBuilder,
+    MessageLineage,
+)
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
     TraceRecorder,
+    file_trace_digest,
     read_trace,
+    read_trace_iter,
+    read_trace_meta,
     trace_digest,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -49,12 +60,24 @@ from .timers import PhaseTimers
 
 __all__ = [
     "EVENT_TYPES",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "NullRecorder",
     "NULL_RECORDER",
     "TraceRecorder",
     "trace_digest",
+    "file_trace_digest",
     "read_trace",
+    "read_trace_iter",
+    "read_trace_meta",
+    "Hop",
+    "DeliveryLeg",
+    "LatencyDecomposition",
+    "MessageLineage",
+    "LineageBuilder",
+    "TraceAnalysis",
+    "analyze_trace",
+    "ANALYSIS_VERSION",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,13 +1,16 @@
 """Typed protocol events and their canonical JSONL encoding.
 
 A trace is a sequence of :class:`TraceEvent` records, one per
-protocol-level happening.  Eight event types cover the whole B-SUB
-contact procedure (paper Sec. V), and four more cover the
+protocol-level happening.  Ten event types cover the whole B-SUB
+message lifecycle (paper Sec. V), and four more cover the
 fault-injection layer (:mod:`repro.faults`):
 
 =================  ============================================================
 type               meaning / load-bearing fields
 =================  ============================================================
+``create``         a producer creates a message (``msg``, ``node``, ``size``,
+                   ``ttl``, and the ground-truth ``num_intended`` recipient
+                   count — the denominator the delivery ratio is built from)
 ``contact``        two nodes meet (``a``, ``b``, ``duration``)
 ``a_merge``        additive merge into a relay filter (``node``, ``src``,
                    ``kind`` = ``consumer`` announcement | ``broker`` ablation,
@@ -19,9 +22,15 @@ type               meaning / load-bearing fields
                    ``set_bits_before``/``set_bits_after``)
 ``forward``        one message transmission (``msg``, ``src``, ``dst``,
                    ``kind`` = ``direct`` | ``inject`` | ``relay``, ``size``,
-                   and for ``relay`` the preferential-query value ``pref``)
+                   for ``relay`` the preferential-query value ``pref``, and a
+                   ``match`` provenance flag: direct hops record how the
+                   consumer filter matched (``bloom`` | ``exact``), inject
+                   hops record the ground-truth class of the relay-filter
+                   match (``genuine`` | ``stale`` | ``fp``))
 ``delivery``       a (message, node) delivery (``msg``, ``node``,
-                   ``intended`` ground-truth flag)
+                   ``intended`` ground-truth flag, ``cause`` = ``direct``
+                   final-hop filter match | ``self`` exact local match at a
+                   carrying broker)
 ``false_injection``  a producer→broker replication of a message no node is
                    interested in — a pure relay-filter false positive
                    (``msg``, ``src``, ``dst``)
@@ -35,6 +44,8 @@ type               meaning / load-bearing fields
 ``node_crashed``   a churn crash wiped/aged a node's volatile state
                    (``node``, ``mode`` = ``wipe`` | ``age``)
 ``node_recovered``  a crashed node came back online (``node``)
+``sim_end``        the engine finished replaying the trace (``contacts``,
+                   ``messages``) — the analyzer's end-of-run anchor
 =================  ============================================================
 
 Every event additionally carries ``seq`` (a 0-based sequence number
@@ -43,6 +54,12 @@ JSON encoding is canonical — compact separators, sorted keys — so a
 trace file is a deterministic function of protocol behaviour, and its
 SHA-256 digest (:func:`repro.obs.recorder.trace_digest`) can be pinned
 by golden tests.
+
+Trace files additionally start with one *meta* line (``{"schema":2,
+"type":"trace_meta"}``) identifying the schema version.  Schema 1
+files (no meta line, no ``create``/``sim_end`` events, no
+``match``/``cause`` provenance fields) still parse — the reader treats
+a missing header as version 1.
 """
 
 from __future__ import annotations
@@ -51,11 +68,27 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict
 
-__all__ = ["EVENT_TYPES", "TraceEvent"]
+__all__ = [
+    "EVENT_TYPES",
+    "TraceEvent",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_META_TYPE",
+    "trace_meta_line",
+]
 
-#: The twelve event types, in the order they are documented above
-#: (eight protocol events, then the four fault-injection events).
+#: Version of the trace schema written by :class:`TraceRecorder`.
+#: Version 1 (PR 2) had no meta header, no ``create``/``sim_end``
+#: events, and no ``match``/``cause`` provenance fields; version 2
+#: added all of them for the lineage analyzer.
+TRACE_SCHEMA_VERSION = 2
+
+#: The ``type`` value of the meta header line (not a protocol event).
+TRACE_META_TYPE = "trace_meta"
+
+#: The fourteen event types, in the order they are documented above
+#: (ten protocol/engine events, then the four fault-injection events).
 EVENT_TYPES = (
+    "create",
     "contact",
     "a_merge",
     "m_merge",
@@ -68,7 +101,17 @@ EVENT_TYPES = (
     "frame_truncated",
     "node_crashed",
     "node_recovered",
+    "sim_end",
 )
+
+
+def trace_meta_line() -> str:
+    """The canonical JSON meta header line (without trailing newline)."""
+    return json.dumps(
+        {"schema": TRACE_SCHEMA_VERSION, "type": TRACE_META_TYPE},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 _EVENT_TYPE_SET = frozenset(EVENT_TYPES)
 

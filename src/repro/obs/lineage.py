@@ -1,0 +1,342 @@
+"""Per-message provenance graphs reconstructed from an event trace.
+
+The trace layer (PR 2) records *what happened*; this module recovers
+*why*: for every message it rebuilds the full lifecycle — create →
+carry/forward hops → broker dwell → delivery or expiry — as a
+:class:`MessageLineage`, and for every delivered (message, node) pair
+it computes a :class:`LatencyDecomposition` splitting the end-to-end
+delay into wait-at-producer, per-broker dwell, and final-hop time.
+
+The :class:`LineageBuilder` is a streaming state machine: feed it
+events in emit order (e.g. from
+:func:`repro.obs.recorder.read_trace_iter`) and it keeps only the
+*live* lineages — a message is finalised, handed to the caller's
+callback, and dropped as soon as simulation time passes its TTL
+horizon (no later event can mention it: expired messages are purged
+from every buffer before any contact processing).  Peak memory is
+therefore O(messages alive at once), not O(trace length), which is
+what makes million-event columnar traces analysable.
+
+Schema-1 traces (no ``create`` events) still work: a forward for an
+unknown message opens a stub lineage with unknown creation time; stubs
+cannot be expiry-finalised (no TTL on record) and are flushed at the
+end of the stream instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "Hop",
+    "DeliveryLeg",
+    "LatencyDecomposition",
+    "MessageLineage",
+    "LineageBuilder",
+]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One recorded transmission of a message."""
+
+    t: float
+    kind: str            # "direct" | "inject" | "relay"
+    src: int
+    dst: int
+    size: float = 0.0
+    pref: Optional[float] = None    # relay hops: preferential-query value
+    match: Optional[str] = None     # provenance flag (schema >= 2)
+
+    def label(self) -> str:
+        """Compact human rendering, e.g. ``12-(relay)->7``."""
+        return f"{self.src}-({self.kind})->{self.dst}"
+
+
+@dataclass(frozen=True)
+class LatencyDecomposition:
+    """Where one delivered message's delay was spent.
+
+    ``producer_wait_s`` (creation → first hop of the delivering chain)
+    + every per-broker ``dwell`` (arrival at the node → departure
+    towards the next chain node) + ``final_hop_s`` (last hop →
+    delivery) telescopes back to the end-to-end delay.  ``None``
+    components mean the trace lacked the evidence (schema-1 traces
+    have no creation times).
+    """
+
+    producer_wait_s: Optional[float]
+    #: (node, seconds) per intermediate carrier, in chain order.
+    dwells: Tuple[Tuple[int, float], ...]
+    final_hop_s: float
+
+    @property
+    def carry_s(self) -> float:
+        """Total in-flight carry time (sum of per-broker dwells)."""
+        return sum(seconds for _, seconds in self.dwells)
+
+    def to_dict(self) -> dict:
+        return {
+            "producer_wait_s": self.producer_wait_s,
+            "dwells": [[node, seconds] for node, seconds in self.dwells],
+            "carry_s": self.carry_s,
+            "final_hop_s": self.final_hop_s,
+        }
+
+
+@dataclass(frozen=True)
+class DeliveryLeg:
+    """One delivery of a message to one node, with its provenance."""
+
+    t: float
+    node: int
+    intended: bool
+    cause: Optional[str]            # "direct" | "self" (schema >= 2)
+    delay_s: Optional[float]        # None when creation time unknown
+    chain: Tuple[Hop, ...]          # producer → … → delivering hop
+    decomposition: Optional[LatencyDecomposition]
+
+    def chain_label(self) -> str:
+        return " ".join(hop.label() for hop in self.chain) or "(no hops)"
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "node": self.node,
+            "intended": self.intended,
+            "cause": self.cause,
+            "delay_s": self.delay_s,
+            "chain": [
+                [hop.t, hop.kind, hop.src, hop.dst] for hop in self.chain
+            ],
+            "decomposition": (
+                self.decomposition.to_dict() if self.decomposition else None
+            ),
+        }
+
+
+@dataclass
+class MessageLineage:
+    """The reconstructed lifecycle of one message."""
+
+    msg: int
+    created_at: Optional[float] = None
+    producer: Optional[int] = None
+    ttl_s: Optional[float] = None
+    size: Optional[float] = None
+    num_intended: Optional[int] = None
+    hops: List[Hop] = field(default_factory=list)
+    deliveries: List[DeliveryLeg] = field(default_factory=list)
+    false_injections: int = 0
+    #: Set at finalisation: "expired" | "end_of_trace".
+    closed_by: Optional[str] = None
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        if self.created_at is None or self.ttl_s is None:
+            return None
+        return self.created_at + self.ttl_s
+
+    @property
+    def num_intended_delivered(self) -> int:
+        return sum(1 for leg in self.deliveries if leg.intended)
+
+    # -- provenance reconstruction ------------------------------------------
+
+    def delivery_chain(self, node: int, t: float) -> Tuple[Hop, ...]:
+        """The hop chain that put the message on *node* by time *t*.
+
+        Walks backwards from the latest hop into *node*: each step
+        finds the hop that gave the previous sender its copy (the
+        latest earlier arrival at that sender), stopping at the
+        producer.  Hops are scanned in emit order, so the chain is the
+        actual causal path — relay forwards remove the sender's copy,
+        and direct/inject forwards replicate from a retained copy, both
+        of which this walk represents faithfully.
+        """
+        index = None
+        for i in range(len(self.hops) - 1, -1, -1):
+            if self.hops[i].dst == node and self.hops[i].t <= t:
+                index = i
+                break
+        if index is None:
+            return ()
+        chain = [self.hops[index]]
+        while True:
+            head = chain[-1]
+            if self.producer is not None and head.src == self.producer:
+                break
+            found = None
+            for i in range(index - 1, -1, -1):
+                if self.hops[i].dst == head.src:
+                    found = i
+                    break
+            if found is None:
+                break
+            index = found
+            chain.append(self.hops[index])
+        chain.reverse()
+        return tuple(chain)
+
+    def decompose(
+        self, chain: Tuple[Hop, ...], delivered_at: float
+    ) -> Optional[LatencyDecomposition]:
+        """Latency decomposition of one delivery along *chain*."""
+        if not chain:
+            return None
+        producer_wait = (
+            chain[0].t - self.created_at
+            if self.created_at is not None
+            else None
+        )
+        dwells = tuple(
+            (chain[i - 1].dst, chain[i].t - chain[i - 1].t)
+            for i in range(1, len(chain))
+        )
+        return LatencyDecomposition(
+            producer_wait_s=producer_wait,
+            dwells=dwells,
+            final_hop_s=delivered_at - chain[-1].t,
+        )
+
+
+#: Callback invoked with each finalised lineage.
+FinalizedCallback = Callable[[MessageLineage], None]
+
+
+class LineageBuilder:
+    """Streaming reconstruction of message lineages from trace events.
+
+    Parameters
+    ----------
+    on_finalized:
+        Called once per message, with its completed
+        :class:`MessageLineage`, as soon as no further event can
+        mention it (simulation time passed its TTL horizon, or the
+        stream ended).  After the callback returns the lineage is
+        dropped, which is what bounds memory to the live set.
+    """
+
+    def __init__(self, on_finalized: Optional[FinalizedCallback] = None):
+        self._on_finalized = on_finalized
+        self._live: Dict[int, MessageLineage] = {}
+        #: (expires_at, msg) heap driving expiry finalisation.
+        self._expiry_heap: List[Tuple[float, int]] = []
+        self.peak_live = 0
+        self.finalized = 0
+        self.end_time: Optional[float] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_live(self) -> int:
+        return len(self._live)
+
+    # -- streaming ----------------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        """Absorb one trace event (must be fed in emit order)."""
+        self._expire_until(event.t)
+        handler = self._HANDLERS.get(event.type)
+        if handler is not None:
+            handler(self, event)
+
+    def flush(self, now: Optional[float] = None) -> None:
+        """Finalise every remaining live lineage (end of stream)."""
+        if now is not None:
+            self.end_time = now
+        for msg in sorted(self._live):
+            self._finalize(msg, "end_of_trace")
+
+    # -- event handlers -----------------------------------------------------
+
+    def _lineage(self, msg: int) -> MessageLineage:
+        lineage = self._live.get(msg)
+        if lineage is None:
+            lineage = self._live[msg] = MessageLineage(msg=msg)
+            self.peak_live = max(self.peak_live, len(self._live))
+        return lineage
+
+    def _on_create(self, event: TraceEvent) -> None:
+        fields = event.fields
+        lineage = self._lineage(int(fields["msg"]))
+        lineage.created_at = event.t
+        lineage.producer = int(fields["node"])
+        lineage.ttl_s = float(fields["ttl"]) if "ttl" in fields else None
+        lineage.size = fields.get("size")
+        if "num_intended" in fields:
+            lineage.num_intended = int(fields["num_intended"])
+        if lineage.expires_at is not None:
+            heapq.heappush(
+                self._expiry_heap, (lineage.expires_at, lineage.msg)
+            )
+
+    def _on_forward(self, event: TraceEvent) -> None:
+        fields = event.fields
+        self._lineage(int(fields["msg"])).hops.append(
+            Hop(
+                t=event.t,
+                kind=fields.get("kind", "?"),
+                src=int(fields["src"]),
+                dst=int(fields["dst"]),
+                size=float(fields.get("size", 0.0)),
+                pref=fields.get("pref"),
+                match=fields.get("match"),
+            )
+        )
+
+    def _on_delivery(self, event: TraceEvent) -> None:
+        fields = event.fields
+        lineage = self._lineage(int(fields["msg"]))
+        node = int(fields["node"])
+        chain = lineage.delivery_chain(node, event.t)
+        delay = (
+            event.t - lineage.created_at
+            if lineage.created_at is not None
+            else None
+        )
+        lineage.deliveries.append(
+            DeliveryLeg(
+                t=event.t,
+                node=node,
+                intended=bool(fields["intended"]),
+                cause=fields.get("cause"),
+                delay_s=delay,
+                chain=chain,
+                decomposition=lineage.decompose(chain, event.t),
+            )
+        )
+
+    def _on_false_injection(self, event: TraceEvent) -> None:
+        self._lineage(int(event.fields["msg"])).false_injections += 1
+
+    def _on_sim_end(self, event: TraceEvent) -> None:
+        self.flush(now=event.t)
+
+    _HANDLERS = {
+        "create": _on_create,
+        "forward": _on_forward,
+        "delivery": _on_delivery,
+        "false_injection": _on_false_injection,
+        "sim_end": _on_sim_end,
+    }
+
+    # -- finalisation -------------------------------------------------------
+
+    def _expire_until(self, now: float) -> None:
+        heap = self._expiry_heap
+        while heap and heap[0][0] < now:
+            _, msg = heapq.heappop(heap)
+            if msg in self._live:
+                self._finalize(msg, "expired")
+
+    def _finalize(self, msg: int, closed_by: str) -> None:
+        lineage = self._live.pop(msg)
+        lineage.closed_by = closed_by
+        self.finalized += 1
+        if self._on_finalized is not None:
+            self._on_finalized(lineage)

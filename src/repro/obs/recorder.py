@@ -12,6 +12,13 @@ field is even computed.  A :class:`TraceRecorder` collects
 :class:`~repro.obs.events.TraceEvent` records in memory, can stream
 them to JSONL, and exposes a SHA-256 digest of the canonical encoding
 for golden-trace pinning.
+
+Trace files start with one meta header line carrying the schema
+version (:data:`~repro.obs.events.TRACE_SCHEMA_VERSION`); the readers
+(:func:`read_trace_iter` / :func:`read_trace`) skip it and accept
+headerless version-1 files unchanged.  Digests always cover the events
+only, never the header, so a digest is a function of protocol
+behaviour alone.
 """
 
 from __future__ import annotations
@@ -20,14 +27,22 @@ import hashlib
 import json
 from typing import Dict, Iterable, Iterator, List, Optional
 
-from .events import EVENT_TYPES, TraceEvent
+from .events import (
+    EVENT_TYPES,
+    TRACE_META_TYPE,
+    TraceEvent,
+    trace_meta_line,
+)
 
 __all__ = [
     "NullRecorder",
     "NULL_RECORDER",
     "TraceRecorder",
     "trace_digest",
+    "file_trace_digest",
     "read_trace",
+    "read_trace_iter",
+    "read_trace_meta",
 ]
 
 
@@ -54,9 +69,10 @@ class TraceRecorder:
     Parameters
     ----------
     sink:
-        Optional writable text file object; when set, each event is
-        additionally written as one JSONL line at emit time (streaming
-        mode for runs too large to buffer).
+        Optional writable text file object; when set, the meta header
+        line is written immediately and each event is additionally
+        written as one JSONL line at emit time (streaming mode for runs
+        too large to buffer).
     """
 
     enabled = True
@@ -65,6 +81,8 @@ class TraceRecorder:
         self.events: List[TraceEvent] = []
         self._seq = 0
         self._sink = sink
+        if sink is not None:
+            sink.write(trace_meta_line() + "\n")
 
     def emit(self, type: str, t: float, **fields) -> None:
         """Record one event, assigning the next sequence number."""
@@ -93,12 +111,16 @@ class TraceRecorder:
         return counts
 
     def to_jsonl(self) -> str:
-        """The whole trace as canonical JSONL (one event per line)."""
+        """The events as canonical JSONL (one per line, no meta header)."""
         return "".join(event.to_json() + "\n" for event in self.events)
 
     def write_jsonl(self, path: str) -> int:
-        """Write the trace to *path*; returns the number of events."""
+        """Write the trace (meta header + events) to *path*.
+
+        Returns the number of events (the header is not an event).
+        """
         with open(path, "w") as fh:
+            fh.write(trace_meta_line() + "\n")
             fh.write(self.to_jsonl())
         return len(self.events)
 
@@ -121,16 +143,62 @@ def trace_digest(events: Iterable[TraceEvent]) -> str:
     return hasher.hexdigest()
 
 
-def read_trace(path: str, type: Optional[str] = None) -> Iterator[TraceEvent]:
-    """Iterate the events stored in a JSONL trace file.
+def file_trace_digest(path: str) -> str:
+    """Streaming :func:`trace_digest` of a JSONL trace file.
 
-    Optionally filters to one event *type*.
+    Events are re-encoded canonically line by line (never materialised
+    as a list), so the digest of a written trace equals the digest of
+    the recorder that produced it, meta header and schema version
+    notwithstanding.
+    """
+    return trace_digest(read_trace_iter(path))
+
+
+def read_trace_meta(path: str) -> Dict[str, object]:
+    """The trace file's meta header, or ``{"schema": 1}`` if absent.
+
+    Schema-1 traces (written before the header existed) start directly
+    with an event line; they remain fully readable.
     """
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            event = TraceEvent.from_dict(json.loads(line))
+            record = json.loads(line)
+            if record.get("type") == TRACE_META_TYPE:
+                return record
+            break
+    return {"schema": 1}
+
+
+def read_trace_iter(
+    path: str, type: Optional[str] = None
+) -> Iterator[TraceEvent]:
+    """Stream the events of a JSONL trace file, one at a time.
+
+    This is the bounded-memory primitive every trace consumer builds
+    on: one line is parsed per step and nothing is retained, so
+    million-event traces cost O(1) reader memory.  Meta header lines
+    and blanks are skipped; optionally filters to one event *type*.
+    """
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == TRACE_META_TYPE:
+                continue
+            event = TraceEvent.from_dict(record)
             if type is None or event.type == type:
                 yield event
+
+
+def read_trace(path: str, type: Optional[str] = None) -> Iterator[TraceEvent]:
+    """Iterate the events stored in a JSONL trace file.
+
+    Optionally filters to one event *type*.  Alias of
+    :func:`read_trace_iter` (kept as the long-standing public name).
+    """
+    return read_trace_iter(path, type=type)

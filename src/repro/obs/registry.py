@@ -18,12 +18,32 @@ out of this document by design — they are never deterministic.
 from __future__ import annotations
 
 import json
+import re
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 Number = Union[int, float]
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Map a registry name onto the Prometheus metric-name alphabet."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_number(value: Number) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 def _plain(value: Number) -> Number:
@@ -172,3 +192,45 @@ class MetricsRegistry:
     def write_json(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_json())
+
+    def to_prom(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry.
+
+        Instrument names are sanitised onto the metric-name alphabet
+        (dots become underscores), counters get the conventional
+        ``_total`` suffix, and histograms expose cumulative
+        ``_bucket{le=...}`` series ending in ``le="+Inf"`` plus
+        ``_sum``/``_count``.  Emission order is sorted by instrument
+        name within each kind, so the output is deterministic and can
+        be pinned byte-for-byte in tests.
+        """
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            prom = _prom_name(name)
+            if not prom.endswith("_total"):
+                prom += "_total"
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_number(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_number(self._gauges[name].value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for edge, in_bucket in zip(
+                histogram.edges, histogram.buckets
+            ):
+                cumulative += in_bucket
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_number(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{prom}_sum {_prom_number(histogram.total)}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def write_prom(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_prom())

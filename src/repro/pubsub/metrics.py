@@ -196,6 +196,10 @@ class MetricsCollector:
         """Ground truth: is *node* an intended recipient of *message*?"""
         return node in self._intended_recipients[message.id]
 
+    def num_intended_recipients(self, message: Message) -> int:
+        """Ground truth: how many intended recipients *message* has."""
+        return len(self._intended_recipients[message.id])
+
     def message_index(self, message: Message) -> int:
         """The 0-based creation index of *message* within this run.
 

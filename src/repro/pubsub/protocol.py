@@ -223,6 +223,13 @@ class BsubProtocol(Protocol):
         """A producer creates *message*: buffer it with a ℂ-copy budget."""
         self.metrics.register_message(message)
         self.states[node].produce(message)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "create", t=now, msg=self.metrics.message_index(message),
+                node=node, size=float(message.size_bytes),
+                ttl=float(message.ttl_s),
+                num_intended=self.metrics.num_intended_recipients(message),
+            )
 
     def on_node_crashed(self, node: int, now: float, mode: str = "wipe") -> None:
         """Churn: *node* loses its volatile B-SUB state.
@@ -562,6 +569,7 @@ class BsubProtocol(Protocol):
         Under the raw interest encoding the match is exact and the
         false-positive path disappears entirely.
         """
+        match_kind = "exact" if self.config.interest_encoding == "raw" else "bloom"
         if self.config.interest_encoding == "raw":
             if not consumer.interests:
                 return
@@ -595,7 +603,7 @@ class BsubProtocol(Protocol):
                         self.recorder.emit(
                             "forward", t=now, kind="direct", msg=self.metrics.message_index(message),
                             src=holder.node_id, dst=consumer.node_id,
-                            size=float(message.size_bytes),
+                            size=float(message.size_bytes), match=match_kind,
                         )
                     consumer.mark_received(message.id)
                     if self.metrics.record_delivery(
@@ -609,6 +617,7 @@ class BsubProtocol(Protocol):
                                 intended=self.metrics.is_intended(
                                     message, consumer.node_id
                                 ),
+                                cause="direct",
                             )
 
     def _replicate_to_broker(
@@ -644,12 +653,22 @@ class BsubProtocol(Protocol):
                     return
                 self.metrics.record_forwarding(message)
                 self.op_counts["forward_inject"] += 1
-                is_false, _ = self.metrics.record_injection(message)
+                is_false, is_useless = self.metrics.record_injection(message)
                 if self.recorder.enabled:
+                    # Ground-truth provenance of the relay-filter match:
+                    # "fp" — no node anywhere wants any key (a pure
+                    # Bloom collision), "stale" — the key is genuinely
+                    # in the filter but can never produce a delivery,
+                    # "genuine" — intended recipients exist.
+                    match = (
+                        "fp" if is_false
+                        else "stale" if is_useless
+                        else "genuine"
+                    )
                     self.recorder.emit(
                         "forward", t=now, kind="inject", msg=self.metrics.message_index(message),
                         src=producer.node_id, dst=broker.node_id,
-                        size=float(message.size_bytes),
+                        size=float(message.size_bytes), match=match,
                     )
                     if is_false:
                         self.recorder.emit(
@@ -737,6 +756,7 @@ class BsubProtocol(Protocol):
                         intended=self.metrics.is_intended(
                             message, node.node_id
                         ),
+                        cause="self",
                     )
 
     # -- introspection ----------------------------------------------------------------

@@ -1,0 +1,201 @@
+"""Acceptance tests for :mod:`repro.obs.analyze` and ``repro analyze``.
+
+The central claim: the analyzer reproduces a run's aggregate metrics
+*exactly* — to the last digit — from the trace file alone, with no
+access to the simulator's in-memory state, and attributes 100% of
+false injections to a cause class while holding only the live message
+set in memory.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import TraceEvent, analyze_trace
+from repro.obs.events import trace_meta_line
+
+
+@pytest.fixture(scope="module")
+def mini_analysis(mini_fig7, tmp_path_factory):
+    """(analysis, obs, result) after a trace-file round trip."""
+    obs, result = mini_fig7
+    path = tmp_path_factory.mktemp("analyze") / "mini.trace.jsonl"
+    obs.tracer.write_jsonl(str(path))
+    return analyze_trace(str(path)), obs, result
+
+
+class TestExactReproduction:
+    def test_totals_match_summary_to_last_digit(self, mini_analysis):
+        analysis, obs, result = mini_analysis
+        s = result.summary
+        doc = analysis.to_dict()
+        assert doc["messages"]["created"] == s.num_messages
+        assert doc["messages"]["intended_pairs"] == s.num_intended_pairs
+        assert doc["deliveries"]["total"] == s.num_deliveries
+        assert doc["deliveries"]["intended"] == s.num_intended_deliveries
+        assert doc["deliveries"]["false"] == s.num_false_deliveries
+        assert doc["injections"]["total"] == s.num_injections
+        assert doc["injections"]["false"] == s.num_false_injections
+        # Float metrics reproduce bit-for-bit, not approximately: the
+        # analyzer replays the same arithmetic over the same values.
+        assert doc["deliveries"]["delay_mean_s"] == s.mean_delay_s
+        assert doc["deliveries"]["delay_median_s"] == s.median_delay_s
+        assert doc["deliveries"]["delivery_ratio"] == s.delivery_ratio
+        assert (
+            doc["deliveries"]["false_positive_ratio"]
+            == s.false_positive_ratio
+        )
+        assert (
+            doc["injections"]["false_injection_ratio"]
+            == s.false_injection_ratio
+        )
+        assert (
+            doc["injections"]["false"] + doc["injections"]["genuine_but_stale"]
+            == s.num_useless_injections
+        )
+
+    def test_event_counts_match_recorder(self, mini_analysis):
+        analysis, obs, _ = mini_analysis
+        recorded = {k: v for k, v in obs.tracer.counts().items() if v}
+        assert analysis.to_dict()["events"] == recorded
+
+    def test_every_false_injection_attributed(self, mini_analysis):
+        analysis, _, result = mini_analysis
+        attribution = analysis.to_dict()["attribution"]
+        assert attribution["relay_filter_fp"] > 0  # 32-bit filters do FP
+        assert (
+            attribution["false_injections_attributed"]
+            == result.summary.num_false_injections
+        )
+        assert attribution["false_injection_coverage"] == 1.0
+        # Every false delivery is attributed too.
+        assert (
+            attribution["direct_bf_fp"] + attribution["producer_self"]
+            == result.summary.num_false_deliveries
+        )
+
+    def test_latency_decomposition_telescopes(self, mini_analysis):
+        analysis, _, result = mini_analysis
+        latency = analysis.to_dict()["latency"]
+        assert latency["decomposed"] == result.summary.num_deliveries
+        assert latency["max_residual_s"] <= 1e-6
+        assert latency["producer_wait_mean_s"] > 0
+        assert latency["carry_mean_s"] >= 0
+
+    def test_memory_stays_bounded_by_live_set(self, mini_analysis):
+        analysis, _, result = mini_analysis
+        memory = analysis.to_dict()["memory"]
+        assert memory["finalized_messages"] == result.summary.num_messages
+        # The scenario creates ~81k messages but only the TTL window's
+        # worth are ever live at once.
+        assert memory["peak_live_messages"] < result.summary.num_messages / 10
+
+
+class TestCliRoundTrip:
+    def test_run_then_analyze_agree(self, tmp_path, capsys):
+        trace_path = tmp_path / "cli.trace.jsonl"
+        analysis_path = tmp_path / "analysis.json"
+        args = [
+            "run", "--trace", "haggle", "--scale", "0.004", "--seed", "3",
+            "--protocol", "B-SUB", "--ttl-min", "120",
+            "--num-bits", "32", "--num-hashes", "2",
+        ]
+        assert main(args + ["--trace-out", str(trace_path)]) == 0
+        run_out = capsys.readouterr().out
+        assert main([
+            "analyze", str(trace_path),
+            "--json", str(analysis_path), "--top", "3",
+        ]) == 0
+        analyze_out = capsys.readouterr().out
+        assert "False-positive attribution" in analyze_out
+        assert "Latency decomposition" in analyze_out
+        doc = json.loads(analysis_path.read_text())
+        # The run summary table and the trace analysis describe the
+        # same run: cross-check the totals the CLI printed.
+        for label, value in [
+            ("messages", doc["messages"]["created"]),
+            ("intended pairs", doc["messages"]["intended_pairs"]),
+        ]:
+            assert f"{value:,}" in run_out or str(value) in run_out, label
+        assert doc["schema"] == {"analysis": 1, "trace": 2}
+        assert len(doc["slowest"]) == 3
+
+    def test_analyze_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(OSError):
+            main(["analyze", str(tmp_path / "nope.jsonl")])
+
+
+class TestStreamingAndCompat:
+    def test_100k_event_trace_bounded_memory(self):
+        # 50k messages x (create + forward + delivery) = 150k events,
+        # staggered so only ~20 are alive at once.  peak_live must track
+        # the overlap, not the trace length.
+        def events():
+            seq = 0
+            for i in range(50_000):
+                t = float(i)
+                yield TraceEvent(seq=seq, t=t, type="create",
+                                 fields={"msg": i, "node": 0, "ttl": 20.0,
+                                         "num_intended": 1})
+                seq += 1
+                yield TraceEvent(seq=seq, t=t + 1.0, type="forward",
+                                 fields={"msg": i, "kind": "direct",
+                                         "src": 0, "dst": 1})
+                seq += 1
+                yield TraceEvent(seq=seq, t=t + 1.0, type="delivery",
+                                 fields={"msg": i, "node": 1,
+                                         "intended": True})
+                seq += 1
+
+        analysis = analyze_trace(events(), trace_schema=2)
+        doc = analysis.to_dict()
+        assert doc["messages"]["created"] == 50_000
+        assert doc["deliveries"]["intended"] == 50_000
+        assert doc["memory"]["peak_live_messages"] <= 25
+        assert doc["memory"]["finalized_messages"] == 50_000
+
+    def test_headerless_schema1_trace_analyzes(self, mini_fig7, tmp_path):
+        # Strip create/sim_end events and the meta header to fake a
+        # pre-versioning trace; the analyzer must still parse it and
+        # count every false injection.
+        obs, result = mini_fig7
+        path = tmp_path / "old.trace.jsonl"
+        with open(path, "w") as fh:
+            for event in obs.tracer.events:
+                if event.type in ("create", "sim_end"):
+                    continue
+                fh.write(event.to_json() + "\n")
+        assert not path.read_text().startswith(trace_meta_line())
+        doc = analyze_trace(str(path)).to_dict()
+        assert doc["schema"]["trace"] == 1
+        assert doc["messages"]["created"] == 0
+        assert doc["deliveries"]["total"] == result.summary.num_deliveries
+        assert doc["injections"]["false"] == (
+            result.summary.num_false_injections
+        )
+        # No creation times -> no delay, but chains still reconstruct.
+        assert doc["deliveries"]["delay_mean_s"] is None
+        assert doc["latency"]["decomposed"] == 0
+
+
+class TestSnapshot:
+    def test_analysis_is_deterministic(self, mini_analysis, tmp_path):
+        # Same trace bytes -> same analysis bytes (the property the CI
+        # drift check relies on).
+        analysis, obs, _ = mini_analysis
+        path = tmp_path / "again.trace.jsonl"
+        obs.tracer.write_jsonl(str(path))
+        assert analyze_trace(str(path)).to_json() == analysis.to_json()
+
+    def test_matches_checked_in_snapshot(self, mini_analysis, request):
+        analysis, _, _ = mini_analysis
+        snapshot_path = (
+            request.path.parent / "data" / "mini_fig7_analysis.json"
+        )
+        snapshot = json.loads(snapshot_path.read_text())
+        assert analysis.to_dict() == snapshot, (
+            "analysis drifted from tests/obs/data/mini_fig7_analysis.json; "
+            "if the change is intentional, regenerate the snapshot with "
+            "scripts/regen_analysis_snapshot.py"
+        )

@@ -36,15 +36,17 @@ class TestCliTraceOutput:
         assert "Phase timings" in out
         assert "Metrics registry" in out
 
-        # The JSONL file is valid line-delimited JSON covering every
-        # protocol event type (fault events need --faults), with dense
-        # sequence numbers.
+        # The JSONL file opens with the schema meta header, then valid
+        # line-delimited JSON covering every protocol event type (fault
+        # events need --faults), with dense sequence numbers.
         fault_types = {
             "frame_dropped", "frame_truncated",
             "node_crashed", "node_recovered",
         }
+        lines = trace_path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"schema": 2, "type": "trace_meta"}
         seen = set()
-        for i, line in enumerate(trace_path.read_text().splitlines()):
+        for i, line in enumerate(lines[1:]):
             record = json.loads(line)
             assert record["seq"] == i
             seen.add(record["type"])

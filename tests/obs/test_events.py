@@ -8,12 +8,13 @@ from repro.obs import EVENT_TYPES, TraceEvent
 
 
 class TestEventTypes:
-    def test_exactly_twelve_types(self):
-        assert len(EVENT_TYPES) == 12
-        assert len(set(EVENT_TYPES)) == 12
+    def test_exactly_fourteen_types(self):
+        assert len(EVENT_TYPES) == 14
+        assert len(set(EVENT_TYPES)) == 14
 
     def test_expected_vocabulary(self):
         assert set(EVENT_TYPES) == {
+            "create",
             "contact",
             "a_merge",
             "m_merge",
@@ -26,7 +27,18 @@ class TestEventTypes:
             "frame_truncated",
             "node_crashed",
             "node_recovered",
+            "sim_end",
         }
+
+    def test_schema_version_and_meta_line(self):
+        from repro.obs import TRACE_SCHEMA_VERSION
+        from repro.obs.events import TRACE_META_TYPE, trace_meta_line
+
+        assert TRACE_SCHEMA_VERSION == 2
+        record = json.loads(trace_meta_line())
+        assert record == {"schema": 2, "type": TRACE_META_TYPE}
+        # The meta type must never collide with the event vocabulary.
+        assert TRACE_META_TYPE not in EVENT_TYPES
 
 
 class TestTraceEvent:

@@ -23,13 +23,18 @@ from repro.traces import haggle_like
 from .conftest import run_mini_fig7
 
 # Mini Fig. 7 (Haggle-style run, 32-bit filters): conftest scenario.
+# Re-pinned for trace schema 2 (create/sim_end lifecycle events plus
+# match/cause provenance fields); every pre-existing protocol event
+# count is unchanged from the schema-1 pin, and the registry digest is
+# byte-identical — the schema bump only *added* information.
 MINI_FIG7_TRACE_DIGEST = (
-    "a513d899aee89484dd37ad99e96a65271ec21c507024359bd940125a7fdbf54e"
+    "1db980a5f9dadc271604ec728eb20692ac4bcde79785a7bd392f1dbde3a9ed7f"
 )
 MINI_FIG7_REGISTRY_DIGEST = (
     "8f99655406707da01692e0f5e1de0b4b33ca93d430a11ae9b684391b43c6c703"
 )
 MINI_FIG7_EVENT_COUNTS = {
+    "create": 80946,
     "contact": 719,
     "a_merge": 1238,
     "m_merge": 1040,
@@ -44,6 +49,7 @@ MINI_FIG7_EVENT_COUNTS = {
     "frame_truncated": 0,
     "node_crashed": 0,
     "node_recovered": 0,
+    "sim_end": 1,
 }
 
 #: The event types a *fault-free* run must exercise.
@@ -56,8 +62,8 @@ PROTOCOL_EVENT_TYPES = tuple(
 # Mini Fig. 9 (DF sweep at two decay factors, same trace/geometry).
 MINI_FIG9_TRACE = dict(scale=0.01, seed=5)
 MINI_FIG9_DIGESTS = {
-    0.1: "b3b61a26a971ee3f741eb4445cc00f6f32d555e1037858bba7c99e903f0d97d2",
-    2.0: "c8de5d2cbcae89ebe3b7de1577131ad7ea6ec1ead25f6324d08bfb2454d117d8",
+    0.1: "5b7394219b26a3aaf85c96d0a0e7b9bdf1ecfc1a6bc82bd563045cf555b98c76",
+    2.0: "01c8dc29ee1a6443a7c8d59e8763f9e2ae1cfe76eaed3cf1bbd167645aa377ba",
 }
 
 
@@ -99,8 +105,11 @@ class TestMiniFig7Golden:
         assert count == len(obs.tracer.events)
         events = list(read_trace(str(path)))
         assert events == obs.tracer.events
-        # Every line is valid, canonical, self-describing JSON.
-        for line in path.read_text().splitlines():
+        # The first line is the schema meta header; every following
+        # line is valid, canonical, self-describing JSON.
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "trace_meta"
+        for line in lines[1:]:
             record = json.loads(line)
             assert record["type"] in EVENT_TYPES
             assert record["seq"] >= 0

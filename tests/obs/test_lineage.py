@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.obs.lineage`."""
+
+import pytest
+
+from repro.obs import LineageBuilder, TraceEvent
+
+
+def _event(seq, t, type_, **fields):
+    return TraceEvent(seq=seq, t=t, type=type_, fields=fields)
+
+
+def _feed(builder, events):
+    for event in events:
+        builder.feed(event)
+
+
+class TestChainReconstruction:
+    def test_multi_hop_chain_and_decomposition(self):
+        # producer 0 creates at t=10, injects to broker 1 at t=40,
+        # broker 1 relays to broker 2 at t=100, broker 2 direct-forwards
+        # to consumer 3 at t=160, delivered at t=160.
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        _feed(builder, [
+            _event(0, 10.0, "create", msg=0, node=0, ttl=1000.0,
+                   num_intended=1),
+            _event(1, 40.0, "forward", msg=0, kind="inject", src=0, dst=1),
+            _event(2, 100.0, "forward", msg=0, kind="relay", src=1, dst=2),
+            _event(3, 160.0, "forward", msg=0, kind="direct", src=2, dst=3),
+            _event(4, 160.0, "delivery", msg=0, node=3, intended=True,
+                   cause="direct"),
+        ])
+        builder.flush()
+        assert len(finalized) == 1
+        lineage = finalized[0]
+        assert lineage.closed_by == "end_of_trace"
+        leg = lineage.deliveries[0]
+        assert leg.chain_label() == (
+            "0-(inject)->1 1-(relay)->2 2-(direct)->3"
+        )
+        assert leg.delay_s == 150.0
+        decomposition = leg.decomposition
+        assert decomposition.producer_wait_s == 30.0
+        assert decomposition.dwells == ((1, 60.0), (2, 60.0))
+        assert decomposition.carry_s == 120.0
+        assert decomposition.final_hop_s == 0.0
+
+    def test_decomposition_telescopes_to_delay(self):
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        _feed(builder, [
+            _event(0, 5.0, "create", msg=0, node=0, ttl=10_000.0,
+                   num_intended=1),
+            _event(1, 17.5, "forward", msg=0, kind="inject", src=0, dst=4),
+            _event(2, 33.25, "forward", msg=0, kind="direct", src=4, dst=9),
+            _event(3, 34.0, "delivery", msg=0, node=9, intended=True),
+        ])
+        builder.flush()
+        leg = finalized[0].deliveries[0]
+        d = leg.decomposition
+        assert (
+            d.producer_wait_s + d.carry_s + d.final_hop_s
+            == pytest.approx(leg.delay_s, abs=0.0)
+        )
+
+    def test_chain_picks_latest_arrival_before_delivery(self):
+        # Node 3 receives two copies (from 1 at t=50, from 2 at t=80);
+        # the chain behind its t=90 delivery must come through node 2.
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        _feed(builder, [
+            _event(0, 0.0, "create", msg=0, node=0, ttl=1000.0,
+                   num_intended=1),
+            _event(1, 10.0, "forward", msg=0, kind="inject", src=0, dst=1),
+            _event(2, 20.0, "forward", msg=0, kind="inject", src=0, dst=2),
+            _event(3, 50.0, "forward", msg=0, kind="direct", src=1, dst=3),
+            _event(4, 80.0, "forward", msg=0, kind="direct", src=2, dst=3),
+            _event(5, 90.0, "delivery", msg=0, node=3, intended=True),
+        ])
+        builder.flush()
+        leg = finalized[0].deliveries[0]
+        assert leg.chain_label() == "0-(inject)->2 2-(direct)->3"
+
+    def test_schema1_trace_without_create_yields_stub(self):
+        # Old traces have no create events: the delivery still gets a
+        # chain, but no delay and no producer-wait component.
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        _feed(builder, [
+            _event(0, 10.0, "forward", msg=7, kind="direct", src=0, dst=1),
+            _event(1, 10.0, "delivery", msg=7, node=1, intended=True),
+        ])
+        builder.flush()
+        lineage = finalized[0]
+        assert lineage.created_at is None
+        leg = lineage.deliveries[0]
+        assert leg.delay_s is None
+        assert leg.chain_label() == "0-(direct)->1"
+        assert leg.decomposition.producer_wait_s is None
+
+
+class TestStreamingFinalization:
+    def test_expiry_finalizes_and_drops_lineage(self):
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        builder.feed(_event(0, 0.0, "create", msg=0, node=0, ttl=100.0,
+                            num_intended=0))
+        assert builder.num_live == 1
+        # An event exactly at the TTL horizon must NOT finalise (the
+        # message is purged only strictly after expiry)...
+        builder.feed(_event(1, 100.0, "contact", a=0, b=1))
+        assert builder.num_live == 1
+        # ...but the first event past it must.
+        builder.feed(_event(2, 100.5, "contact", a=0, b=1))
+        assert builder.num_live == 0
+        assert finalized[0].closed_by == "expired"
+
+    def test_sim_end_flushes_remaining(self):
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        builder.feed(_event(0, 0.0, "create", msg=3, node=0, ttl=1e9,
+                            num_intended=0))
+        builder.feed(_event(1, 50.0, "sim_end", contacts=1, messages=1))
+        assert builder.num_live == 0
+        assert finalized[0].closed_by == "end_of_trace"
+        assert builder.end_time == 50.0
+
+    def test_peak_live_is_bounded_by_overlap_not_total(self):
+        # 1000 messages, each living 10 time units, created 5 apart:
+        # at most 3 overlap, so peak_live must stay tiny even though
+        # the builder saw all 1000.
+        builder = LineageBuilder()
+        seq = 0
+        for i in range(1000):
+            builder.feed(_event(seq, 5.0 * i, "create", msg=i, node=0,
+                                ttl=10.0, num_intended=0))
+            seq += 1
+        builder.flush()
+        assert builder.finalized == 1000
+        assert builder.peak_live <= 3
+
+    def test_false_injection_tallied_on_lineage(self):
+        finalized = []
+        builder = LineageBuilder(on_finalized=finalized.append)
+        _feed(builder, [
+            _event(0, 0.0, "create", msg=0, node=0, ttl=100.0,
+                   num_intended=0),
+            _event(1, 5.0, "forward", msg=0, kind="inject", src=0, dst=2,
+                   match="fp"),
+            _event(2, 5.0, "false_injection", msg=0, src=0, dst=2),
+        ])
+        builder.flush()
+        assert finalized[0].false_injections == 1
+        assert finalized[0].hops[0].match == "fp"

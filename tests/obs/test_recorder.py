@@ -10,9 +10,13 @@ from repro.obs import (
     NULL_RECORDER,
     NullRecorder,
     TraceRecorder,
+    file_trace_digest,
     read_trace,
+    read_trace_iter,
+    read_trace_meta,
     trace_digest,
 )
+from repro.obs.events import trace_meta_line
 
 
 class TestNullRecorder:
@@ -67,11 +71,13 @@ class TestTraceRecorder:
         assert [e.type for e in only_roles] == ["broker_role"]
 
     def test_streaming_sink_matches_buffered_encoding(self):
+        # A sink receives the schema meta header up front, then the
+        # same event bytes that to_jsonl() would buffer.
         sink = io.StringIO()
         rec = TraceRecorder(sink=sink)
         rec.emit("contact", t=1.0, a=0, b=1)
         rec.emit("decay_tick", t=5.0, node=0, dt=4.0)
-        assert sink.getvalue() == rec.to_jsonl()
+        assert sink.getvalue() == trace_meta_line() + "\n" + rec.to_jsonl()
 
     def test_digest_depends_on_content(self):
         a, b = TraceRecorder(), TraceRecorder()
@@ -95,3 +101,57 @@ class TestTraceRecorder:
         for line in rec.to_jsonl().splitlines():
             record = json.loads(line)
             assert record["type"] in EVENT_TYPES
+
+
+class TestTraceFiles:
+    """Schema header, streaming readers, and backward compatibility."""
+
+    def _write(self, tmp_path, name="trace.jsonl"):
+        rec = TraceRecorder()
+        rec.emit("contact", t=1.0, a=0, b=1)
+        rec.emit("forward", t=2.0, msg=0, src=0, dst=1, kind="direct")
+        rec.emit("delivery", t=2.0, msg=0, node=1, intended=True)
+        path = tmp_path / name
+        rec.write_jsonl(str(path))
+        return rec, path
+
+    def test_written_file_starts_with_meta_header(self, tmp_path):
+        rec, path = self._write(tmp_path)
+        first = path.read_text().splitlines()[0]
+        assert first == trace_meta_line()
+        assert read_trace_meta(str(path)) == json.loads(trace_meta_line())
+
+    def test_read_trace_iter_is_lazy_and_skips_meta(self, tmp_path):
+        rec, path = self._write(tmp_path)
+        iterator = read_trace_iter(str(path))
+        assert iter(iterator) is iterator  # a generator, not a list
+        assert list(iterator) == rec.events
+
+    def test_read_trace_builds_on_iterator(self, tmp_path):
+        rec, path = self._write(tmp_path)
+        assert list(read_trace(str(path))) == rec.events
+        assert [e.type for e in read_trace(str(path), type="forward")] == [
+            "forward"
+        ]
+
+    def test_file_digest_matches_in_memory_digest(self, tmp_path):
+        # The digest covers events only — the meta header must not
+        # perturb it, so schema bumps alone never break golden pins.
+        rec, path = self._write(tmp_path)
+        assert file_trace_digest(str(path)) == rec.digest()
+
+    def test_headerless_schema1_trace_still_parses(self, tmp_path):
+        # Traces written before the schema header existed have no meta
+        # line; readers must treat them as schema 1 and parse fully.
+        rec, path = self._write(tmp_path)
+        old = tmp_path / "old.jsonl"
+        old.write_text(rec.to_jsonl())
+        assert read_trace_meta(str(old)) == {"schema": 1}
+        assert list(read_trace_iter(str(old))) == rec.events
+        assert file_trace_digest(str(old)) == rec.digest()
+
+    def test_empty_file_is_schema1_and_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_trace_meta(str(path)) == {"schema": 1}
+        assert list(read_trace_iter(str(path))) == []

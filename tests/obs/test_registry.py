@@ -115,3 +115,46 @@ class TestSerialization:
         snapshot = json.loads(reg.to_json())
         assert snapshot["counters"]["n"] == 3
         assert snapshot["gauges"]["g"] == 0.5
+
+
+class TestPromExposition:
+    def test_format_pinned_byte_for_byte(self):
+        # The Prometheus text exposition is part of the public surface:
+        # counters get _total, histograms emit cumulative buckets with
+        # a +Inf bound plus _sum/_count, names are sanitised onto the
+        # metric-name alphabet, and emission order is deterministic.
+        reg = MetricsRegistry()
+        reg.counter("bsub.forwards").inc(10)
+        reg.gauge("run.delivery-ratio").set(0.25)
+        h = reg.histogram("fill", edges=[0.1, 0.5, 1.0])
+        for v in (0.05, 0.45, 0.99, 3.0):
+            h.observe(v)
+        assert reg.to_prom() == (
+            "# TYPE bsub_forwards_total counter\n"
+            "bsub_forwards_total 10\n"
+            "# TYPE run_delivery_ratio gauge\n"
+            "run_delivery_ratio 0.25\n"
+            "# TYPE fill histogram\n"
+            'fill_bucket{le="0.1"} 1\n'
+            'fill_bucket{le="0.5"} 2\n'
+            'fill_bucket{le="1.0"} 3\n'
+            'fill_bucket{le="+Inf"} 4\n'
+            "fill_sum 4.49\n"
+            "fill_count 4\n"
+        )
+
+    def test_counter_named_total_not_doubled(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total").inc(2)
+        assert "frames_total_total" not in reg.to_prom()
+        assert "frames_total 2" in reg.to_prom()
+
+    def test_empty_registry_exports_empty_document(self):
+        assert MetricsRegistry().to_prom() == ""
+
+    def test_write_prom(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        path = tmp_path / "metrics.prom"
+        reg.write_prom(str(path))
+        assert path.read_text() == reg.to_prom()

@@ -180,10 +180,12 @@ def run_cell(
         )
         cell["backends"][backend] = measured
         fingerprints[backend] = fingerprint
-    if fingerprints["object"] != fingerprints["columnar"]:
-        raise AssertionError(
-            f"cell {label}: backends disagree on the simulation report"
-        )
+    for backend, fingerprint in fingerprints.items():
+        if fingerprint != fingerprints["object"]:
+            raise AssertionError(
+                f"cell {label}: {backend} disagrees with object on the "
+                f"simulation report"
+            )
     obj = cell["backends"]["object"]
     col = cell["backends"]["columnar"]
     cell["speedup_end_to_end"] = obj["end_to_end_s"] / col["end_to_end_s"]

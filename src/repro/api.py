@@ -91,6 +91,9 @@ class ExperimentSpec:
     #: Fault-injection model; ``None`` (or an all-zero spec) runs the
     #: exact fault-free code path.
     faults: Optional[FaultSpec] = None
+    #: Simulator shard count (bit-deterministic; see
+    #: :class:`~repro.experiments.config.ExperimentConfig.shards`).
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in ALL_PROTOCOLS:
@@ -146,6 +149,9 @@ class ExperimentSpec:
 
     def with_faults(self, faults: Optional[FaultSpec]) -> "ExperimentSpec":
         return replace(self, faults=faults)
+
+    def with_shards(self, shards: Optional[int]) -> "ExperimentSpec":
+        return replace(self, shards=shards)
 
 
 def run(

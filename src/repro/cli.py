@@ -15,9 +15,13 @@ code:
 * ``tables``    — regenerate Table I and Table II.
 * ``stats``     — contact-trace statistics.
 * ``export``    — write a synthetic trace to CSV (for other tools).
+* ``synth``     — stream a city-scale synthetic trace to an on-disk
+  dataset directory (out-of-core; see ``docs/performance.md``).
 
 Traces come from the built-in generators (``haggle``, ``mit``,
-``mobility``) or from a file (``csv:PATH`` / ``txt:PATH``).
+``mobility``), from a file (``csv:PATH`` / ``txt:PATH``), or from an
+on-disk trace dataset (``dataset:DIR``, memory-mapped — a dataset far
+larger than RAM opens in constant memory).
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from .api import ExperimentSpec, resilience, run, sweep
+from .dtn.bandwidth import BLUETOOTH_EFFECTIVE_BPS
 from .experiments import (
     DF_SWEEP_TTL_MIN,
     ascii_chart,
@@ -50,6 +55,7 @@ from .traces import (
     load_csv_trace,
     load_whitespace_trace,
     mit_reality_like,
+    open_trace_dataset,
 )
 from .obs import Observability
 from .traces.backends import TRACE_BACKEND_ENV_VAR, TRACE_BACKENDS
@@ -58,11 +64,15 @@ from .traces.mobility import MobilityConfig, simulate_mobility
 __all__ = ["main", "build_parser", "resolve_trace"]
 
 
-def resolve_trace(spec: str, scale: float, seed: int) -> ContactTrace:
+def resolve_trace(
+    spec: str, scale: float, seed: int, backend: Optional[str] = None
+) -> ContactTrace:
     """Turn a ``--trace`` argument into a ContactTrace.
 
     ``haggle`` / ``mit`` / ``mobility`` use the built-in generators;
-    ``csv:PATH`` and ``txt:PATH`` load recorded traces.
+    ``csv:PATH`` and ``txt:PATH`` load recorded traces;
+    ``dataset:DIR`` opens an on-disk trace dataset (memory-mapped
+    unless *backend* overrides it).
     """
     if spec == "haggle":
         return haggle_like(scale=scale, seed=seed)
@@ -80,8 +90,11 @@ def resolve_trace(spec: str, scale: float, seed: int) -> ContactTrace:
         return load_csv_trace(spec[4:])
     if spec.startswith("txt:"):
         return load_whitespace_trace(spec[4:])
+    if spec.startswith("dataset:"):
+        return open_trace_dataset(spec[8:], backend=backend or "mmap")
     raise SystemExit(
-        f"unknown trace {spec!r}: use haggle, mit, mobility, csv:PATH or txt:PATH"
+        f"unknown trace {spec!r}: use haggle, mit, mobility, csv:PATH, "
+        f"txt:PATH or dataset:DIR"
     )
 
 
@@ -89,13 +102,21 @@ def _resolve_trace(args) -> ContactTrace:
     """resolve_trace plus the ``--trace-backend`` override."""
     if getattr(args, "trace_backend", None):
         os.environ[TRACE_BACKEND_ENV_VAR] = args.trace_backend
-    return resolve_trace(args.trace, args.scale, args.seed)
+    trace = resolve_trace(
+        args.trace, args.scale, args.seed,
+        backend=getattr(args, "trace_backend", None),
+    )
+    first_days = getattr(args, "first_days", None)
+    if first_days is not None:
+        trace = trace.first_days(first_days)
+    return trace
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default="haggle",
-        help="haggle | mit | mobility | csv:PATH | txt:PATH (default: haggle)",
+        help="haggle | mit | mobility | csv:PATH | txt:PATH | dataset:DIR "
+             "(default: haggle)",
     )
     parser.add_argument(
         "--scale", type=float, default=0.05,
@@ -109,7 +130,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-backend", choices=list(TRACE_BACKENDS), default=None,
         help="trace storage backend (default: $BSUB_TRACE_BACKEND or "
-             "columnar); both produce identical results",
+             "columnar); all backends produce identical results",
+    )
+    parser.add_argument(
+        "--first-days", type=float, default=None, metavar="DAYS",
+        help="keep only the first DAYS days of the trace (handy for "
+             "windowing a city-scale dataset down to a runnable slice)",
     )
 
 
@@ -122,10 +148,59 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shards(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="split the contact timeline into this many shards "
+             "(bit-identical to serial; passive replay of an mmap dataset "
+             "reduces shards in parallel worker processes)",
+    )
+
+
 def _config(args, **overrides) -> ExperimentConfig:
     defaults = dict(min_rate_per_s=args.min_rate)
+    if getattr(args, "shards", None):
+        defaults["shards"] = args.shards
     defaults.update(overrides)
     return ExperimentConfig(**defaults)
+
+
+def _cmd_passive(args, trace: ContactTrace) -> int:
+    """``run --protocol PASSIVE``: replay the trace with no protocol.
+
+    The passive engine skips interests and the message workload
+    entirely (both would be prohibitive at city scale), so this is the
+    path that takes a 10⁸-contact dataset end to end: the sharded
+    reducer streams mmap windows and merges their partials.
+    """
+    import time
+
+    from .dtn.simulator import PassiveProtocol, Simulation
+
+    started = time.perf_counter()
+    report = Simulation(
+        trace, PassiveProtocol(),
+        rate_bps=BLUETOOTH_EFFECTIVE_BPS, shards=args.shards,
+    ).run()
+    elapsed = time.perf_counter() - started
+    busiest = (
+        max(report.contacts_by_node.values())
+        if report.contacts_by_node else 0
+    )
+    rows = [
+        ["trace", trace.name],
+        ["protocol", "PASSIVE"],
+        ["contacts replayed", report.num_contacts],
+        ["trace end (days)", round(report.end_time / 86_400.0, 3)],
+        ["channels exhausted", report.channels_exhausted],
+        ["nodes seen", len(report.contacts_by_node)],
+        ["busiest node contacts", busiest],
+        ["shards", args.shards or 1],
+        ["replay wall-clock (s)", round(elapsed, 2)],
+        ["contacts/s", round(report.num_contacts / max(elapsed, 1e-9))],
+    ]
+    print(format_table(["metric", "value"], rows, title="Passive replay"))
+    return 0
 
 
 def _cmd_run(args) -> int:
@@ -136,6 +211,18 @@ def _cmd_run(args) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     trace = _resolve_trace(args)
+    if args.protocol == "PASSIVE":
+        for flag, name in [
+            (args.faults, "--faults"), (args.trace_out, "--trace-out"),
+            (args.metrics_out, "--metrics-out"),
+        ]:
+            if flag:
+                raise SystemExit(f"{name} is not supported with PASSIVE")
+        code = _cmd_passive(args, trace)
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler)
+        return code
     faults = FaultSpec.parse(args.faults) if args.faults else None
     config = _config(
         args, ttl_min=args.ttl_min, decay_factor_per_min=args.df,
@@ -190,15 +277,19 @@ def _cmd_run(args) -> int:
                 f"wrote metrics ({args.metrics_format}) to {args.metrics_out}"
             )
     if profiler is not None:
-        import io
-        import pstats
-
-        stream = io.StringIO()
-        stats = pstats.Stats(profiler, stream=stream)
-        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
-        print()
-        print(stream.getvalue().rstrip())
+        _print_profile(profiler)
     return 0
+
+
+def _print_profile(profiler) -> None:
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    print()
+    print(stream.getvalue().rstrip())
 
 
 def _format_seconds(value) -> str:
@@ -380,6 +471,38 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_synth(args) -> int:
+    import time
+
+    from .traces.synthetic import CityTraceConfig, generate_city_trace
+
+    config = CityTraceConfig(
+        num_nodes=args.nodes,
+        duration_days=args.days,
+        target_contacts=args.contacts,
+        num_communities=args.communities,
+        seed=args.seed,
+        name=args.name,
+    )
+    started = time.perf_counter()
+    trace = generate_city_trace(config, args.output)
+    elapsed = time.perf_counter() - started
+    rows = [
+        ["dataset", args.output],
+        ["name", trace.name],
+        ["nodes", config.num_nodes],
+        ["contacts", trace.num_contacts],
+        ["duration (days)", round(trace.end_time / 86_400.0, 3)],
+        ["communities", config.num_communities],
+        ["seed", config.seed],
+        ["generation wall-clock (s)", round(elapsed, 2)],
+    ]
+    print(format_table(["field", "value"], rows, title="Synthesised dataset"))
+    print(f"\nrun it with: python -m repro run --trace dataset:{args.output} "
+          f"--protocol PASSIVE --shards 4")
+    return 0
+
+
 def _cmd_export(args) -> int:
     trace = _resolve_trace(args)
     with open(args.output, "w") as fh:
@@ -402,7 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="one simulation run")
     _add_common(run)
     run.add_argument("--protocol", default="B-SUB",
-                     choices=["PUSH", "B-SUB", "PULL", "SPRAY"])
+                     choices=["PUSH", "B-SUB", "PULL", "SPRAY", "PASSIVE"])
+    _add_shards(run)
     run.add_argument("--ttl-min", type=float, default=600.0)
     run.add_argument("--df", "--df-per-min", type=float, default=None,
                      help="DF per minute (default: derive via Eq. 5)")
@@ -450,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_ttl.add_argument("--ttl", type=float, nargs="+",
                            help="TTL values in minutes")
     _add_jobs(sweep_ttl)
+    _add_shards(sweep_ttl)
     sweep_ttl.set_defaults(func=_cmd_sweep_ttl)
 
     sweep_df = commands.add_parser("sweep-df", help="Fig. 9 DF sweep")
@@ -457,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_df.add_argument("--df-values", type=float, nargs="+")
     sweep_df.add_argument("--ttl-min", type=float, default=DF_SWEEP_TTL_MIN)
     _add_jobs(sweep_df)
+    _add_shards(sweep_df)
     sweep_df.set_defaults(func=_cmd_sweep_df)
 
     tables = commands.add_parser("tables", help="regenerate Tables I and II")
@@ -472,6 +598,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(export)
     export.add_argument("--output", required=True)
     export.set_defaults(func=_cmd_export)
+
+    synth = commands.add_parser(
+        "synth",
+        help="stream a city-scale synthetic trace to a dataset directory",
+        description="Generate a community-structured city trace directly "
+                    "to an on-disk columnar dataset (constant memory, any "
+                    "size). Open it later as --trace dataset:DIR.",
+    )
+    synth.add_argument("--output", required=True, metavar="DIR",
+                       help="dataset directory to create")
+    synth.add_argument("--nodes", type=int, default=1_000_000,
+                       help="number of nodes (default: 1M)")
+    synth.add_argument("--contacts", type=int, default=100_000_000,
+                       help="target contact count (default: 100M)")
+    synth.add_argument("--days", type=float, default=7.0,
+                       help="trace duration in days (default: 7)")
+    synth.add_argument("--communities", type=int, default=20_000,
+                       help="number of communities (default: 20000)")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--name", default="city")
+    synth.set_defaults(func=_cmd_synth)
 
     return parser
 

@@ -10,22 +10,34 @@ This mirrors the paper's evaluation methodology (Sec. VII-A): "The
 durations of all the contacts are already recorded in the trace" and
 transfers are bounded by the 250 Kbps effective Bluetooth rate.
 
-The replay loop is written for throughput: contact columns are pulled
-out of the trace backend once, per-node byte accounting uses
-``defaultdict`` instead of repeated ``dict.get``, and attribute
-lookups are bound to locals outside the loop.  A protocol that opts in
-with ``passive = True`` (no per-contact handler work, no workload, no
-recorder, no faults) is replayed on a fully vectorised accounting path
-that never materialises a :class:`Contact` at all — the two paths
-produce identical reports.
+The replay loop is written for throughput *and* bounded memory:
+contact columns are consumed in fixed-size chunks (so an mmap-backed
+trace far larger than RAM replays without ever materialising a whole
+column), per-node byte accounting uses ``defaultdict`` instead of
+repeated ``dict.get``, and attribute lookups are bound to locals
+outside the loop.  A protocol that opts in with ``passive = True`` (no
+per-contact handler work, no workload, no recorder, no faults) is
+replayed on a fully vectorised accounting path that never materialises
+a :class:`Contact` at all — the two paths produce identical reports.
+
+The passive path additionally decomposes into *mergeable partials*
+(:func:`passive_partial` / :func:`merge_passive_partials`): every
+engine total is either a sum, a max, or a per-node count, so the
+contact timeline can be split into contiguous row windows, each window
+reduced independently (in another process, reading only its slice of
+the mmap), and the partials merged bit-identically to a serial run.
+Active protocols carry protocol state contact-to-contact and therefore
+execute shard windows serially, with chunk boundaries aligned to the
+shard bounds — same results, bounded memory, no parallel speedup.
 """
 
 from __future__ import annotations
 
 import abc
+import os
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,7 +46,55 @@ from ..traces.model import Contact, ContactTrace
 from .bandwidth import BLUETOOTH_EFFECTIVE_BPS, ContactChannel
 from .events import MessageEvent
 
-__all__ = ["PassiveProtocol", "Protocol", "Simulation", "SimulationReport"]
+__all__ = [
+    "PassiveProtocol",
+    "Protocol",
+    "Simulation",
+    "SimulationReport",
+    "passive_partial",
+    "merge_passive_partials",
+    "split_rows",
+]
+
+#: Contact rows pulled into Python lists per replay chunk.  Bounds the
+#: transient footprint of the general path to a few tens of MB no
+#: matter how large the trace is.
+REPLAY_CHUNK_SIZE = 1 << 18
+
+
+def split_rows(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n)`` into *shards* contiguous equal-count ranges.
+
+    Rows are time-sorted, so equal row counts are contiguous time
+    windows.  Deterministic pure integer arithmetic; empty ranges are
+    kept so shard indices stay stable.
+    """
+    shards = max(1, int(shards))
+    edges = [i * n // shards for i in range(shards + 1)]
+    return [(edges[i], edges[i + 1]) for i in range(shards)]
+
+
+def replay_chunks(
+    n: int, shards: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Chunk ranges for the general replay loop.
+
+    Plain ``REPLAY_CHUNK_SIZE`` windows, additionally cut at shard
+    boundaries when *shards* is given, so a sharded active-protocol run
+    consumes exactly the same row windows a passive sharded run would —
+    the windowed-serial execution mode.
+    """
+    if n <= 0:
+        return []
+    cuts = {0, n}
+    if shards and shards > 1:
+        cuts.update(lo for lo, _ in split_rows(n, shards))
+    ranges: List[Tuple[int, int]] = []
+    edges = sorted(cuts)
+    for lo, hi in zip(edges, edges[1:]):
+        for sub in range(lo, hi, REPLAY_CHUNK_SIZE):
+            ranges.append((sub, min(sub + REPLAY_CHUNK_SIZE, hi)))
+    return ranges
 
 
 class Protocol(abc.ABC):
@@ -110,6 +170,108 @@ class PassiveProtocol(Protocol):
         pass
 
 
+def passive_partial(store, rate_bps: Optional[float]) -> Dict[str, Any]:
+    """Reduce one contact-row window to its passive accounting partial.
+
+    *store* is any contact store (typically a ``row_slice`` view or a
+    shard worker's re-opened mmap slice).  The reduction is chunked so
+    peak memory stays bounded by ``REPLAY_CHUNK_SIZE`` rows regardless
+    of window size.  Every field merges exactly (sums, maxima, per-node
+    counts), so any partition of the timeline recombines to the same
+    result as one global pass — float max is exact and the budget test
+    ``duration * rate / 8 < 1`` is evaluated per row either way.
+    """
+    columns = getattr(store, "columns", None)
+    if columns is not None:
+        starts, durations, a, b = columns()
+    else:  # bare sequence of contacts (defensive; not used by traces)
+        starts = np.array([c.start for c in store], dtype=np.float64)
+        durations = np.array([c.duration for c in store], dtype=np.float64)
+        a = np.array([c.a for c in store], dtype=np.int64)
+        b = np.array([c.b for c in store], dtype=np.int64)
+    n = len(starts)
+    exhausted = 0
+    end_max = -np.inf
+    counts = np.zeros(0, dtype=np.int64)
+    oddball: Dict[int, int] = {}  # negative node ids: bincount can't
+    for lo in range(0, n, REPLAY_CHUNK_SIZE):
+        hi = lo + REPLAY_CHUNK_SIZE
+        d = durations[lo:hi]
+        if rate_bps is not None:
+            # Same expression ContactChannel evaluates per contact:
+            # exhausted() <=> budget - 0 spent < 1 byte.
+            exhausted += int(np.count_nonzero((d * rate_bps) / 8.0 < 1.0))
+        end_max = max(end_max, float(np.max(starts[lo:hi] + d)))
+        ca, cb = a[lo:hi], b[lo:hi]
+        if int(ca.min()) >= 0 and int(cb.min()) >= 0:
+            length = int(max(ca.max(), cb.max())) + 1
+            chunk_counts = np.bincount(ca, minlength=length) + np.bincount(
+                cb, minlength=length
+            )
+            if length > len(counts):
+                counts = np.concatenate(
+                    (counts, np.zeros(length - len(counts), dtype=np.int64))
+                )
+            counts[: len(chunk_counts)] += chunk_counts
+        else:
+            for arr in (ca, cb):
+                nodes, node_counts = np.unique(arr, return_counts=True)
+                for node, count in zip(
+                    nodes.tolist(), node_counts.tolist()
+                ):
+                    oddball[node] = oddball.get(node, 0) + count
+    return {
+        "rows": n,
+        "exhausted": exhausted,
+        "counts": counts,
+        "oddball": oddball,
+        "last_start": float(starts[n - 1]) if n else None,
+        "end_max": end_max,
+    }
+
+
+def merge_passive_partials(partials: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge time-ordered passive partials into one global partial.
+
+    Deterministic: contact counts add, maxima combine, and the global
+    last start is the last non-empty window's (rows are time-sorted
+    across windows).
+    """
+    rows = 0
+    exhausted = 0
+    end_max = -np.inf
+    last_start: Optional[float] = None
+    length = max((len(p["counts"]) for p in partials), default=0)
+    counts = np.zeros(length, dtype=np.int64)
+    oddball: Dict[int, int] = {}
+    for partial in partials:
+        rows += partial["rows"]
+        exhausted += partial["exhausted"]
+        end_max = max(end_max, partial["end_max"])
+        if partial["last_start"] is not None:
+            last_start = partial["last_start"]
+        counts[: len(partial["counts"])] += partial["counts"]
+        for node, count in partial["oddball"].items():
+            oddball[node] = oddball.get(node, 0) + count
+    by_node: Dict[int, int] = {}
+    if oddball:
+        # Mixed/negative ids: fold both maps through one sorted pass so
+        # the result matches a single global np.unique reduction.
+        for node in counts.nonzero()[0].tolist():
+            oddball[node] = oddball.get(node, 0) + int(counts[node])
+        by_node = dict(sorted(oddball.items()))
+    else:
+        nodes = np.flatnonzero(counts)
+        by_node = dict(zip(nodes.tolist(), counts[nodes].tolist()))
+    return {
+        "rows": rows,
+        "exhausted": exhausted,
+        "by_node": by_node,
+        "last_start": last_start,
+        "end_max": end_max,
+    }
+
+
 @dataclass
 class SimulationReport:
     """Engine-level accounting for one run."""
@@ -155,6 +317,14 @@ class Simulation:
         channels via ``make_channel(contact, index, rate_bps)``, and
         degradation tallies via ``accounting``.  ``None`` (the default)
         takes the exact fault-free code path.
+    shards:
+        Split the contact timeline into this many contiguous windows.
+        The passive fast path reduces windows independently (in
+        parallel worker processes when the trace is an mmap dataset and
+        the machine has spare cores) and merges the partials; active
+        protocols execute the same windows serially with state carried
+        across boundaries.  Either way the report is bit-identical to
+        an unsharded run.  ``None``/``1`` disables sharding.
     """
 
     def __init__(
@@ -165,6 +335,7 @@ class Simulation:
         rate_bps: Optional[float] = BLUETOOTH_EFFECTIVE_BPS,
         recorder=NULL_RECORDER,
         faults=None,
+        shards: Optional[int] = None,
     ):
         self.trace = trace
         self.protocol = protocol
@@ -174,6 +345,9 @@ class Simulation:
         self.rate_bps = rate_bps
         self.recorder = recorder
         self.faults = faults
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
         self.report = SimulationReport()
         self._ran = False
 
@@ -203,58 +377,55 @@ class Simulation:
 
         No handler can transfer bytes, no workload or fault plan
         perturbs the timeline, and no recorder observes it — so the
-        report reduces to closed-form column arithmetic.  Produces a
-        report identical to :meth:`_run_general` (pinned by an
-        equivalence test).
+        report reduces to closed-form column arithmetic: the timeline
+        is split into ``shards`` row windows (one, when unsharded),
+        each reduced by :func:`passive_partial`, and the partials
+        merged.  Produces a report identical to :meth:`_run_general`
+        (pinned by an equivalence test) for any shard count.
         """
         report = self.report
         trace = self.trace
         store = trace.contacts
-        columns = getattr(store, "columns", None)
-        if columns is not None:
-            starts, durations, a, b = columns()
-        else:  # bare sequence of contacts (defensive; not used by traces)
-            starts = np.array([c.start for c in store], dtype=np.float64)
-            durations = np.array([c.duration for c in store], dtype=np.float64)
-            a = np.array([c.a for c in store], dtype=np.int64)
-            b = np.array([c.b for c in store], dtype=np.int64)
-
-        n = len(starts)
-        report.num_contacts = n
         rate = self.rate_bps
-        if n:
-            if rate is not None:
-                # Same expression ContactChannel evaluates per contact:
-                # exhausted() <=> budget - 0 spent < 1 byte.
-                budgets = (durations * rate) / 8.0
-                report.channels_exhausted = int(
-                    np.count_nonzero(budgets < 1.0)
-                )
-            if int(a.min()) >= 0 and int(b.min()) >= 0:
-                # bincount over the (dense, small) node ids: no
-                # O(contacts) temporaries, unlike concatenate + unique.
-                length = int(max(a.max(), b.max())) + 1
-                counts = np.bincount(a, minlength=length) + np.bincount(
-                    b, minlength=length
-                )
-                nodes = np.flatnonzero(counts)
-                report.contacts_by_node.update(
-                    zip(nodes.tolist(), counts[nodes].tolist())
-                )
-            else:  # negative node ids: bincount cannot index them
-                nodes, counts = np.unique(
-                    np.concatenate((a, b)), return_counts=True
-                )
-                report.contacts_by_node.update(
-                    zip(nodes.tolist(), counts.tolist())
-                )
-            now = max(0.0, float(starts[n - 1]))
+        shards = self.shards or 1
+        if shards > 1 and hasattr(store, "row_slice"):
+            partials = self._passive_partials(store, shards)
+        else:
+            partials = [passive_partial(store, rate)]
+        merged = merge_passive_partials(partials)
+        report.num_contacts = merged["rows"]
+        report.channels_exhausted = merged["exhausted"]
+        report.contacts_by_node.update(merged["by_node"])
+        if merged["rows"]:
+            now = max(0.0, merged["last_start"])
+            end_time = max(now, merged["end_max"])
         else:
             now = 0.0
-        end_time = max(now, trace.end_time)
+            end_time = max(now, trace.end_time)
         self.protocol.finish(end_time)
         report.end_time = end_time
         return report
+
+    def _passive_partials(self, store, shards: int) -> List[Dict[str, Any]]:
+        """Per-window passive partials, fanned out to workers if viable.
+
+        Worker processes re-open the dataset from ``store.source`` and
+        read only their row range, so the fan-out never pickles contact
+        data.  When the store has no re-openable source (in-memory
+        columnar, anonymous spill, sliced view) or the machine has a
+        single core, the same windows are reduced in-process — the
+        merge is identical either way.
+        """
+        bounds = split_rows(len(store), shards)
+        source = getattr(store, "source", None)
+        if source is not None and (os.cpu_count() or 1) > 1 and shards > 1:
+            from ..experiments.parallel import run_passive_shards
+
+            return run_passive_shards(source, bounds, self.rate_bps)
+        return [
+            passive_partial(store.row_slice(lo, hi), self.rate_bps)
+            for lo, hi in bounds
+        ]
 
     def _run_general(self) -> SimulationReport:
         protocol = self.protocol
@@ -276,22 +447,23 @@ class Simulation:
         rx_by_node = report.rx_bytes_by_node
         contacts_by_node = report.contacts_by_node
 
-        # Pull the contact columns out as plain Python lists: the merge
-        # loop then touches only list indexing and float compares, and
-        # Contact objects are built one at a time (transiently, under
-        # the columnar backend) instead of living for the whole run.
-        if getattr(store, "backend", "object") == "columnar":
-            contact_list = None
-            c_start, c_duration, c_a, c_b = (
-                column.tolist() for column in store.columns()
-            )
-        else:
+        # Contacts are consumed chunk by chunk: per chunk, the columns
+        # are pulled out as plain Python lists (the merge loop then
+        # touches only list indexing and float compares) and Contact
+        # objects are built one at a time, transiently.  Chunking
+        # bounds peak memory on out-of-core traces; the event order is
+        # exactly that of one global merge loop because chunks are
+        # consecutive row ranges of the time-sorted trace.  When
+        # ``shards`` is set, chunk edges are additionally cut at the
+        # shard bounds (windowed-serial execution — identical results).
+        if getattr(store, "backend", "object") == "object":
             contact_list = list(store)
-            c_start = [c.start for c in contact_list]
-            c_duration = [c.duration for c in contact_list]
-            c_a = [c.a for c in contact_list]
-            c_b = [c.b for c in contact_list]
-        num_contacts = len(c_start)
+            columns = None
+            chunk_ranges = replay_chunks(len(contact_list), self.shards)
+        else:
+            contact_list = None
+            columns = store.columns()
+            chunk_ranges = replay_chunks(len(columns[0]), self.shards)
         num_events = len(events)
 
         num_messages_created = 0
@@ -300,29 +472,55 @@ class Simulation:
         refused_transfers = 0
         channels_exhausted = 0
 
-        ci = mi = 0
+        mi = 0
         now = 0.0
-        while ci < num_contacts or mi < num_events:
-            take_message = mi < num_events and (
-                ci >= num_contacts or events[mi].time <= c_start[ci]
-            )
-            if take_message:
-                event = events[mi]
-                mi += 1
-                if event.time > now:
-                    now = event.time
-                if faults is not None:
-                    faults.advance(event.time, protocol)
-                    if faults.is_down(event.node):
-                        # The producer's device is off: the message is
-                        # never created (it still shrinks the intended
-                        # workload, which is the point).
-                        faults.accounting.messages_skipped += 1
-                        continue
-                on_message_created(event.node, event.message, event.time)
-                num_messages_created += 1
+        for lo, hi in chunk_ranges:
+            if columns is not None:
+                c_start = columns[0][lo:hi].tolist()
+                c_duration = columns[1][lo:hi].tolist()
+                c_a = columns[2][lo:hi].tolist()
+                c_b = columns[3][lo:hi].tolist()
             else:
-                index = ci
+                chunk = contact_list[lo:hi]
+                c_start = [c.start for c in chunk]
+                c_duration = [c.duration for c in chunk]
+                c_a = [c.a for c in chunk]
+                c_b = [c.b for c in chunk]
+            n_chunk = len(c_start)
+            # Fault-quiet chunk: no churn event is due before the last
+            # contact of this chunk, so every ``advance`` call inside
+            # it would be a no-op and the down-set is constant — the
+            # endpoint checks collapse to one vectorised mask (or
+            # nothing at all when every node is up).
+            quiet = down = None
+            if faults is not None and n_chunk and columns is not None:
+                if faults.next_event_time() > c_start[n_chunk - 1]:
+                    quiet = True
+                    down = faults.down_mask(
+                        columns[2][lo:hi], columns[3][lo:hi]
+                    )
+                    if down is not None:
+                        down = down.tolist()
+            ci = 0
+            while ci < n_chunk:
+                if mi < num_events and events[mi].time <= c_start[ci]:
+                    event = events[mi]
+                    mi += 1
+                    if event.time > now:
+                        now = event.time
+                    if faults is not None:
+                        if not quiet:
+                            faults.advance(event.time, protocol)
+                        if faults.is_down(event.node):
+                            # The producer's device is off: the message
+                            # is never created (it still shrinks the
+                            # intended workload, which is the point).
+                            faults.accounting.messages_skipped += 1
+                            continue
+                    on_message_created(event.node, event.message, event.time)
+                    num_messages_created += 1
+                    continue
+                index = lo + ci
                 start = c_start[ci]
                 duration = c_duration[ci]
                 a = c_a[ci]
@@ -330,18 +528,23 @@ class Simulation:
                 ci += 1
                 if start > now:
                     now = start
-                if contact_list is None:
-                    contact = Contact(start, duration, a, b)
-                else:
-                    contact = contact_list[index]
                 if faults is not None:
-                    faults.advance(start, protocol)
-                    if faults.is_down(a) or faults.is_down(b):
+                    if quiet:
+                        skip = down is not None and down[ci - 1]
+                    else:
+                        faults.advance(start, protocol)
+                        skip = faults.is_down(a) or faults.is_down(b)
+                    if skip:
                         # A crashed endpoint cannot communicate; the
                         # contact never happens at the protocol level.
                         faults.accounting.contacts_skipped += 1
                         contacts_seen += 1
                         continue
+                if contact_list is None:
+                    contact = Contact(start, duration, a, b)
+                else:
+                    contact = contact_list[index]
+                if faults is not None:
                     channel = faults.make_channel(contact, index, rate_bps)
                 else:
                     channel = ContactChannel(duration, rate_bps)
@@ -361,6 +564,19 @@ class Simulation:
                     rx_by_node[node] += amount
                 contacts_by_node[a] += 1
                 contacts_by_node[b] += 1
+        # Workload events after the final contact.
+        while mi < num_events:
+            event = events[mi]
+            mi += 1
+            if event.time > now:
+                now = event.time
+            if faults is not None:
+                faults.advance(event.time, protocol)
+                if faults.is_down(event.node):
+                    faults.accounting.messages_skipped += 1
+                    continue
+            on_message_created(event.node, event.message, event.time)
+            num_messages_created += 1
 
         report.num_messages_created = num_messages_created
         report.num_contacts = contacts_seen

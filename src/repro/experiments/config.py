@@ -74,6 +74,11 @@ class ExperimentConfig:
     #: Fault-injection model (:mod:`repro.faults`).  ``None`` — or a
     #: spec with every rate at zero — takes the exact fault-free path.
     faults: Optional[FaultSpec] = None
+    #: Contact-timeline shard count for the simulator (``None``/1 —
+    #: unsharded).  Sharding is bit-deterministic: the passive path
+    #: merges per-window partials (in parallel when the trace is an
+    #: mmap dataset), active protocols replay the windows serially.
+    shards: Optional[int] = None
 
     @property
     def ttl_s(self) -> float:
@@ -87,3 +92,6 @@ class ExperimentConfig:
 
     def with_faults(self, faults: Optional[FaultSpec]) -> "ExperimentConfig":
         return replace(self, faults=faults)
+
+    def with_shards(self, shards: Optional[int]) -> "ExperimentConfig":
+        return replace(self, shards=shards)

@@ -243,7 +243,7 @@ def _run_experiment(
             plan = FaultPlan(config.faults, trace, recorder=obs.tracer)
         simulation = Simulation(
             trace, protocol, events, rate_bps=config.rate_bps,
-            recorder=obs.tracer, faults=plan,
+            recorder=obs.tracer, faults=plan, shards=config.shards,
         )
 
     with obs.phase("simulate"):

@@ -12,9 +12,12 @@ without a plan executes the exact pre-fault code path.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Set
+
+import numpy as np
 
 from ..dtn.bandwidth import ContactChannel
 from ..obs.recorder import NULL_RECORDER
@@ -119,6 +122,31 @@ class FaultPlan:
     def is_down(self, node: int) -> bool:
         """Whether *node* is currently crashed."""
         return node in self._down
+
+    def next_event_time(self) -> float:
+        """Time of the next pending churn event (``inf`` when drained).
+
+        The simulator's chunked replay uses this to recognise
+        *fault-quiet* chunks: when no churn event is due before a
+        chunk's last contact, the down-set is constant across the chunk
+        and endpoint checks can be evaluated as one vector mask.
+        """
+        events = self._events
+        if self._next < len(events):
+            return events[self._next].time
+        return math.inf
+
+    def down_mask(self, a: np.ndarray, b: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorised ``is_down(a) | is_down(b)`` over contact columns.
+
+        Returns ``None`` when no node is down, so callers can skip
+        masking entirely on the (common) all-up chunks.  Only valid
+        while the down-set is stable — see :meth:`next_event_time`.
+        """
+        if not self._down:
+            return None
+        down = np.fromiter(self._down, dtype=np.int64, count=len(self._down))
+        return np.isin(a, down) | np.isin(b, down)
 
     @property
     def down_nodes(self) -> Set[int]:

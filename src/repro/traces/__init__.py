@@ -1,6 +1,13 @@
 """Contact-trace substrate: model, synthetic generation, loaders, stats."""
 
-from .loaders import NodeRelabeller, load_csv_trace, load_whitespace_trace
+from .loaders import (
+    ChunkedTraceWriter,
+    NodeRelabeller,
+    load_csv_trace,
+    load_whitespace_trace,
+    open_trace_dataset,
+    save_trace_dataset,
+)
 from .mobility import MobilityConfig, simulate_mobility
 from .model import Contact, ContactTrace
 from .stats import TraceStats, compute_stats, inter_contact_times
@@ -8,8 +15,10 @@ from .synthetic import (
     CAMPUS_PROFILE,
     CONFERENCE_PROFILE,
     FLAT_PROFILE,
+    CityTraceConfig,
     DiurnalProfile,
     SyntheticTraceConfig,
+    generate_city_trace,
     generate_trace,
     haggle_like,
     mit_reality_like,
@@ -19,10 +28,15 @@ __all__ = [
     "CAMPUS_PROFILE",
     "CONFERENCE_PROFILE",
     "FLAT_PROFILE",
+    "ChunkedTraceWriter",
+    "CityTraceConfig",
     "Contact",
     "ContactTrace",
     "DiurnalProfile",
+    "generate_city_trace",
     "NodeRelabeller",
+    "open_trace_dataset",
+    "save_trace_dataset",
     "SyntheticTraceConfig",
     "TraceStats",
     "compute_stats",

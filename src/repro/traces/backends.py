@@ -15,38 +15,80 @@ provides the *storage* behind it through a seam that mirrors
   path, trace statistics) operate on the columns directly.
   :class:`Contact` objects are materialised lazily, one at a time,
   only when somebody actually indexes or iterates the trace.
+* ``mmap`` — the columnar layout, but memory-mapped from ``.npy``
+  sidecar files (one per column) instead of resident arrays.  The
+  operating system pages contact data in on demand and may drop clean
+  pages under pressure, so a trace far larger than RAM replays in
+  bounded memory.  Time slices stay zero-copy (they are views into
+  the same mapping), and a store opened from a dataset directory
+  remembers its ``source`` path so shard workers in other processes
+  can re-open just their slice.
 
-Both backends are **observationally identical**: they hold the same
+All backends are **observationally identical**: they hold the same
 contacts in the same order with the same IEEE-754 start/duration
 values, so slices, statistics, and full simulation runs agree exactly
 (a Hypothesis property test pins this down).  Select the default
 backend process-wide with the ``BSUB_TRACE_BACKEND`` environment
 variable or per trace with the ``backend=`` constructor argument.
+
+A trace *constructed in memory* under the ``mmap`` backend is spilled
+to a scratch dataset first (under ``BSUB_TRACE_MMAP_DIR`` when set,
+else a temporary directory that is removed when the store is garbage
+collected).  Traces that are already on disk open without any copy via
+:func:`repro.traces.loaders.open_trace_dataset`.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from typing import Dict, Iterator, List, Sequence, Set, Tuple, Union
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 __all__ = [
     "TRACE_BACKENDS",
     "TRACE_BACKEND_ENV_VAR",
+    "TRACE_MMAP_DIR_ENV_VAR",
+    "TRACE_COLUMN_NAMES",
     "default_trace_backend",
     "resolve_trace_backend",
     "make_contact_store",
     "store_from_arrays",
     "ObjectContactStore",
     "ColumnarContactStore",
+    "MmapContactStore",
+    "spill_columns_to_mmap",
 ]
 
 #: Environment variable overriding the process-wide default backend.
 TRACE_BACKEND_ENV_VAR = "BSUB_TRACE_BACKEND"
 
+#: Environment variable pointing mmap spills at a persistent directory
+#: (default: a per-store temporary directory, removed on collection).
+TRACE_MMAP_DIR_ENV_VAR = "BSUB_TRACE_MMAP_DIR"
+
 #: The recognised trace-backend names.
-TRACE_BACKENDS = ("object", "columnar")
+TRACE_BACKENDS = ("object", "columnar", "mmap")
+
+#: The four dataset columns, in canonical order.
+TRACE_COLUMN_NAMES = ("start", "duration", "a", "b")
+
+#: numpy dtypes per column (little-endian, fixed for the disk format).
+TRACE_COLUMN_DTYPES = {
+    "start": np.dtype("<f8"),
+    "duration": np.dtype("<f8"),
+    "a": np.dtype("<i8"),
+    "b": np.dtype("<i8"),
+}
+
+#: Rows per block for chunked bulk scans (end_time, node_ids, __iter__)
+#: so whole-column temporaries never materialise for mmap traces.
+SCAN_CHUNK_ROWS = 1 << 20
 
 
 def default_trace_backend() -> str:
@@ -89,15 +131,22 @@ class ObjectContactStore:
 
     The list must already be sorted by start time (stable); the store
     never re-sorts.
+
+    Stores are immutable once built, so the per-node contact index and
+    the ``end_time``/``node_ids`` aggregates are computed lazily on
+    first use and cached forever — no invalidation is ever needed.
     """
 
-    __slots__ = ("_contacts", "_columns")
+    __slots__ = ("_contacts", "_columns", "_by_node", "_end_time", "_node_ids")
 
     backend = "object"
 
     def __init__(self, contacts: List):
         self._contacts = contacts
         self._columns = None
+        self._by_node: Optional[Dict[int, List[int]]] = None
+        self._end_time: Optional[float] = None
+        self._node_ids: Optional[Set[int]] = None
 
     @classmethod
     def from_arrays(cls, start, duration, a, b) -> "ObjectContactStore":
@@ -143,14 +192,20 @@ class ObjectContactStore:
         return [c.start for c in self._contacts]
 
     def end_time(self) -> float:
-        return max((c.end for c in self._contacts), default=0.0)
+        if self._end_time is None:
+            self._end_time = max(
+                (c.end for c in self._contacts), default=0.0
+            )
+        return self._end_time
 
     def node_ids(self) -> Set[int]:
-        seen: Set[int] = set()
-        for c in self._contacts:
-            seen.add(c.a)
-            seen.add(c.b)
-        return seen
+        if self._node_ids is None:
+            seen: Set[int] = set()
+            for c in self._contacts:
+                seen.add(c.a)
+                seen.add(c.b)
+            self._node_ids = seen
+        return set(self._node_ids)
 
     # -- transforms -----------------------------------------------------------
 
@@ -165,6 +220,13 @@ class ObjectContactStore:
             [c for c in self._contacts if c.start < horizon]
         )
 
+    def row_slice(self, lo: int, hi: int) -> "ObjectContactStore":
+        """Rows [lo, hi) (clamped) — the shard-window primitive."""
+        n = len(self._contacts)
+        lo = max(0, min(int(lo), n))
+        hi = max(lo, min(int(hi), n))
+        return ObjectContactStore(self._contacts[lo:hi])
+
     def shifted(self, offset: float) -> "ObjectContactStore":
         from .model import Contact
 
@@ -177,11 +239,26 @@ class ObjectContactStore:
 
     # -- per-node views -------------------------------------------------------
 
+    def _node_index(self) -> Dict[int, List[int]]:
+        """node -> time-ordered row indices, built once on first use."""
+        if self._by_node is None:
+            by_node: Dict[int, List[int]] = {}
+            for i, c in enumerate(self._contacts):
+                by_node.setdefault(c.a, []).append(i)
+                by_node.setdefault(c.b, []).append(i)
+            self._by_node = by_node
+        return self._by_node
+
     def contacts_of(self, node: int) -> List:
-        return [c for c in self._contacts if c.involves(node)]
+        contacts = self._contacts
+        return [contacts[i] for i in self._node_index().get(node, ())]
 
     def neighbour_ids(self, node: int) -> Set[int]:
-        return {c.peer_of(node) for c in self.contacts_of(node)}
+        contacts = self._contacts
+        return {
+            contacts[i].peer_of(node)
+            for i in self._node_index().get(node, ())
+        }
 
     def pair_counts(self) -> Dict[Tuple[int, int], int]:
         counts: Dict[Tuple[int, int], int] = {}
@@ -256,13 +333,17 @@ class ColumnarContactStore:
     def __iter__(self) -> Iterator:
         from .model import Contact
 
-        for row in zip(
-            self.start.tolist(),
-            self.duration.tolist(),
-            self.a.tolist(),
-            self.b.tolist(),
-        ):
-            yield Contact(*row)
+        # Chunked so iterating an out-of-core trace never materialises
+        # whole-column Python lists.
+        for lo in range(0, len(self.start), SCAN_CHUNK_ROWS):
+            hi = lo + SCAN_CHUNK_ROWS
+            for row in zip(
+                self.start[lo:hi].tolist(),
+                self.duration[lo:hi].tolist(),
+                self.a[lo:hi].tolist(),
+                self.b[lo:hi].tolist(),
+            ):
+                yield Contact(*row)
 
     # -- bulk views ---------------------------------------------------------
 
@@ -274,34 +355,68 @@ class ColumnarContactStore:
         return self.start.tolist()
 
     def end_time(self) -> float:
-        if not len(self.start):
+        n = len(self.start)
+        if not n:
             return 0.0
-        return float(np.max(self.start + self.duration))
+        # Chunked max so no whole-column (start + duration) temporary
+        # is built; float max is associative, so the result is
+        # bit-identical to the single-pass expression.
+        best = -np.inf
+        for lo in range(0, n, SCAN_CHUNK_ROWS):
+            hi = lo + SCAN_CHUNK_ROWS
+            best = max(
+                best, float(np.max(self.start[lo:hi] + self.duration[lo:hi]))
+            )
+        return best
 
     def node_ids(self) -> Set[int]:
         if not len(self.a):
             return set()
-        return set(np.unique(np.concatenate((self.a, self.b))).tolist())
+        seen: Set[int] = set()
+        for lo in range(0, len(self.a), SCAN_CHUNK_ROWS):
+            hi = lo + SCAN_CHUNK_ROWS
+            seen.update(np.unique(self.a[lo:hi]).tolist())
+            seen.update(np.unique(self.b[lo:hi]).tolist())
+        return seen
 
     # -- transforms -----------------------------------------------------------
+
+    def _view(self, lo: int, hi: int) -> "ColumnarContactStore":
+        """Zero-copy row-range view; preserves the concrete store type."""
+        clone = object.__new__(type(self))
+        clone.start = self.start[lo:hi]
+        clone.duration = self.duration[lo:hi]
+        clone.a = self.a[lo:hi]
+        clone.b = self.b[lo:hi]
+        return clone
 
     def time_slice(self, start: float, end: float) -> "ColumnarContactStore":
         """Zero-copy view of the contacts *starting* within [start, end)."""
         lo = int(np.searchsorted(self.start, start, side="left"))
         hi = int(np.searchsorted(self.start, end, side="left"))
-        return ColumnarContactStore(
-            self.start[lo:hi], self.duration[lo:hi], self.a[lo:hi], self.b[lo:hi]
-        )
+        return self._view(lo, hi)
 
     def upto(self, horizon: float) -> "ColumnarContactStore":
         hi = int(np.searchsorted(self.start, horizon, side="left"))
-        return ColumnarContactStore(
-            self.start[:hi], self.duration[:hi], self.a[:hi], self.b[:hi]
-        )
+        return self._view(0, hi)
+
+    def row_slice(self, lo: int, hi: int) -> "ColumnarContactStore":
+        """Zero-copy view of rows [lo, hi) — the shard-window primitive."""
+        n = len(self.start)
+        lo = max(0, min(int(lo), n))
+        hi = max(lo, min(int(hi), n))
+        return self._view(lo, hi)
 
     def shifted(self, offset: float) -> "ColumnarContactStore":
         return ColumnarContactStore(
             self.start + offset, self.duration, self.a, self.b
+        )
+
+    def materialised(self) -> "ColumnarContactStore":
+        """An in-memory copy of the columns (detaches from any mmap)."""
+        return ColumnarContactStore(
+            np.array(self.start), np.array(self.duration),
+            np.array(self.a), np.array(self.b),
         )
 
     # -- per-node views -------------------------------------------------------
@@ -328,6 +443,139 @@ class ColumnarContactStore:
         }
 
 
+class MmapContactStore(ColumnarContactStore):
+    """Columnar storage memory-mapped from ``.npy`` sidecar files.
+
+    Behaviourally identical to :class:`ColumnarContactStore` (it *is*
+    one — all the column arithmetic is inherited); the only difference
+    is that the four columns are read-only ``np.memmap`` views, so the
+    resident set is whatever the OS chooses to keep paged in, not the
+    trace size.  ``source`` records the dataset directory the store
+    was opened from (``None`` for anonymous spills whose files may be
+    gone), which lets shard workers re-open just their row range.
+
+    Zero-copy transforms (``time_slice`` / ``upto`` / ``row_slice``)
+    stay mmap-backed; ``shifted`` necessarily materialises and
+    therefore returns a plain columnar store.
+    """
+
+    __slots__ = ("source", "__weakref__")
+
+    backend = "mmap"
+
+    def __init__(self, start, duration, a, b, source: Optional[str] = None):
+        super().__init__(start, duration, a, b)
+        self.source = source
+
+    def _view(self, lo: int, hi: int) -> "MmapContactStore":
+        clone = super()._view(lo, hi)
+        # ``source`` promises "re-opening this path yields these exact
+        # rows" (shard workers rely on it); only a full-range view can
+        # keep that promise.
+        clone.source = (
+            self.source if (lo, hi) == (0, len(self)) else None
+        )
+        return clone
+
+    def shifted(self, offset: float) -> ColumnarContactStore:
+        # Shifting materialises a new start column, so the result is an
+        # honest in-memory columnar store, not a fake "mmap" one.
+        return ColumnarContactStore(
+            self.start + offset, self.duration, self.a, self.b
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> "MmapContactStore":
+        """Open the column files under *path*, optionally a row range.
+
+        The mapping is read-only; opening costs four small reads (the
+        ``.npy`` headers), never the trace size.
+        """
+        path = Path(path)
+        columns = []
+        for name in TRACE_COLUMN_NAMES:
+            column_path = path / f"{name}.npy"
+            if not column_path.is_file():
+                raise FileNotFoundError(
+                    f"{path} is not a trace dataset: missing {name}.npy"
+                )
+            column = np.load(column_path, mmap_mode="r")
+            expected = TRACE_COLUMN_DTYPES[name]
+            if column.dtype != expected or column.ndim != 1:
+                raise ValueError(
+                    f"{column_path}: expected 1-D {expected}, "
+                    f"got {column.dtype} with shape {column.shape}"
+                )
+            columns.append(column)
+        store = cls(*columns, source=str(path))
+        if lo or hi is not None:
+            store = store.row_slice(lo, len(store) if hi is None else hi)
+        return store
+
+
+#: Spill directories created for anonymous in-memory -> mmap
+#: conversions; removed at interpreter exit as a backstop (the
+#: per-store weakref finalizer usually gets there first).
+_SPILL_DIRS: Set[str] = set()
+
+
+def _cleanup_spill_dirs() -> None:
+    while _SPILL_DIRS:
+        shutil.rmtree(_SPILL_DIRS.pop(), ignore_errors=True)
+
+
+atexit.register(_cleanup_spill_dirs)
+
+
+def _release_spill_dir(path: str) -> None:
+    _SPILL_DIRS.discard(path)
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def spill_columns_to_mmap(
+    start: np.ndarray,
+    duration: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> MmapContactStore:
+    """Write in-memory columns to a scratch dataset and mmap them back.
+
+    The scratch directory lives under ``BSUB_TRACE_MMAP_DIR`` when that
+    is set (and is then left on disk for reuse/inspection), else under
+    the system temp dir with removal tied to the returned store's
+    lifetime.  Mapped pages of an unlinked file stay readable on POSIX,
+    so views that outlive the store keep working.
+    """
+    root = os.environ.get(TRACE_MMAP_DIR_ENV_VAR) or None
+    if root:
+        Path(root).mkdir(parents=True, exist_ok=True)
+    spill_dir = tempfile.mkdtemp(prefix="bsub-trace-", dir=root)
+    persistent = root is not None
+    for name, column in zip(
+        TRACE_COLUMN_NAMES, (start, duration, a, b)
+    ):
+        mapped = np.lib.format.open_memmap(
+            Path(spill_dir) / f"{name}.npy",
+            mode="w+",
+            dtype=TRACE_COLUMN_DTYPES[name],
+            shape=(len(column),),
+        )
+        mapped[:] = column
+        mapped.flush()
+        del mapped
+    store = MmapContactStore.open(spill_dir)
+    if not persistent:
+        store.source = None  # the files are transient; not re-openable
+        _SPILL_DIRS.add(spill_dir)
+        weakref.finalize(store, _release_spill_dir, spill_dir)
+    return store
+
+
 ContactStore = Union[ObjectContactStore, ColumnarContactStore]
 
 
@@ -335,9 +583,15 @@ def make_contact_store(
     backend: Union[str, None], sorted_contacts: List
 ) -> ContactStore:
     """Build a store from an already-sorted :class:`Contact` list."""
-    if resolve_trace_backend(backend) == "columnar":
-        return ColumnarContactStore.from_contacts(sorted_contacts)
-    return ObjectContactStore(sorted_contacts)
+    backend = resolve_trace_backend(backend)
+    if backend == "object":
+        return ObjectContactStore(sorted_contacts)
+    store = ColumnarContactStore.from_contacts(sorted_contacts)
+    if backend == "mmap":
+        return spill_columns_to_mmap(
+            store.start, store.duration, store.a, store.b
+        )
+    return store
 
 
 def store_from_arrays(
@@ -378,6 +632,9 @@ def store_from_arrays(
         duration = duration[order]
         a = a[order]
         b = b[order]
-    if resolve_trace_backend(backend) == "columnar":
-        return ColumnarContactStore(start, duration, a, b)
-    return ObjectContactStore.from_arrays(start, duration, a, b)
+    backend = resolve_trace_backend(backend)
+    if backend == "object":
+        return ObjectContactStore.from_arrays(start, duration, a, b)
+    if backend == "mmap":
+        return spill_columns_to_mmap(start, duration, a, b)
+    return ColumnarContactStore(start, duration, a, b)

@@ -31,6 +31,16 @@ match the original per-contact implementation exactly, so seeds keep
 producing byte-identical traces (the golden digests in ``tests/obs``
 pin this).
 
+For populations far beyond the paper's scale (ROADMAP item 2: city
+scale, ≥10⁶ nodes and ≥10⁸ contacts) the per-pair process above is
+infeasible — a million-node population has ~5×10¹¹ pairs before a
+single contact is drawn.  :func:`generate_city_trace` switches to a
+*window-Poisson* process: contacts are drawn per hour window with
+activity-weighted endpoint sampling and community-biased partner
+choice, then streamed straight to an on-disk trace dataset through
+:class:`~repro.traces.loaders.ChunkedTraceWriter`.  Peak memory is one
+window of contacts, never the trace.
+
 Real CRAWDAD files, if the user has them, load through
 :mod:`repro.traces.loaders` instead.
 """
@@ -38,16 +48,20 @@ Real CRAWDAD files, if the user has them, load through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from pathlib import Path
+from typing import List, Tuple, Union
 
 import numpy as np
 
+from .loaders import ChunkedTraceWriter, open_trace_dataset
 from .model import ContactTrace
 
 __all__ = [
     "DiurnalProfile",
     "SyntheticTraceConfig",
+    "CityTraceConfig",
     "generate_trace",
+    "generate_city_trace",
     "haggle_like",
     "mit_reality_like",
     "CONFERENCE_PROFILE",
@@ -308,6 +322,142 @@ def generate_trace(config: SyntheticTraceConfig) -> ContactTrace:
         name=config.name,
         validate=False,
     )
+
+
+@dataclass
+class CityTraceConfig:
+    """Parameters of the out-of-core window-Poisson city generator.
+
+    The statistical knobs mirror :class:`SyntheticTraceConfig`
+    (lognormal activity, communities, diurnal profile) but the process
+    is per *hour window* rather than per pair: each window draws a
+    Poisson number of contacts, endpoint ``a`` activity-weighted,
+    partner ``b`` from ``a``'s community with probability
+    ``intra_community_p`` (uniform otherwise).  Repeat pairwise
+    meetings emerge from the community bias instead of explicit
+    per-pair processes, which is what makes ≥10⁶-node populations
+    tractable.
+    """
+
+    num_nodes: int = 1_000_000
+    duration_days: float = 7.0
+    target_contacts: int = 100_000_000
+    num_communities: int = 20_000
+    intra_community_p: float = 0.7
+    activity_sigma: float = 0.9
+    mean_contact_duration_s: float = 180.0
+    min_contact_duration_s: float = 10.0
+    profile: DiurnalProfile = field(default_factory=lambda: CAMPUS_PROFILE)
+    seed: int = 0
+    name: str = "city"
+
+    def __post_init__(self):
+        if self.num_nodes < 2:
+            raise ValueError(f"need >= 2 nodes, got {self.num_nodes}")
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.target_contacts < 0:
+            raise ValueError("target_contacts must be >= 0")
+        if not 1 <= self.num_communities <= self.num_nodes:
+            raise ValueError("num_communities must be in [1, num_nodes]")
+        if not 0.0 <= self.intra_community_p <= 1.0:
+            raise ValueError("intra_community_p must be in [0, 1]")
+        if self.mean_contact_duration_s <= 0:
+            raise ValueError("mean_contact_duration_s must be positive")
+
+
+def generate_city_trace(
+    config: CityTraceConfig,
+    path: Union[str, Path],
+    max_window_rows: int = 4 << 20,
+) -> ContactTrace:
+    """Stream a city-scale trace to the dataset directory at *path*.
+
+    Returns the generated trace opened on the ``mmap`` backend, so the
+    call is usable exactly like :func:`generate_trace` but never holds
+    more than one hour window (capped at *max_window_rows* rows) of
+    contacts in memory.  Deterministic per seed.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = config.num_nodes
+    duration_s = config.duration_days * 86_400.0
+    num_hours = int(np.ceil(duration_s / 3600.0))
+
+    activity = rng.lognormal(mean=0.0, sigma=config.activity_sigma, size=n)
+    activity_cdf = np.cumsum(activity)
+    activity_cdf /= activity_cdf[-1]
+    communities = rng.integers(0, config.num_communities, size=n)
+    # Community membership as one argsorted index array + offsets:
+    # members of community k are comm_order[comm_offsets[k] :
+    # comm_offsets[k + 1]].  Empty communities fall back to uniform.
+    comm_order = np.argsort(communities, kind="stable").astype(np.int64)
+    comm_sizes = np.bincount(communities, minlength=config.num_communities)
+    comm_offsets = np.zeros(config.num_communities + 1, dtype=np.int64)
+    np.cumsum(comm_sizes, out=comm_offsets[1:])
+
+    # Expected contacts per hour window follow the diurnal profile.
+    weights = np.asarray(config.profile.hourly_weights, dtype=float)
+    tiled = np.tile(weights, (num_hours + 23) // 24)[:num_hours].copy()
+    tiled[-1] *= duration_s / 3600.0 - (num_hours - 1)
+    window_mean = tiled / tiled.sum() * config.target_contacts
+    window_counts = rng.poisson(window_mean)
+
+    writer = ChunkedTraceWriter(
+        path, nodes=n, name=config.name, validate=False
+    )
+    with writer:
+        for hour in range(num_hours):
+            total = int(window_counts[hour])
+            window_start = hour * 3600.0
+            done = 0
+            while done < total:
+                count = min(total - done, max_window_rows)
+                # Oversized windows emit several chunks; each covers a
+                # count-proportional sub-interval of the hour so the
+                # stream stays globally sorted and the union is still
+                # uniform over the window.
+                t0 = window_start + 3600.0 * (done / total)
+                t1 = window_start + 3600.0 * ((done + count) / total)
+                done += count
+                a = np.searchsorted(
+                    activity_cdf, rng.random(count), side="right"
+                ).astype(np.int64)
+                intra = rng.random(count) < config.intra_community_p
+                b = rng.integers(0, n, size=count, dtype=np.int64)
+                if intra.any():
+                    ka = communities[a[intra]]
+                    sizes = comm_sizes[ka]
+                    member = (
+                        comm_offsets[ka]
+                        + (rng.random(int(intra.sum())) * sizes).astype(
+                            np.int64
+                        )
+                    )
+                    picked = comm_order[np.minimum(member, len(comm_order) - 1)]
+                    # Singleton/empty communities keep the uniform draw.
+                    b[intra] = np.where(sizes > 1, picked, b[intra])
+                # Self-contacts get the deterministic next node.
+                self_hit = a == b
+                if self_hit.any():
+                    b[self_hit] = (b[self_hit] + 1) % n
+                lo_node = np.minimum(a, b)
+                hi_node = np.maximum(a, b)
+                starts = np.minimum(
+                    t0 + rng.random(count) * (t1 - t0),
+                    duration_s - 1e-6,
+                )
+                durations = np.maximum(
+                    rng.exponential(
+                        config.mean_contact_duration_s, size=count
+                    ),
+                    config.min_contact_duration_s,
+                )
+                order = np.argsort(starts, kind="stable")
+                writer.append(
+                    starts[order], durations[order],
+                    lo_node[order], hi_node[order],
+                )
+    return open_trace_dataset(path, name=config.name)
 
 
 def haggle_like(seed: int = 0, scale: float = 1.0) -> ContactTrace:

@@ -1,0 +1,168 @@
+"""Sharded replay is bit-identical to serial, for every protocol.
+
+Sharding only changes *how* the contact timeline is walked (chunk
+edges, partial merges, worker fan-out) — never what any node observes.
+These tests pin that: the passive partial/merge algebra reproduces the
+single-pass reduction on arbitrary partitions, and full simulations
+(passive, B-SUB, PUSH, PULL, with and without faults) report the exact
+same results under any shard count, including the paper-workload specs
+behind the Fig. 7 / Fig. 9 golden digests.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ExperimentSpec, run
+from repro.dtn import PassiveProtocol, Simulation
+from repro.dtn.simulator import (
+    merge_passive_partials,
+    passive_partial,
+    replay_chunks,
+    split_rows,
+)
+from repro.faults import FaultSpec
+from repro.traces import haggle_like
+
+#: The Fig. 7 sweep's base spec at the golden-digest settings and the
+#: Fig. 9 DF-sweep shape (explicit DF, 20 h TTL).
+FIG7_SPEC = ExperimentSpec(
+    protocol="B-SUB", ttl_min=120.0, num_bits=32, num_hashes=2
+)
+FIG9_SPEC = ExperimentSpec(
+    protocol="B-SUB", ttl_min=1200.0, df_per_min=0.138,
+    num_bits=32, num_hashes=2,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return haggle_like(scale=0.01, seed=3)
+
+
+def _engine_key(report):
+    return (
+        report.num_contacts,
+        report.end_time,
+        report.bytes_transferred,
+        report.refused_transfers,
+        report.channels_exhausted,
+        dict(report.contacts_by_node),
+        dict(report.tx_bytes_by_node),
+        dict(report.rx_bytes_by_node),
+    )
+
+
+def _summary_key(summary):
+    values = []
+    for name, value in sorted(vars(summary).items()):
+        if isinstance(value, float) and math.isnan(value):
+            value = "nan"
+        values.append((name, value))
+    return tuple(values)
+
+
+class TestSplitRows:
+    @given(n=st.integers(0, 10_000), shards=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, n, shards):
+        bounds = split_rows(n, shards)
+        assert len(bounds) == shards
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (lo, hi), (nlo, _) in zip(bounds, bounds[1:]):
+            assert lo <= hi == nlo
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_nonpositive_shards_clamped_to_one(self):
+        assert split_rows(10, 0) == [(0, 10)]
+        assert split_rows(10, -3) == [(0, 10)]
+
+    @given(n=st.integers(0, 100_000), shards=st.one_of(
+        st.none(), st.integers(1, 8)
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_replay_chunks_cover_everything(self, n, shards):
+        chunks = replay_chunks(n, shards)
+        if shards:
+            shard_edges = {lo for lo, _ in split_rows(n, shards)}
+            assert shard_edges <= ({lo for lo, _ in chunks} | {n})
+        position = 0
+        for lo, hi in chunks:
+            assert lo == position
+            assert hi > lo
+            position = hi
+        assert position == n or (n == 0 and not chunks)
+
+
+class TestPartialMerge:
+    @given(
+        cuts=st.lists(st.integers(0, 10_000), max_size=6),
+        rate=st.one_of(st.none(), st.floats(1.0, 1e6)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_partition_merges_to_the_single_pass(
+        self, trace, cuts, rate
+    ):
+        store = trace.store
+        n = len(store)
+        whole = merge_passive_partials([passive_partial(store, rate)])
+        edges = sorted({0, n, *[min(c, n) for c in cuts]})
+        parts = [
+            passive_partial(store.row_slice(lo, hi), rate)
+            for lo, hi in zip(edges, edges[1:])
+        ]
+        merged = merge_passive_partials(parts)
+        assert merged == whole
+
+
+class TestShardedSimulationIdentity:
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_passive(self, trace, shards):
+        serial = Simulation(trace, PassiveProtocol()).run()
+        sharded = Simulation(trace, PassiveProtocol(), shards=shards).run()
+        assert _engine_key(serial) == _engine_key(sharded)
+
+    @pytest.mark.parametrize("spec", [FIG7_SPEC, FIG9_SPEC], ids=["fig7", "fig9"])
+    @pytest.mark.parametrize("shards", [3, 5])
+    def test_golden_workloads(self, trace, spec, shards):
+        serial = run(trace, spec)
+        sharded = run(trace, spec.with_shards(shards))
+        assert _engine_key(serial.engine) == _engine_key(sharded.engine)
+        assert _summary_key(serial.summary) == _summary_key(sharded.summary)
+        assert serial.broker_fraction == sharded.broker_fraction
+        assert serial.decay_factor_per_min == sharded.decay_factor_per_min
+
+    @pytest.mark.parametrize("protocol", ["PUSH", "PULL"])
+    def test_baseline_protocols(self, trace, protocol):
+        spec = FIG7_SPEC.with_protocol(protocol)
+        serial = run(trace, spec)
+        sharded = run(trace, spec.with_shards(4))
+        assert _engine_key(serial.engine) == _engine_key(sharded.engine)
+        assert _summary_key(serial.summary) == _summary_key(sharded.summary)
+
+    def test_with_faults(self, trace):
+        spec = FIG7_SPEC.with_faults(
+            FaultSpec(frame_loss=0.2, crash_rate_per_day=2.0,
+                      mean_downtime_s=3600.0, seed=5)
+        )
+        serial = run(trace, spec)
+        sharded = run(trace, spec.with_shards(4))
+        assert _engine_key(serial.engine) == _engine_key(sharded.engine)
+        assert _summary_key(serial.summary) == _summary_key(sharded.summary)
+        assert serial.fault_accounting == sharded.fault_accounting
+
+    def test_shard_count_larger_than_trace(self, trace):
+        tiny = trace.first_days(0.05)
+        serial = Simulation(tiny, PassiveProtocol()).run()
+        sharded = Simulation(
+            tiny, PassiveProtocol(), shards=max(4, tiny.num_contacts + 3)
+        ).run()
+        assert _engine_key(serial) == _engine_key(sharded)
+
+    def test_invalid_shards_rejected(self, trace):
+        with pytest.raises(ValueError):
+            Simulation(trace, PassiveProtocol(), shards=0)

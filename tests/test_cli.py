@@ -27,6 +27,19 @@ class TestResolveTrace:
         with pytest.raises(SystemExit):
             resolve_trace("carrier-pigeon", 1.0, 0)
 
+    def test_dataset_loading(self, tmp_path):
+        from repro.traces import haggle_like, save_trace_dataset
+
+        original = haggle_like(scale=0.01, seed=1)
+        save_trace_dataset(original, tmp_path / "ds")
+        opened = resolve_trace(f"dataset:{tmp_path / 'ds'}", 1.0, 0)
+        assert opened.backend == "mmap"
+        assert opened.num_contacts == original.num_contacts
+        columnar = resolve_trace(
+            f"dataset:{tmp_path / 'ds'}", 1.0, 0, backend="columnar"
+        )
+        assert columnar.backend == "columnar"
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -98,3 +111,72 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestOutOfCoreCommands:
+    @pytest.fixture(scope="class")
+    def dataset(self, tmp_path_factory, request):
+        path = tmp_path_factory.mktemp("cli-city") / "ds"
+        code = main(
+            ["synth", "--output", str(path), "--nodes", "300",
+             "--contacts", "20000", "--days", "1",
+             "--communities", "10", "--seed", "4"]
+        )
+        assert code == 0
+        return path
+
+    def test_synth_reports_dataset(self, dataset, capsys):
+        assert (dataset / "meta.json").is_file()
+
+    def test_passive_run_on_dataset(self, dataset, capsys):
+        code = main(
+            ["run", "--trace", f"dataset:{dataset}",
+             "--protocol", "PASSIVE", "--shards", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "contacts replayed" in out
+        assert "Passive replay" in out
+
+    def test_passive_sharded_matches_serial(self, dataset, capsys):
+        main(["run", "--trace", f"dataset:{dataset}",
+              "--protocol", "PASSIVE"])
+        serial = capsys.readouterr().out
+        main(["run", "--trace", f"dataset:{dataset}",
+              "--protocol", "PASSIVE", "--shards", "5"])
+        sharded = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("contacts replayed", "trace end",
+                                    "nodes seen", "busiest"))
+            ]
+
+        assert facts(serial) == facts(sharded)
+
+    def test_passive_rejects_observability_flags(self, dataset, tmp_path):
+        with pytest.raises(SystemExit, match="--trace-out"):
+            main(["run", "--trace", f"dataset:{dataset}",
+                  "--protocol", "PASSIVE",
+                  "--trace-out", str(tmp_path / "t.jsonl")])
+
+    def test_active_protocol_on_windowed_dataset(self, dataset, capsys):
+        code = main(
+            ["run", "--trace", f"dataset:{dataset}",
+             "--first-days", "0.5", "--protocol", "PULL",
+             "--ttl-min", "60", "--min-rate", "0.0001", "--shards", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivery ratio" in out
+
+    def test_sharded_run_matches_serial(self, capsys):
+        base = ["run", "--trace", "haggle", "--scale", "0.01",
+                "--protocol", "B-SUB", "--ttl-min", "120",
+                "--min-rate", "0.0001"]
+        main(base)
+        serial = capsys.readouterr().out
+        main(base + ["--shards", "4"])
+        sharded = capsys.readouterr().out
+        assert serial == sharded

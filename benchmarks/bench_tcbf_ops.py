@@ -242,6 +242,54 @@ def test_bench_m_merge_by_backend(benchmark, backend):
 
 
 # ---------------------------------------------------------------------------
+# Filter zoo: the same kernels across every registered backend
+# ---------------------------------------------------------------------------
+
+from repro.core.filter_zoo import (  # noqa: E402
+    load_keys,
+    make_relay_filter,
+    registered_backends,
+)
+
+from .conftest import zoo_bench_specs  # noqa: E402
+
+
+def _zoo_loaded(backend: str):
+    filt = make_relay_filter(
+        zoo_bench_specs()[backend], family=BACKEND_FAMILY
+    )
+    load_keys(filt, BACKEND_KEYS)
+    return filt
+
+
+def test_zoo_bench_specs_cover_registry():
+    """Registering filter #6 must extend the micro-benchmarks too."""
+    assert set(zoo_bench_specs()) == set(registered_backends())
+
+
+@pytest.mark.parametrize("backend", registered_backends())
+def test_bench_zoo_announce_by_backend(benchmark, backend):
+    spec = zoo_bench_specs()[backend]
+    BACKEND_FAMILY.positions_batch(BACKEND_KEYS)
+
+    def announce():
+        filt = make_relay_filter(spec, family=BACKEND_FAMILY)
+        load_keys(filt, BACKEND_KEYS)
+        return filt
+
+    filt = benchmark(announce)
+    assert filt.query(BACKEND_KEYS[0])
+
+
+@pytest.mark.parametrize("backend", registered_backends())
+def test_bench_zoo_query_batch_by_backend(benchmark, backend):
+    filt = _zoo_loaded(backend)
+    BACKEND_FAMILY.positions_batch(BACKEND_PROBES)
+    hits = benchmark(lambda: filt.query_batch(BACKEND_PROBES))
+    assert len(hits) == len(BACKEND_PROBES)
+
+
+# ---------------------------------------------------------------------------
 # Observability: disabled instrumentation must be (near) free
 # ---------------------------------------------------------------------------
 

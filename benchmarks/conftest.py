@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.filter_zoo import registered_backends
 from repro.experiments.config import ExperimentConfig
 from repro.traces.synthetic import haggle_like, mit_reality_like
 
@@ -26,6 +27,34 @@ BENCH_SCALE = float(os.environ.get("BSUB_BENCH_SCALE", "0.05"))
 BENCH_MIN_RATE = float(os.environ.get("BSUB_BENCH_MIN_RATE", str(1 / 3600.0)))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+#: One representative filter spec per registered zoo backend, used by
+#: the registry-driven micro-benchmarks and the BENCH_filters matrix.
+#: ``retouched`` gets a fixed clear list here; workload-aware benches
+#: replace it with a lineage-planned spec.
+ZOO_BENCH_SPECS = {
+    "dict": "dict",
+    "array": "array",
+    "multi": "multi:threshold=0.2,max=4",
+    "retouched": "retouched:clear=1+2+5",
+    "countbf": "countbf:rows=8",
+}
+
+
+def zoo_bench_specs() -> dict:
+    """Spec strings covering the *whole* filter registry.
+
+    Fails loudly when a backend is registered without a bench spec, so
+    adding filter #6 forces the benchmarks to cover it too.
+    """
+    missing = [b for b in registered_backends() if b not in ZOO_BENCH_SPECS]
+    if missing:
+        raise RuntimeError(
+            f"no bench spec for registered filter backend(s): {missing}; "
+            "add them to benchmarks.conftest.ZOO_BENCH_SPECS"
+        )
+    return dict(ZOO_BENCH_SPECS)
 
 
 def bench_config(**overrides) -> ExperimentConfig:

@@ -88,6 +88,10 @@ class ExperimentSpec:
     push_summary_exchange: str = "free"
     spray_copies: int = 8
     interest_encoding: str = "tcbf"
+    #: Relay filter backend spec (:mod:`repro.core.filter_zoo`), e.g.
+    #: ``"multi:mem=384"`` or ``"countbf:rows=16"``; ``None`` keeps the
+    #: paper's single array-backed TCBF relay.
+    filter_spec: Optional[str] = None
     #: Fault-injection model; ``None`` (or an all-zero spec) runs the
     #: exact fault-free code path.
     faults: Optional[FaultSpec] = None

@@ -148,6 +148,17 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_filter(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--filter", dest="filter_spec", default=None, metavar="SPEC",
+        help="relay filter backend spec: dict | array | "
+             "multi[:keys=N,mem=BYTES|:threshold=F,max=H] | "
+             "retouched[:clear=B+B+...] | countbf[:rows=R] "
+             "(default: the paper's single array-backed TCBF; "
+             "see docs/filters.md)",
+    )
+
+
 def _add_shards(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shards", type=int, default=None,
@@ -161,6 +172,8 @@ def _config(args, **overrides) -> ExperimentConfig:
     defaults = dict(min_rate_per_s=args.min_rate)
     if getattr(args, "shards", None):
         defaults["shards"] = args.shards
+    if getattr(args, "filter_spec", None):
+        defaults["filter_spec"] = args.filter_spec
     defaults.update(overrides)
     return ExperimentConfig(**defaults)
 
@@ -534,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="filter size m in bits (default: 256)")
     run.add_argument("--num-hashes", "--k", type=int, default=4,
                      help="hash functions k per filter (default: 4)")
+    _add_filter(run)
     run.add_argument("--faults", default=None, metavar="SPEC",
                      help="inject faults and compare against the fault-free "
                           "twin; SPEC is e.g. "
@@ -573,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep_ttl)
     sweep_ttl.add_argument("--ttl", type=float, nargs="+",
                            help="TTL values in minutes")
+    _add_filter(sweep_ttl)
     _add_jobs(sweep_ttl)
     _add_shards(sweep_ttl)
     sweep_ttl.set_defaults(func=_cmd_sweep_ttl)
@@ -581,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep_df)
     sweep_df.add_argument("--df-values", type=float, nargs="+")
     sweep_df.add_argument("--ttl-min", type=float, default=DF_SWEEP_TTL_MIN)
+    _add_filter(sweep_df)
     _add_jobs(sweep_df)
     _add_shards(sweep_df)
     sweep_df.set_defaults(func=_cmd_sweep_df)

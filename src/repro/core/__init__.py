@@ -20,11 +20,28 @@ from .analysis import (
     raw_string_memory_bytes,
     recommended_decay_factor,
 )
-from .allocation import AllocationPlan, TCBFCollection, plan_allocation
+from .allocation import (
+    AllocationPlan,
+    TCBFCollection,
+    plan_allocation,
+    plan_allocation_brute,
+)
 from .backends import BACKENDS, default_backend, resolve_backend
 from .bloom import BloomFilter
 from .counting_bloom import CountingBloomFilter
+from .countbf import CountBF2D
+from .filter_zoo import (
+    FILTER_BACKENDS,
+    FilterBackendSpec,
+    decode_filter,
+    encode_filter,
+    load_keys,
+    make_relay_filter,
+    parse_filter_spec,
+    registered_backends,
+)
 from .hashing import DEFAULT_SEED, HashFamily
+from .retouched import RetouchedTCBF, RetouchPlan, plan_retouch
 from .serialization import (
     decode_bloom,
     decode_tcbf,
@@ -39,16 +56,23 @@ __all__ = [
     "AllocationPlan",
     "BACKENDS",
     "BloomFilter",
+    "CountBF2D",
     "CountingBloomFilter",
     "DEFAULT_INITIAL_VALUE",
     "DEFAULT_SEED",
+    "FILTER_BACKENDS",
+    "FilterBackendSpec",
     "HashFamily",
+    "RetouchPlan",
+    "RetouchedTCBF",
     "TCBFCollection",
     "TemporalCountingBloomFilter",
     "decode_bloom",
+    "decode_filter",
     "decode_tcbf",
     "default_backend",
     "encode_bloom",
+    "encode_filter",
     "encode_tcbf",
     "encoded_bloom_size",
     "encoded_tcbf_size",
@@ -60,9 +84,15 @@ __all__ = [
     "filter_memory_bytes",
     "joint_false_positive_rate",
     "keys_from_fill_ratio",
+    "load_keys",
+    "make_relay_filter",
     "multi_filter_memory_bytes",
+    "parse_filter_spec",
     "plan_allocation",
+    "plan_allocation_brute",
+    "plan_retouch",
     "raw_string_memory_bytes",
     "recommended_decay_factor",
+    "registered_backends",
     "resolve_backend",
 ]

@@ -23,7 +23,12 @@ from .backends import resolve_backend
 from .hashing import DEFAULT_SEED, HashFamily
 from .tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
 
-__all__ = ["AllocationPlan", "plan_allocation", "TCBFCollection"]
+__all__ = [
+    "AllocationPlan",
+    "plan_allocation",
+    "plan_allocation_brute",
+    "TCBFCollection",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,66 @@ def plan_allocation(
         joint_fpr=analysis.joint_false_positive_rate(
             [keys_per_filter] * best, num_bits, num_hashes
         ),
+        memory_bytes=memory(best),
+    )
+
+
+def plan_allocation_brute(
+    total_keys: float,
+    memory_bound_bytes: float,
+    num_bits: int = 256,
+    num_hashes: int = 4,
+    max_filters: int = 4096,
+) -> AllocationPlan:
+    """Solve Eq. 9 by exhaustive enumeration (validation oracle).
+
+    Evaluates the Eq. 7 joint FPR at *every* feasible ``h`` in
+    ``[1, max_filters]`` and picks the minimum (ties broken by lower
+    memory, then smaller ``h``).  This is the brute-force ground truth
+    the binary-search shortcut of :func:`plan_allocation` is checked
+    against in the property-test suite — the two must agree because the
+    joint FPR is monotone decreasing in ``h`` on the feasible set.
+
+    Raises
+    ------
+    ValueError
+        If no ``h`` fits *memory_bound_bytes* (same condition as
+        :func:`plan_allocation`).
+    """
+    if total_keys <= 0:
+        raise ValueError(f"total_keys must be positive, got {total_keys}")
+    if memory_bound_bytes <= 0:
+        raise ValueError(
+            f"memory_bound_bytes must be positive, got {memory_bound_bytes}"
+        )
+
+    def memory(h: int) -> float:
+        return analysis.multi_filter_memory_bytes(
+            h, total_keys, num_bits, num_hashes
+        )
+
+    def joint_fpr(h: int) -> float:
+        return analysis.joint_false_positive_rate(
+            [total_keys / h] * h, num_bits, num_hashes
+        )
+
+    feasible = [
+        h for h in range(1, max_filters + 1) if memory(h) < memory_bound_bytes
+    ]
+    if not feasible:
+        raise ValueError(
+            "memory bound too small: a single filter already needs "
+            f"{memory(1):.1f} bytes >= {memory_bound_bytes} bytes"
+        )
+    best = min(feasible, key=lambda h: (joint_fpr(h), memory(h), h))
+    keys_per_filter = total_keys / best
+    return AllocationPlan(
+        num_filters=best,
+        fill_ratio_threshold=analysis.fill_ratio(
+            keys_per_filter, num_bits, num_hashes
+        ),
+        keys_per_filter=keys_per_filter,
+        joint_fpr=joint_fpr(best),
         memory_bytes=memory(best),
     )
 

@@ -261,14 +261,16 @@ def decode_tcbf(
         raise ValueError(f"counter scale must be finite and positive, got {scale}")
     body = body[_SCALE.size :]
     if tag == _TAG_FULL_COUNTERS:
-        _require(body, count * width + count, f"{count} locations + counters")
+        expected = count * width + count
+        _require(body, expected, f"{count} locations + counters")
         positions = _checked_locations(body, count, width, num_bits)
         values = body[count * width : count * width + count]
         for position, raw in zip(positions, values):
             tcbf._set_counter(position, raw * scale)
     elif tag == _TAG_RAW_FULL_COUNTERS:
         vector_len = (num_bits + 7) // 8
-        _require(body, vector_len + count, "the bit-vector + counters")
+        expected = vector_len + count
+        _require(body, expected, "the bit-vector + counters")
         positions = _unpack_raw_bits(body[:vector_len], num_bits)
         if len(positions) != count:
             raise ValueError(
@@ -279,11 +281,16 @@ def decode_tcbf(
         for position, raw in zip(positions, values):  # ascending order
             tcbf._set_counter(position, raw * scale)
     else:  # _TAG_SHARED_COUNTER
-        _require(body, 1 + count * width, "the shared counter + locations")
+        expected = 1 + count * width
+        _require(body, expected, "the shared counter + locations")
         shared = body[0]
         positions = _checked_locations(body[1:], count, width, num_bits)
         for position in positions:
             tcbf._set_counter(position, shared * scale)
+    if len(body) != expected:
+        raise ValueError(
+            f"TCBF frame has {len(body) - expected} trailing bytes"
+        )
     tcbf._merged = True
     return tcbf
 

@@ -71,6 +71,10 @@ class ExperimentConfig:
     push_summary_exchange: str = "free"
     spray_copies: int = 8
     interest_encoding: str = "tcbf"
+    #: Relay filter backend spec (:mod:`repro.core.filter_zoo`), e.g.
+    #: ``"multi:mem=384"`` or ``"retouched:clear=3+17"``; ``None``
+    #: keeps the paper's single array-backed TCBF relay.
+    filter_spec: Optional[str] = None
     #: Fault-injection model (:mod:`repro.faults`).  ``None`` — or a
     #: spec with every rate at zero — takes the exact fault-free path.
     faults: Optional[FaultSpec] = None

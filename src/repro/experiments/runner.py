@@ -153,6 +153,7 @@ def _build_protocol(
                 carried_capacity=config.carried_capacity,
                 eviction=config.eviction,
                 interest_encoding=config.interest_encoding,
+                filter_spec=config.filter_spec,
             ),
             recorder=recorder,
             registry=registry,

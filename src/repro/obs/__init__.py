@@ -37,6 +37,11 @@ from typing import Optional
 
 from .analyze import ANALYSIS_VERSION, TraceAnalysis, analyze_trace
 from .events import EVENT_TYPES, TRACE_SCHEMA_VERSION, TraceEvent
+from .feedback import (
+    AttributionFeedback,
+    feedback_from_analysis,
+    plan_retouch_from_analysis,
+)
 from .introspect import relay_max_counter, relay_set_bits
 from .lineage import (
     DeliveryLeg,
@@ -78,6 +83,9 @@ __all__ = [
     "TraceAnalysis",
     "analyze_trace",
     "ANALYSIS_VERSION",
+    "AttributionFeedback",
+    "feedback_from_analysis",
+    "plan_retouch_from_analysis",
     "Counter",
     "Gauge",
     "Histogram",

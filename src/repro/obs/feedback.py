@@ -1,0 +1,152 @@
+"""Attribution → tuning feedback: close the loop from ``bsub analyze``.
+
+PR 5's lineage engine attributes every false injection to a cause
+(``relay_filter_fp`` / ``genuine_but_stale`` / ``direct_bf_fp`` /
+``producer_self``).  This module turns that *diagnosis* into an
+*action* for the filter zoo:
+
+* :func:`feedback_from_analysis` reduces an analysis document (a
+  :class:`~repro.obs.analyze.TraceAnalysis` or its ``to_dict()`` /
+  ``analysis.json`` form) to an :class:`AttributionFeedback` verdict —
+  which failure mode dominates and what to do about it;
+* :func:`plan_retouch_from_analysis` is the lineage-driven retouching
+  pass: it gates :func:`repro.core.retouched.plan_retouch` on the
+  profiling run actually having shown relay-filter false positives, so
+  a clean run never sacrifices interests for nothing.
+
+The workflow (see ``docs/filters.md`` for the worked example)::
+
+    bsub run --trace-out profile.jsonl ...      # profiling run
+    bsub analyze profile.jsonl --json out.json  # fp_attribution
+    plan = plan_retouch_from_analysis(out, fp_candidates, wanted, family)
+    bsub run --filter "retouched:{plan.spec_params()}" ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hashing import HashFamily
+from ..core.retouched import RetouchPlan, plan_retouch
+
+__all__ = [
+    "AttributionFeedback",
+    "feedback_from_analysis",
+    "plan_retouch_from_analysis",
+]
+
+
+@dataclass(frozen=True)
+class AttributionFeedback:
+    """The actionable summary of a run's FP attribution.
+
+    Attributes mirror the ``attribution`` block of ``bsub analyze``
+    (absolute event counts over the profiled run), plus the injection
+    total the ratios are relative to.
+    """
+
+    injections: int
+    relay_filter_fp: int
+    genuine_but_stale: int
+    direct_bf_fp: int
+    producer_self: int
+
+    @property
+    def false_injection_ratio(self) -> float:
+        """Relay-filter FPs per producer→broker injection (0 if none)."""
+        if self.injections <= 0:
+            return 0.0
+        return self.relay_filter_fp / self.injections
+
+    @property
+    def dominant_cause(self) -> str:
+        """The taxonomy bucket with the most events (``"none"`` if clean)."""
+        buckets = {
+            "relay_filter_fp": self.relay_filter_fp,
+            "genuine_but_stale": self.genuine_but_stale,
+            "direct_bf_fp": self.direct_bf_fp,
+            "producer_self": self.producer_self,
+        }
+        name = max(sorted(buckets), key=lambda k: buckets[k])
+        return name if buckets[name] > 0 else "none"
+
+    def recommend(self) -> str:
+        """The zoo action matched to the dominant failure mode.
+
+        * ``"retouch"`` — collision-driven relay FPs dominate: clear
+          the offending bits (:func:`plan_retouch_from_analysis`);
+        * ``"increase_df"`` — staleness dominates: decay counters
+          faster (Sec. VI-B, ``mode="attribution"`` controller);
+        * ``"shrink_genuine_fpr"`` — direct-delivery BF collisions
+          dominate: more bits/hashes for the genuine filters;
+        * ``"none"`` — nothing to fix.
+        """
+        cause = self.dominant_cause
+        if cause == "relay_filter_fp":
+            return "retouch"
+        if cause == "genuine_but_stale":
+            return "increase_df"
+        if cause in ("direct_bf_fp", "producer_self"):
+            return "shrink_genuine_fpr"
+        return "none"
+
+
+def feedback_from_analysis(analysis) -> AttributionFeedback:
+    """Extract :class:`AttributionFeedback` from an analysis document.
+
+    Accepts a :class:`~repro.obs.analyze.TraceAnalysis` instance or the
+    plain dict form (``to_dict()`` output / a parsed ``analysis.json``).
+
+    Raises
+    ------
+    ValueError
+        If the document has no ``attribution`` block (not an analyze
+        output).
+    """
+    doc = analysis.to_dict() if hasattr(analysis, "to_dict") else analysis
+    if not isinstance(doc, dict) or "attribution" not in doc:
+        raise ValueError(
+            "expected a 'bsub analyze' document with an 'attribution' "
+            "block (TraceAnalysis or its to_dict()/JSON form)"
+        )
+    attribution = doc["attribution"]
+    injections = doc.get("injections", {})
+    return AttributionFeedback(
+        injections=int(injections.get("total", 0)),
+        relay_filter_fp=int(attribution.get("relay_filter_fp", 0)),
+        genuine_but_stale=int(attribution.get("genuine_but_stale", 0)),
+        direct_bf_fp=int(attribution.get("direct_bf_fp", 0)),
+        producer_self=int(attribution.get("producer_self", 0)),
+    )
+
+
+def plan_retouch_from_analysis(
+    analysis,
+    fp_candidate_keys,
+    protected_keys,
+    family: HashFamily,
+    max_sacrifice: int = 0,
+    min_relay_filter_fp: int = 1,
+) -> RetouchPlan:
+    """The lineage-driven bit-clearing pass.
+
+    Consumes the ``fp_attribution`` output of a profiling run: when the
+    run attributed at least *min_relay_filter_fp* false injections to
+    the relay filter (``relay_filter_fp``), plan which bits to clear so
+    the *fp_candidate_keys* (the keys able to cause those collisions —
+    e.g. the workload's unwanted keys) stop matching; otherwise return
+    an empty plan, because retouching without evidence only costs
+    sacrificed interests.
+
+    Parameters are otherwise those of
+    :func:`repro.core.retouched.plan_retouch`.
+    """
+    feedback = feedback_from_analysis(analysis)
+    if feedback.relay_filter_fp < min_relay_filter_fp:
+        return RetouchPlan(frozenset(), frozenset(), frozenset())
+    return plan_retouch(
+        fp_candidate_keys,
+        protected_keys,
+        family,
+        max_sacrifice=max_sacrifice,
+    )

@@ -15,6 +15,16 @@ The controller implements exactly that loop, decentralised per broker:
   multiplicatively — up when the filter is too full (too many stale
   interests -> false positives), down when it is emptier than needed
   (delivery scope is being strangled for no FPR benefit).
+
+A second mode closes the loop on the *measured* signal instead of the
+analytic one: with ``mode="attribution"`` the controller ignores fill
+ratios and consumes the live false-injection outcomes the PR-5 lineage
+taxonomy attributes on every producer->broker replication (the same
+per-event ``is_false`` bit ``bsub analyze`` aggregates into
+``relay_filter_fp``).  The broker then steers its DF so the observed
+false-injection *ratio* over a sliding window hits the target — the
+closest realisable form of the paper's "observe the resultant FPR"
+sentence, since real FPRs are only visible as false injections.
 """
 
 from __future__ import annotations
@@ -42,6 +52,16 @@ class AdaptiveDecayConfig:
         Clamp range for the decaying factor.
     interval_s:
         Minimum simulated time between adjustments.
+    mode:
+        ``"fill_ratio"`` (default, the analytic Sec. VI-B loop) or
+        ``"attribution"`` (steer on measured false-injection outcomes).
+    target_false_ratio:
+        Attribution mode's target: desired fraction of injections that
+        are false over the observation window.
+    min_injections:
+        Attribution mode: injections that must accumulate in the window
+        before an adjustment is considered (shields the controller from
+        early small-sample noise).
     """
 
     target_fpr: float = 0.02
@@ -50,6 +70,9 @@ class AdaptiveDecayConfig:
     min_df_per_s: float = 1e-5
     max_df_per_s: float = 10.0
     interval_s: float = 1800.0
+    mode: str = "fill_ratio"
+    target_false_ratio: float = 0.2
+    min_injections: int = 20
 
     def __post_init__(self):
         if not 0.0 < self.target_fpr < 1.0:
@@ -62,6 +85,20 @@ class AdaptiveDecayConfig:
             raise ValueError("need 0 < min_df_per_s <= max_df_per_s")
         if self.interval_s <= 0:
             raise ValueError("interval_s must be positive")
+        if self.mode not in ("fill_ratio", "attribution"):
+            raise ValueError(
+                "mode must be 'fill_ratio' or 'attribution', got "
+                f"{self.mode!r}"
+            )
+        if not 0.0 < self.target_false_ratio < 1.0:
+            raise ValueError(
+                "target_false_ratio must be in (0, 1), got "
+                f"{self.target_false_ratio}"
+            )
+        if self.min_injections < 1:
+            raise ValueError(
+                f"min_injections must be >= 1, got {self.min_injections}"
+            )
 
 
 class AdaptiveDecayController:
@@ -78,6 +115,9 @@ class AdaptiveDecayController:
         self._df = self._clamp(initial_df_per_s)
         self._last_adjust_time: Optional[float] = None
         self.adjustments = 0
+        # Attribution-mode window tallies (unused in fill_ratio mode).
+        self._injections = 0
+        self._false_injections = 0
 
     @property
     def df_per_s(self) -> float:
@@ -110,8 +150,11 @@ class AdaptiveDecayController:
         """Inspect *relay* at time *now*; returns True if the DF changed.
 
         The new DF is written into the relay filter(s) so the lazy
-        decay picks it up from this instant onwards.
+        decay picks it up from this instant onwards.  In attribution
+        mode this is a no-op — :meth:`record_injection` drives the loop.
         """
+        if self.config.mode == "attribution":
+            return False
         if (
             self._last_adjust_time is not None
             and now - self._last_adjust_time < self.config.interval_s
@@ -123,6 +166,49 @@ class AdaptiveDecayController:
         if fpr > target * (1.0 + self.config.band):
             new_df = self._clamp(self._df * self.config.adjust_factor)
         elif fpr < target * (1.0 - self.config.band):
+            new_df = self._clamp(self._df / self.config.adjust_factor)
+        else:
+            return False
+        if new_df == self._df:
+            return False
+        self._df = new_df
+        self._apply(relay)
+        self.adjustments += 1
+        return True
+
+    def record_injection(self, is_false: bool, now: float, relay) -> bool:
+        """Feed one attributed injection outcome; True if the DF changed.
+
+        *is_false* is the live taxonomy bit — True when the relay
+        filter's preferential query injected a message no current
+        subscriber wants (a ``relay_filter_fp`` /
+        ``genuine_but_stale`` outcome).  Once at least
+        ``min_injections`` outcomes accumulated and ``interval_s`` has
+        elapsed since the last adjustment, the observed false ratio is
+        steered towards ``target_false_ratio`` exactly like the
+        fill-ratio loop steers the analytic FPR; the window then
+        resets.  No-op in fill-ratio mode.
+        """
+        if self.config.mode != "attribution":
+            return False
+        self._injections += 1
+        if is_false:
+            self._false_injections += 1
+        if self._injections < self.config.min_injections:
+            return False
+        if (
+            self._last_adjust_time is not None
+            and now - self._last_adjust_time < self.config.interval_s
+        ):
+            return False
+        ratio = self._false_injections / self._injections
+        self._last_adjust_time = now
+        self._injections = 0
+        self._false_injections = 0
+        target = self.config.target_false_ratio
+        if ratio > target * (1.0 + self.config.band):
+            new_df = self._clamp(self._df * self.config.adjust_factor)
+        elif ratio < target * (1.0 - self.config.band):
             new_df = self._clamp(self._df / self.config.adjust_factor)
         else:
             return False

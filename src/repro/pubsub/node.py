@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 from ..core.allocation import TCBFCollection
 from .exact import ExactInterestRelay
 from ..core.bloom import BloomFilter
+from ..core.filter_zoo import make_relay_filter
 from ..core.hashing import HashFamily
 from ..core.tcbf import TemporalCountingBloomFilter
 from .messages import Message
@@ -107,6 +108,13 @@ class BsubNodeState:
         exceeds this threshold (``relay_max_filters`` caps the growth);
         when ``None`` (default) the relay is a single TCBF, as in the
         paper's main protocol description.
+    filter_spec:
+        A :mod:`repro.core.filter_zoo` spec string (e.g. ``"multi"``,
+        ``"retouched:clear=3+17"``, ``"countbf"``) selecting the relay
+        filter implementation.  Mutually exclusive with
+        ``relay_fill_threshold`` and the ``"raw"`` interest encoding;
+        ``None`` (default) keeps the legacy construction paths
+        byte-identical.
     carried_capacity:
         Maximum number of *carried* (relayed) messages a broker
         buffers; ``None`` (default) means unbounded, the paper's
@@ -155,6 +163,7 @@ class BsubNodeState:
         carried_capacity: Optional[int] = None,
         eviction: str = "oldest",
         interest_encoding: str = "tcbf",
+        filter_spec: Optional[str] = None,
     ):
         if copy_limit < 0:
             raise ValueError(f"copy_limit must be >= 0, got {copy_limit}")
@@ -166,6 +175,15 @@ class BsubNodeState:
         if interest_encoding == "raw" and relay_fill_threshold is not None:
             raise ValueError(
                 "relay_fill_threshold only applies to the TCBF encoding"
+            )
+        if filter_spec is not None and interest_encoding == "raw":
+            raise ValueError(
+                "filter_spec only applies to the TCBF encoding"
+            )
+        if filter_spec is not None and relay_fill_threshold is not None:
+            raise ValueError(
+                "filter_spec and relay_fill_threshold are mutually "
+                "exclusive relay selectors"
             )
         if carried_capacity is not None and carried_capacity < 1:
             raise ValueError(
@@ -188,6 +206,14 @@ class BsubNodeState:
         self.interest_encoding = interest_encoding
         if interest_encoding == "raw":
             self.relay = ExactInterestRelay(
+                initial_value=initial_value,
+                decay_factor=decay_factor,
+                time=start_time,
+            )
+        elif filter_spec is not None:
+            self.relay = make_relay_filter(
+                filter_spec,
+                family=family,
                 initial_value=initial_value,
                 decay_factor=decay_factor,
                 time=start_time,

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.analysis import filter_memory_bytes
+from ..core.filter_zoo import parse_filter_spec
 from ..core.hashing import DEFAULT_SEED, HashFamily
 from ..core.tcbf import DEFAULT_INITIAL_VALUE, TemporalCountingBloomFilter
 from ..dtn.bandwidth import ContactChannel
@@ -101,6 +102,13 @@ class BsubConfig:
         ``"tcbf"`` (the paper's design) or ``"raw"`` — the Sec. IV-B
         ablation where interests travel as exact strings: zero false
         positives, but control traffic pays full raw-string sizes.
+    filter_spec:
+        A :mod:`repro.core.filter_zoo` spec string selecting the relay
+        filter implementation (``"multi"``, ``"retouched:clear=3+17"``,
+        ``"countbf:rows=16"``, ...).  ``None`` (default) keeps the
+        paper's single array-backed TCBF relay byte-identical.
+        Mutually exclusive with ``relay_fill_threshold`` (use
+        ``"multi:..."``) and the ``"raw"`` interest encoding.
     """
 
     num_bits: int = 256
@@ -120,6 +128,7 @@ class BsubConfig:
     carried_capacity: Optional[int] = None
     eviction: str = "oldest"
     interest_encoding: str = "tcbf"
+    filter_spec: Optional[str] = None
 
     def __post_init__(self):
         if self.decay_factor_per_min < 0:
@@ -129,6 +138,17 @@ class BsubConfig:
                 f"interest_encoding must be 'tcbf' or 'raw', got "
                 f"{self.interest_encoding!r}"
             )
+        if self.filter_spec is not None:
+            if self.interest_encoding == "raw":
+                raise ValueError(
+                    "filter_spec only applies to the TCBF encoding"
+                )
+            if self.relay_fill_threshold is not None:
+                raise ValueError(
+                    "filter_spec and relay_fill_threshold are mutually "
+                    "exclusive relay selectors (use 'multi:threshold=...')"
+                )
+            parse_filter_spec(self.filter_spec)  # fail fast on bad specs
 
     @property
     def decay_factor_per_s(self) -> float:
@@ -217,6 +237,7 @@ class BsubProtocol(Protocol):
             carried_capacity=cfg.carried_capacity,
             eviction=cfg.eviction,
             interest_encoding=cfg.interest_encoding,
+            filter_spec=cfg.filter_spec,
         )
 
     def on_message_created(self, node: int, message: Message, now: float) -> None:
@@ -477,11 +498,17 @@ class BsubProtocol(Protocol):
         entry = cache.get(cache_key)
         if entry is not None and entry[0] is relay and entry[1] == version:
             return entry[2]
-        size = _FILTER_HEADER_BYTES + filter_memory_bytes(
-            len(relay),
-            self.config.num_bits,
-            counters="full" if full else "none",
-        )
+        wire = getattr(relay, "wire_bytes", None)
+        if wire is not None:
+            # Zoo relays with their own geometry (countBF grids)
+            # account their exact Sec. VI-C compact size themselves.
+            size = _FILTER_HEADER_BYTES + wire(with_counters=full)
+        else:
+            size = _FILTER_HEADER_BYTES + filter_memory_bytes(
+                len(relay),
+                self.config.num_bits,
+                counters="full" if full else "none",
+            )
         cache[cache_key] = (relay, version, size)
         return size
 
@@ -500,8 +527,12 @@ class BsubProtocol(Protocol):
             relay_max_counter(broker.relay) if recorder.enabled else 0.0
         )
         self.op_counts["a_merge_consumer"] += 1
-        if self.config.interest_encoding == "raw":
-            broker.relay.announce(consumer.interests)
+        announce = getattr(broker.relay, "announce", None)
+        if announce is not None:
+            # Duck-typed announcement hook: exact relays (raw encoding)
+            # and non-TCBF zoo relays (countBF) absorb the interest keys
+            # natively instead of via a TCBF merge operand.
+            announce(consumer.interests)
         else:
             announcement = TemporalCountingBloomFilter(
                 family=self.family,
@@ -654,6 +685,15 @@ class BsubProtocol(Protocol):
                 self.metrics.record_forwarding(message)
                 self.op_counts["forward_inject"] += 1
                 is_false, is_useless = self.metrics.record_injection(message)
+                if self.df_controllers:
+                    # Attribution-mode Sec. VI-B loop: feed the broker's
+                    # controller the live taxonomy bit for this
+                    # injection (no-op in fill-ratio mode).
+                    controller = self.df_controllers.get(broker.node_id)
+                    if controller is not None:
+                        controller.record_injection(
+                            is_false or is_useless, now, broker.relay
+                        )
                 if self.recorder.enabled:
                     # Ground-truth provenance of the relay-filter match:
                     # "fp" — no node anywhere wants any key (a pure

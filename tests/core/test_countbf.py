@@ -1,0 +1,154 @@
+"""Unit tests for the 2D counting Bloom filter backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.countbf import CountBF2D
+
+KEYS = [f"topic-{i}" for i in range(10)]
+
+
+class TestGeometry:
+    def test_grid_shape(self):
+        filt = CountBF2D(num_bits=256, num_hashes=4, rows=16)
+        assert filt.rows == 16
+        assert filt.cols == 16
+        assert filt.num_cells == 256
+        assert filt.num_bits == 256
+
+    def test_non_divisible_bits_round_up(self):
+        filt = CountBF2D(num_bits=250, num_hashes=4, rows=16)
+        assert filt.cols == 16  # ceil(250 / 16)
+        assert filt.num_cells == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountBF2D(rows=1)
+        with pytest.raises(ValueError):
+            CountBF2D(num_bits=16, rows=16)
+        with pytest.raises(ValueError):
+            CountBF2D(initial_value=0)
+        with pytest.raises(ValueError):
+            CountBF2D(decay_factor=-0.1)
+
+    def test_cells_within_grid(self):
+        filt = CountBF2D(num_bits=256, num_hashes=4, rows=16)
+        for key in KEYS:
+            cells = filt._cells(key)
+            assert cells == sorted(set(cells))
+            assert all(0 <= c < filt.num_cells for c in cells)
+            assert 1 <= len(cells) <= filt.num_hashes
+
+    def test_row_col_families_are_independent(self):
+        """Row and col coordinates must come from distinct hash families."""
+        filt = CountBF2D(num_bits=256, num_hashes=4, rows=16)
+        rows = [tuple(filt._row_family.positions(k)) for k in KEYS]
+        cols = [tuple(filt._col_family.positions(k)) for k in KEYS]
+        assert rows != cols
+
+
+class TestCountingSemantics:
+    def test_insert_then_delete_round_trip(self):
+        filt = CountBF2D()
+        filt.insert("a")
+        assert filt.query("a")
+        filt.delete("a")
+        assert not filt.query("a")
+        assert filt.is_empty()
+
+    def test_double_insert_needs_double_delete(self):
+        filt = CountBF2D()
+        filt.insert("a")
+        filt.insert("a")
+        filt.delete("a")
+        assert filt.query("a")
+        filt.delete("a")
+        assert not filt.query("a")
+
+    def test_delete_absent_raises(self):
+        filt = CountBF2D()
+        with pytest.raises(KeyError):
+            filt.delete("never-inserted")
+        filt.insert("a")
+        with pytest.raises(KeyError):
+            filt.delete("definitely-absent-key")
+
+    def test_delete_shared_cells_floors_at_zero(self):
+        filt = CountBF2D(num_bits=32, num_hashes=4, rows=4)
+        # Tiny grid: collisions guaranteed across enough keys.
+        for i in range(20):
+            filt.insert(f"k{i}")
+        filt.delete("k0")
+        assert all(v >= 0.0 for _, v in filt.items())
+
+    def test_announce_is_additive(self):
+        filt = CountBF2D()
+        filt.announce(["a", "b"])
+        filt.announce(["a"])
+        assert filt.min_counter("a") >= 2 * filt.initial_value - 1e-9
+        assert filt.min_counter("b") >= filt.initial_value - 1e-9
+
+
+class TestMerging:
+    def test_a_merge_sums_m_merge_maxes(self):
+        left = CountBF2D()
+        right = CountBF2D()
+        left.insert("a")
+        right.insert("a")
+        summed = left.copy()
+        summed.a_merge(right)
+        assert summed.min_counter("a") == pytest.approx(2 * left.initial_value)
+        maxed = left.copy()
+        maxed.m_merge(right)
+        assert maxed.min_counter("a") == pytest.approx(left.initial_value)
+
+    def test_merge_aligns_clocks(self):
+        left = CountBF2D(decay_factor=0.1)
+        right = CountBF2D(decay_factor=0.1)
+        left.insert("a")
+        right.insert("b")
+        left.advance(100.0)  # left's 'a' decays to 40
+        left.m_merge(right)  # right is at t=0; its 'b' must lag-decay too
+        assert left.min_counter("b") == pytest.approx(40.0)
+        assert left.min_counter("a") == pytest.approx(40.0)
+
+    def test_merge_type_and_geometry_mismatch(self):
+        filt = CountBF2D(num_bits=256, rows=16)
+        with pytest.raises(TypeError):
+            filt.a_merge(object())
+        with pytest.raises(ValueError):
+            filt.a_merge(CountBF2D(num_bits=256, rows=8))
+        with pytest.raises(ValueError):
+            filt.a_merge(CountBF2D(num_bits=256, rows=16, seed=999))
+
+
+class TestDecayAndWire:
+    def test_decay_clears_grid(self):
+        filt = CountBF2D(decay_factor=1.0)
+        filt.insert("a")
+        filt.advance(filt.initial_value + 1)
+        assert filt.is_empty()
+        assert filt.fill_ratio() == 0.0
+
+    def test_wire_bytes_modes(self):
+        filt = CountBF2D()
+        for key in KEYS:
+            filt.insert(key)
+        full = filt.wire_bytes(with_counters=True)
+        bits_only = filt.wire_bytes(with_counters=False)
+        assert full > bits_only > 0
+
+    def test_batch_matches_scalar_on_tiny_grid(self):
+        filt = CountBF2D(num_bits=32, num_hashes=4, rows=4)
+        for key in KEYS[:4]:
+            filt.insert(key)
+        probes = KEYS + ["x", "y"]
+        np.testing.assert_array_equal(
+            np.asarray(filt.query_batch(probes), dtype=bool),
+            np.asarray([filt.query(p) for p in probes], dtype=bool),
+        )
+        np.testing.assert_allclose(
+            np.asarray(filt.min_counter_batch(probes), dtype=float),
+            [filt.min_counter(p) for p in probes],
+            atol=1e-12,
+        )

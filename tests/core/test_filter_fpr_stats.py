@@ -1,0 +1,185 @@
+"""Statistical FPR regression tests (pinned seeds, dedicated slow CI leg).
+
+Empirically measures false-positive rates on the 38-key Twitter trend
+universe (Table II workload) against the paper's analytic models:
+
+* Eq. 1 / Eq. 3 for a single TCBF,
+* Eq. 7 joint FPR for the Sec. VI-C multi-filter allocation,
+* the occupancy-grid model ``fill^k`` for the 2D counting filter,
+* and the retouched filter's guaranteed FPR reduction.
+
+All randomness is pinned (fixed hash seed, deterministic probe set), so
+the measured counts are exactly reproducible; the binomial tolerance
+windows only express how far the *analytic* prediction may sit from the
+pinned measurement before the model itself is wrong.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import HashFamily, TemporalCountingBloomFilter, analysis
+from repro.core.allocation import TCBFCollection, plan_allocation
+from repro.core.countbf import CountBF2D
+from repro.core.retouched import RetouchedTCBF, plan_retouch
+from repro.workload.keys import twitter_trends_2009
+
+pytestmark = pytest.mark.slow
+
+SEED = 0x1B5B
+NUM_BITS = 256
+NUM_HASHES = 4
+FAMILY = HashFamily(NUM_HASHES, NUM_BITS, SEED)
+UNIVERSE = list(twitter_trends_2009().keys)
+NUM_PROBES = 20_000
+PROBES = [f"probe-{i:05d}" for i in range(NUM_PROBES)]
+
+
+def binomial_window(probabilities, sigmas: float = 5.0) -> float:
+    """Half-width of a ±sigmas window around sum(p_i) successes."""
+    variance = float(sum(p * (1.0 - p) for p in probabilities))
+    return sigmas * math.sqrt(variance) + 2.0
+
+
+def distinct_bits(family: HashFamily, key: str) -> int:
+    return len(set(int(p) for p in family.positions(key)))
+
+
+def measure_fp_count(filt, probes=PROBES) -> int:
+    return int(np.count_nonzero(np.asarray(filt.query_batch(probes), dtype=bool)))
+
+
+def test_universe_is_the_38_key_table_ii_workload():
+    assert len(UNIVERSE) == 38
+    assert not set(PROBES) & set(UNIVERSE)
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_tcbf_fpr_matches_eq1(backend):
+    """Measured TCBF FPR sits inside the Eq. 1 binomial window."""
+    filt = TemporalCountingBloomFilter(family=FAMILY, backend=backend)
+    filt.insert_batch(UNIVERSE)
+
+    observed_fill = filt.fill_ratio()
+    # Eq. 3: the realised fill must be binomially consistent with the
+    # analytic expectation over the filter's own bits.
+    expected_fill = analysis.fill_ratio(len(UNIVERSE), NUM_BITS, NUM_HASHES, exact=True)
+    fill_sigma = math.sqrt(expected_fill * (1 - expected_fill) / NUM_BITS)
+    assert abs(observed_fill - expected_fill) <= 5.0 * fill_sigma + 2.0 / NUM_BITS
+
+    # Eq. 1 (conditioned on the realised fill): P(probe FP) = FR^d with
+    # d the probe's distinct bit count.
+    per_probe = [observed_fill ** distinct_bits(FAMILY, p) for p in PROBES]
+    predicted = sum(per_probe)
+    measured = measure_fp_count(filt)
+    assert abs(measured - predicted) <= binomial_window(per_probe)
+
+    # And the unconditional analytic rate is in the same ballpark.
+    analytic = analysis.false_positive_rate(
+        len(UNIVERSE), NUM_BITS, NUM_HASHES, exact=True
+    )
+    assert measured / NUM_PROBES == pytest.approx(analytic, rel=0.35)
+
+
+def test_dict_and_array_backends_report_identical_fp_sets():
+    """Backend choice is an implementation detail: same FPs, bit for bit."""
+    filts = {}
+    for backend in ("dict", "array"):
+        filt = TemporalCountingBloomFilter(family=FAMILY, backend=backend)
+        filt.insert_batch(UNIVERSE)
+        filts[backend] = np.asarray(filt.query_batch(PROBES), dtype=bool)
+    np.testing.assert_array_equal(filts["dict"], filts["array"])
+
+
+def test_multi_filter_joint_fpr_matches_eq7():
+    """Measured collection FPR sits inside the Eq. 7 binomial window.
+
+    Run at a 240-byte bound (h=2, ~19 keys per filter): the regime
+    where Eq. 7's independent-bits assumption holds.  At much lower
+    per-filter fill the double-hashing construction's full-progression
+    collisions (probe sharing both base hashes with an inserted key)
+    become the dominant FP source and the idealised model undershoots —
+    see ``test_countbf_fpr_matches_grid_occupancy_model`` for how that
+    floor is bounded instead.
+    """
+    plan = plan_allocation(len(UNIVERSE), 240.0, NUM_BITS, NUM_HASHES)
+    assert plan.num_filters == 2, "240-byte bound should split into two filters"
+    collection = TCBFCollection.from_plan(plan, family=FAMILY)
+    collection.insert_all(UNIVERSE)
+
+    fills = collection.fill_ratios()
+    assert len(fills) >= 2
+    per_probe = []
+    for probe in PROBES:
+        d = distinct_bits(FAMILY, probe)
+        miss_all = 1.0
+        for fr in fills:
+            miss_all *= 1.0 - fr**d
+        per_probe.append(1.0 - miss_all)
+    predicted = sum(per_probe)
+    measured = measure_fp_count(collection)
+    assert abs(measured - predicted) <= binomial_window(per_probe)
+
+    # Splitting the universe across h filters must beat the single-TCBF
+    # joint rate analytically (the whole point of Sec. VI-C).
+    single = analysis.false_positive_rate(len(UNIVERSE), NUM_BITS, NUM_HASHES)
+    assert plan.joint_fpr < single
+
+
+def test_countbf_fpr_matches_grid_occupancy_model():
+    """Measured 2D-grid FPR is bracketed by the fill^k occupancy model.
+
+    The row/col coordinates come from double-hashed families over tiny
+    alphabets (16 rows x 16 cols), so a probe that shares base hashes
+    with an inserted key collides on *every* cell at once.  That
+    correlation can only push the measured rate *above* the
+    independent-cells prediction, and empirically stays well under 2.5x
+    at Table II occupancy — so the model brackets the measurement from
+    below (binomial window) and a documented 2.5x correlation ceiling
+    brackets it from above.
+    """
+    filt = CountBF2D(num_bits=NUM_BITS, num_hashes=NUM_HASHES, rows=16, seed=SEED)
+    for key in UNIVERSE:
+        filt.insert(key)
+
+    fill = filt.fill_ratio()
+    assert 0.0 < fill < 1.0
+    per_probe = [fill ** len(filt._cells(p)) for p in PROBES]
+    predicted = sum(per_probe)
+    measured = measure_fp_count(filt)
+    window = binomial_window(per_probe)
+    assert measured >= predicted - window
+    assert measured <= 2.5 * predicted + window
+
+    # Model-direction sanity: a larger grid must measurably cut the FPR.
+    big = CountBF2D(num_bits=4 * NUM_BITS, num_hashes=NUM_HASHES, rows=32, seed=SEED)
+    for key in UNIVERSE:
+        big.insert(key)
+    assert measure_fp_count(big) < measured / 2
+
+
+def test_retouched_strictly_reduces_measured_fpr():
+    """Lineage-planned retouching lowers the measured FPR, no hidden FNs."""
+    baseline = TemporalCountingBloomFilter(family=FAMILY, backend="array")
+    baseline.insert_batch(UNIVERSE)
+    baseline_hits = np.asarray(baseline.query_batch(PROBES), dtype=bool)
+    fp_probes = [p for p, hit in zip(PROBES, baseline_hits) if hit]
+    assert fp_probes, "pinned seed must yield baseline false positives"
+
+    plan = plan_retouch(fp_probes[:40], UNIVERSE, FAMILY, max_sacrifice=2)
+    assert plan.neutralised_keys, "planner should neutralise at least one FP"
+
+    retouched = RetouchedTCBF(family=FAMILY, cleared_bits=plan.cleared_bits)
+    retouched.insert_batch(UNIVERSE)
+
+    measured_base = int(np.count_nonzero(baseline_hits))
+    measured_retouched = measure_fp_count(retouched)
+    assert measured_retouched < measured_base
+    # Each neutralised probe is individually dead...
+    assert not any(retouched.query(p) for p in plan.neutralised_keys)
+    # ...and every unsacrificed interest still matches (no silent FNs).
+    for key in UNIVERSE:
+        if key not in plan.sacrificed_keys:
+            assert retouched.query(key)
+    assert len(plan.sacrificed_keys) <= 2

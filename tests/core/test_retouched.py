@@ -1,0 +1,129 @@
+"""Unit tests for the Retouched TCBF and the lineage-driven planner."""
+
+import pytest
+
+from repro.core import HashFamily, TemporalCountingBloomFilter
+from repro.core.retouched import RetouchedTCBF, RetouchPlan, plan_retouch
+
+FAMILY = HashFamily(4, 256, 0xBEEF)
+WANTED = [f"wanted-{i}" for i in range(10)]
+
+
+def bits_of(key):
+    return set(int(p) for p in FAMILY.positions(key))
+
+
+class TestRetouchedTCBF:
+    def test_no_cleared_bits_behaves_like_tcbf(self):
+        plain = TemporalCountingBloomFilter(family=FAMILY)
+        retouched = RetouchedTCBF(family=FAMILY)
+        plain.insert_batch(WANTED)
+        retouched.insert_batch(WANTED)
+        probes = WANTED + [f"probe-{i}" for i in range(200)]
+        assert retouched.query_batch(probes).tolist() == plain.query_batch(probes).tolist()
+
+    def test_cleared_bits_stay_zero_after_insert(self):
+        cleared = sorted(bits_of(WANTED[0]))[:2]
+        filt = RetouchedTCBF(family=FAMILY, cleared_bits=cleared)
+        filt.insert_batch(WANTED)
+        for bit in cleared:
+            assert filt._store.get(bit) == 0.0
+        # The key whose bits were cleared no longer matches...
+        assert not filt.query(WANTED[0])
+        # ...but keys with disjoint bit sets are untouched.
+        for key in WANTED[1:]:
+            if not bits_of(key) & set(cleared):
+                assert filt.query(key)
+
+    def test_cleared_bits_survive_merge(self):
+        cleared = sorted(bits_of(WANTED[0]))[:1]
+        filt = RetouchedTCBF(family=FAMILY, cleared_bits=cleared)
+        operand = TemporalCountingBloomFilter(family=FAMILY)
+        operand.insert_batch(WANTED)
+        filt.a_merge(operand)
+        assert filt._store.get(cleared[0]) == 0.0
+        filt2 = RetouchedTCBF(family=FAMILY, cleared_bits=cleared)
+        filt2.m_merge(operand)
+        assert filt2._store.get(cleared[0]) == 0.0
+
+    def test_copy_preserves_cleared_bits(self):
+        filt = RetouchedTCBF(family=FAMILY, cleared_bits=[3, 17])
+        filt.insert_batch(WANTED)
+        clone = filt.copy()
+        assert isinstance(clone, RetouchedTCBF)
+        assert clone.cleared_bits == frozenset({3, 17})
+        clone.insert("another")
+        assert clone._store.get(3) == 0.0
+        assert clone._store.get(17) == 0.0
+
+    def test_out_of_range_cleared_bit_rejected(self):
+        with pytest.raises(ValueError):
+            RetouchedTCBF(family=FAMILY, cleared_bits=[256])
+        with pytest.raises(ValueError):
+            RetouchedTCBF(family=FAMILY, cleared_bits=[-1])
+
+
+class TestRetouchPlanner:
+    def test_free_bit_clearing_neutralises_without_sacrifice(self):
+        """An FP key with a bit outside the wanted union costs nothing."""
+        # Find an fp key with at least one bit disjoint from WANTED's union.
+        union = set()
+        for key in WANTED:
+            union |= bits_of(key)
+        fp_key = next(
+            f"fp-{i}" for i in range(1000) if bits_of(f"fp-{i}") - union
+        )
+        plan = plan_retouch([fp_key], WANTED, FAMILY, max_sacrifice=0)
+        assert fp_key in plan.neutralised_keys
+        assert not plan.sacrificed_keys
+        assert plan.cleared_bits and plan.cleared_bits <= bits_of(fp_key) - union
+
+    def test_zero_budget_skips_costly_keys(self):
+        """With no sacrifice budget, fully-covered FP keys stay live."""
+        union = set()
+        for key in WANTED:
+            union |= bits_of(key)
+        covered = [f"fp-{i}" for i in range(2000) if not (bits_of(f"fp-{i}") - union)]
+        assert covered, "need at least one fully-covered fp key"
+        plan = plan_retouch(covered[:1], WANTED, FAMILY, max_sacrifice=0)
+        assert not plan.neutralised_keys
+        assert not plan.cleared_bits
+        assert plan.is_empty()
+
+    def test_budget_buys_neutralisation_of_covered_keys(self):
+        union = set()
+        for key in WANTED:
+            union |= bits_of(key)
+        covered = [f"fp-{i}" for i in range(2000) if not (bits_of(f"fp-{i}") - union)]
+        plan = plan_retouch(covered[:1], WANTED, FAMILY, max_sacrifice=3)
+        assert covered[0] in plan.neutralised_keys
+        assert plan.sacrificed_keys
+        assert len(plan.sacrificed_keys) <= 3
+        # Sacrifice accounting is honest: every protected key that uses
+        # a cleared bit is listed as sacrificed.
+        for key in WANTED:
+            if bits_of(key) & plan.cleared_bits:
+                assert key in plan.sacrificed_keys
+
+    def test_protected_fp_keys_are_never_targeted(self):
+        plan = plan_retouch(WANTED[:3], WANTED, FAMILY, max_sacrifice=10)
+        assert plan.is_empty()
+
+    def test_max_cleared_caps_bits(self):
+        fp_keys = [f"fp-{i}" for i in range(50)]
+        plan = plan_retouch(fp_keys, WANTED, FAMILY, max_sacrifice=0, max_cleared=2)
+        assert len(plan.cleared_bits) <= 2
+
+    def test_spec_params_round_trip(self):
+        plan = RetouchPlan(frozenset({17, 3}), frozenset(), frozenset({"x"}))
+        assert plan.spec_params() == "clear=3+17"
+        assert not plan.is_empty()
+        empty = RetouchPlan(frozenset(), frozenset(), frozenset())
+        assert empty.is_empty()
+        assert empty.spec_params() == ""
+
+    def test_determinism(self):
+        fp_keys = [f"fp-{i}" for i in range(40)]
+        a = plan_retouch(fp_keys, WANTED, FAMILY, max_sacrifice=2)
+        b = plan_retouch(reversed(fp_keys), set(WANTED), FAMILY, max_sacrifice=2)
+        assert a == b

@@ -1,0 +1,90 @@
+"""Tests for the attribution → tuning feedback bridge (obs.feedback)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import HashFamily
+from repro.obs import (
+    AttributionFeedback,
+    feedback_from_analysis,
+    plan_retouch_from_analysis,
+)
+
+DATA = Path(__file__).parent / "data"
+FAMILY = HashFamily(4, 256)
+
+
+@pytest.fixture(scope="module")
+def mini_fig7_doc():
+    with open(DATA / "mini_fig7_analysis.json") as fh:
+        return json.load(fh)
+
+
+class TestAttributionFeedback:
+    def test_ratio_and_dominant_cause(self):
+        fb = AttributionFeedback(
+            injections=100,
+            relay_filter_fp=30,
+            genuine_but_stale=5,
+            direct_bf_fp=2,
+            producer_self=0,
+        )
+        assert fb.false_injection_ratio == pytest.approx(0.3)
+        assert fb.dominant_cause == "relay_filter_fp"
+        assert fb.recommend() == "retouch"
+
+    def test_clean_run(self):
+        fb = AttributionFeedback(0, 0, 0, 0, 0)
+        assert fb.false_injection_ratio == 0.0
+        assert fb.dominant_cause == "none"
+        assert fb.recommend() == "none"
+
+    def test_staleness_recommends_faster_decay(self):
+        fb = AttributionFeedback(50, 1, 20, 0, 0)
+        assert fb.recommend() == "increase_df"
+
+    def test_direct_bf_recommends_bigger_genuine_filters(self):
+        fb = AttributionFeedback(50, 1, 0, 20, 0)
+        assert fb.recommend() == "shrink_genuine_fpr"
+
+
+class TestFeedbackFromAnalysis:
+    def test_reads_golden_mini_fig7_document(self, mini_fig7_doc):
+        fb = feedback_from_analysis(mini_fig7_doc)
+        assert fb.injections == mini_fig7_doc["injections"]["total"]
+        attribution = mini_fig7_doc["attribution"]
+        assert fb.relay_filter_fp == attribution["relay_filter_fp"]
+        assert fb.relay_filter_fp > 0
+        assert fb.dominant_cause == "relay_filter_fp"
+        assert fb.recommend() == "retouch"
+
+    def test_rejects_non_analysis_document(self):
+        with pytest.raises(ValueError, match="attribution"):
+            feedback_from_analysis({"something": "else"})
+        with pytest.raises(ValueError):
+            feedback_from_analysis("not a dict")
+
+
+class TestPlanRetouchFromAnalysis:
+    def test_plans_when_relay_fps_present(self, mini_fig7_doc):
+        protected = [f"wanted-{i}" for i in range(5)]
+        candidates = [f"fp-{i}" for i in range(50)]
+        plan = plan_retouch_from_analysis(
+            mini_fig7_doc, candidates, protected, FAMILY, max_sacrifice=1
+        )
+        assert plan.neutralised_keys
+        assert plan.cleared_bits
+
+    def test_empty_plan_below_threshold(self, mini_fig7_doc):
+        relay_fps = mini_fig7_doc["attribution"]["relay_filter_fp"]
+        plan = plan_retouch_from_analysis(
+            mini_fig7_doc,
+            [f"fp-{i}" for i in range(10)],
+            ["wanted"],
+            FAMILY,
+            min_relay_filter_fp=relay_fps + 1,
+        )
+        assert plan.is_empty()
+        assert not plan.neutralised_keys

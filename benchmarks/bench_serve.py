@@ -1,0 +1,225 @@
+"""BENCH_serve — live-broker throughput and latency vs session count.
+
+Runs the :mod:`repro.serve` asyncio broker in-process and drives it
+with the deterministic load generator (``python -m repro load``) in a
+*subprocess*, so broker and clients each own their own file-descriptor
+budget and event loop — the broker cell is measured, not the client.
+Each cell records connected sessions, publish throughput, end-to-end
+delivery latency percentiles (client-measured over real sockets), and
+the broker's own counters; every cell asserts **zero decode errors**,
+which is the PR's acceptance bar for the session layer.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI quick
+
+or through pytest (smoke cell only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+
+The full ladder climbs to 10 000 concurrent sessions; the soft
+RLIMIT_NOFILE is raised to the hard limit first, since the broker
+holds one socket per session.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.serve import BrokerServer, ServeSpec
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serve.json"
+
+#: (label, sessions, duration_s, publisher_fraction, rate_per_s)
+SMOKE_CELLS = [("smoke-200", 200, 3.0, 0.1, 2.0)]
+FULL_CELLS = [
+    ("s1k", 1_000, 10.0, 0.1, 1.0),
+    ("s5k", 5_000, 10.0, 0.1, 1.0),
+    ("s10k", 10_000, 12.0, 0.05, 1.0),
+]
+
+
+def _raise_nofile() -> int:
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < hard:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (hard, hard))
+    return resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+
+
+async def _run_cell_async(
+    label: str,
+    sessions: int,
+    duration_s: float,
+    publisher_fraction: float,
+    rate_per_s: float,
+    log,
+) -> Dict:
+    server = BrokerServer(ServeSpec(port=0, idle_timeout_s=duration_s + 60))
+    await server.start()
+    spec_str = (
+        f"port={server.port},sessions={sessions},"
+        f"duration_s={duration_s},publisher_fraction={publisher_fraction},"
+        f"publish_rate_per_s={rate_per_s},interests_per_node=2,seed=13"
+    )
+    started = time.perf_counter()
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro", "load",
+        "--spec", spec_str, "--json",
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.PIPE,
+        env={**os.environ, "PYTHONPATH": _pythonpath()},
+    )
+    stdout, stderr = await proc.communicate()
+    wall_s = time.perf_counter() - started
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"load driver failed (rc={proc.returncode}): "
+            f"{stderr.decode()[-2000:]}"
+        )
+    report = json.loads(stdout.decode().strip().splitlines()[-1])
+    summary = await server.stop()
+    parity = server.core.parity_counters()
+    cell = {
+        "label": label,
+        "sessions": sessions,
+        "sessions_connected": report["sessions_connected"],
+        "connect_failures": report["connect_failures"],
+        "duration_s": duration_s,
+        "wall_s": round(wall_s, 3),
+        "messages_published": report["messages_published"],
+        "deliveries_client": report["deliveries_received"],
+        "deliveries_broker": parity["deliveries_total"],
+        "decode_errors": report["decode_errors"],
+        "delivery_completeness": round(
+            report["deliveries_received"]
+            / max(1, parity["deliveries_total"]), 4
+        ),
+        "publish_throughput_per_s": round(
+            report["messages_published"] / duration_s, 2
+        ),
+        "delivery_throughput_per_s": round(
+            report["deliveries_received"] / duration_s, 2
+        ),
+        "latency_ms": report["latency"],
+        "broker_summary": summary,
+    }
+    log(
+        f"{label}: {cell['sessions_connected']}/{sessions} sessions, "
+        f"{cell['delivery_throughput_per_s']}/s delivered, "
+        f"p95={report['latency']['p95_ms']:.2f}ms, "
+        f"decode_errors={report['decode_errors']}"
+    )
+    return cell
+
+
+def _pythonpath() -> str:
+    src = str(Path(__file__).parent.parent / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}:{existing}" if existing else src
+
+
+def run_benchmark(
+    smoke: bool = False,
+    out_path: Optional[Path] = RESULTS_PATH,
+    log=print,
+) -> Dict:
+    nofile = _raise_nofile()
+    cells_spec = SMOKE_CELLS if smoke else FULL_CELLS
+    cells: List[Dict] = []
+    for label, sessions, duration, fraction, rate in cells_spec:
+        if sessions + 256 > nofile:
+            log(f"{label}: skipped (needs >{sessions} fds, limit {nofile})")
+            continue
+        cells.append(
+            asyncio.run(
+                _run_cell_async(
+                    label, sessions, duration, fraction, rate, log
+                )
+            )
+        )
+    document = {
+        "mode": "smoke" if smoke else "full",
+        "env": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "rlimit_nofile": nofile,
+        },
+        "notes": {
+            "topology": "broker in-process, load driver in a subprocess "
+                        "(separate fd budgets and event loops)",
+            "latency": "client-measured end-to-end over loopback: "
+                       "publisher created_at stamp to subscriber decode",
+            "acceptance": "every cell must report decode_errors == 0 and "
+                          "all sessions connected",
+            "completeness": "deliveries_client / deliveries_broker; below "
+                            "1.0 at saturation means the run window closed "
+                            "while fanout deliveries were still in flight "
+                            "(clients disconnect at duration end), not a "
+                            "decode failure",
+        },
+        "cells": cells,
+    }
+    if out_path is not None:
+        out_path.parent.mkdir(exist_ok=True)
+        out_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        log(f"wrote {out_path}")
+    return document
+
+
+def check_acceptance(document: Dict) -> List[str]:
+    """Acceptance failures across all cells ([] = pass)."""
+    failures = []
+    for cell in document["cells"]:
+        if cell["decode_errors"]:
+            failures.append(
+                f"{cell['label']}: {cell['decode_errors']} decode errors"
+            )
+        if cell["sessions_connected"] != cell["sessions"]:
+            failures.append(
+                f"{cell['label']}: only {cell['sessions_connected']}"
+                f"/{cell['sessions']} sessions connected"
+            )
+        if cell["deliveries_client"] == 0:
+            failures.append(f"{cell['label']}: no deliveries decoded")
+    return failures
+
+
+# -- pytest entry point (smoke cell only) ----------------------------------
+
+
+def test_bench_serve_smoke():
+    document = run_benchmark(smoke=True, out_path=None, log=lambda *_: None)
+    assert document["cells"], "smoke cell skipped (fd limit?)"
+    assert check_acceptance(document) == []
+    cell = document["cells"][0]
+    assert cell["messages_published"] > 0
+    assert cell["deliveries_client"] > 0
+    # At smoke scale the drain completes: client decoded every delivery.
+    assert cell["deliveries_client"] == cell["deliveries_broker"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick mode: one small cell")
+    parser.add_argument("--out", type=Path, default=RESULTS_PATH,
+                        help=f"output JSON path (default: {RESULTS_PATH})")
+    args = parser.parse_args(argv)
+    document = run_benchmark(smoke=args.smoke, out_path=args.out)
+    failures = check_acceptance(document)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

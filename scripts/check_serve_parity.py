@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI gate: live broker soak + online/offline observability parity.
+
+Starts a broker in-process (trace streaming to a temp file), drives it
+with a deterministic multi-session load over real sockets, then checks
+the PR's acceptance bar end to end:
+
+1. every session connects, **zero** frame decode errors anywhere;
+2. the broker shuts down cleanly (complete trace, ``sim_end`` emitted);
+3. the Prometheus scrape is non-empty while the soak is running;
+4. ``analyze_trace`` over the broker's emitted schema-v2 trace
+   reproduces the broker's live registry counters **exactly** —
+   created messages, intended pairs, direct forwards, and total /
+   intended / false deliveries.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_serve_parity.py              # quick
+    PYTHONPATH=src python scripts/check_serve_parity.py --sessions 1000 \
+        --duration 30                                                # soak
+
+Exit code 0 = all checks green.
+"""
+
+import argparse
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.obs.analyze import analyze_trace
+from repro.serve import BrokerServer, LoadDriver, LoadSpec, ServeSpec
+
+
+async def scrape(host: str, port: int) -> str:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: ci\r\n\r\n")
+    await writer.drain()
+    response = (await reader.read()).decode()
+    writer.close()
+    return response
+
+
+async def soak(sessions: int, duration: float, trace_path: str):
+    server = BrokerServer(
+        ServeSpec(
+            port=0, metrics_port=0, trace_path=trace_path,
+            idle_timeout_s=duration + 60,
+        )
+    )
+    await server.start()
+    driver = LoadDriver(
+        LoadSpec(
+            port=server.port,
+            sessions=sessions,
+            publisher_fraction=0.1,
+            duration_s=duration,
+            publish_rate_per_s=1.0,
+            interests_per_node=2,
+            arrival="conference",
+            seed=13,
+        )
+    )
+    load_task = asyncio.ensure_future(driver.run())
+    # Scrape mid-soak: the endpoint must serve while under load.
+    await asyncio.sleep(duration / 2)
+    prom = await scrape(server.spec.host, server.metrics_port)
+    report = await load_task
+    summary = await server.stop()
+    return server, report, summary, prom
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=200)
+    parser.add_argument("--duration", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="serve-parity-") as tmp:
+        trace_path = str(Path(tmp) / "broker_trace.jsonl")
+        server, report, summary, prom = asyncio.run(
+            soak(args.sessions, args.duration, trace_path)
+        )
+
+        print(f"sessions: {report.sessions_connected}/{args.sessions} "
+              f"(failures {report.connect_failures})")
+        print(f"published: {report.messages_published}, delivered "
+              f"{report.deliveries_received}, "
+              f"p95 {report.latency_p95_ms:.2f} ms")
+        print(f"broker summary: {summary}")
+
+        if report.sessions_connected != args.sessions:
+            failures.append(
+                f"only {report.sessions_connected}/{args.sessions} "
+                f"sessions connected"
+            )
+        if report.decode_errors:
+            failures.append(
+                f"{report.decode_errors} client-side decode errors"
+            )
+        broker_errors = server.registry.counter(
+            "serve_decode_errors_total"
+        ).value
+        if broker_errors:
+            failures.append(f"{broker_errors} broker-side decode errors")
+        if not prom.startswith("HTTP/1.1 200") or "serve_" not in prom:
+            failures.append("Prometheus scrape empty or not 200")
+        if report.messages_published == 0:
+            failures.append("no messages published (soak misconfigured)")
+
+        analysis = analyze_trace(trace_path)
+        parity = server.core.parity_counters()
+        offline = {
+            "messages_created": analysis.messages["created"],
+            "intended_pairs": analysis.messages["intended_pairs"],
+            "forwards_direct": analysis.forwards["direct"],
+            "deliveries_total": analysis.deliveries["total"],
+            "deliveries_intended": analysis.deliveries["intended"],
+            "deliveries_false": analysis.deliveries["false"],
+        }
+        for key, live in sorted(parity.items()):
+            status = "==" if offline[key] == live else "!="
+            print(f"parity {key}: live {live} {status} offline {offline[key]}")
+            if offline[key] != live:
+                failures.append(
+                    f"parity break on {key}: live {live}, "
+                    f"offline {offline[key]}"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("parity check: all green")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,8 @@ Bloom-Filter-Based Publish-Subscribe System for Human Networks"
   and figure of the paper's evaluation.
 * :mod:`repro.faults` — deterministic fault injection (frame loss,
   truncation, corruption, node churn) for resilience studies.
+* :mod:`repro.serve` — a live asyncio TCP broker daemon speaking the
+  binary wire format, plus the matching load driver.
 * :mod:`repro.api` — the typed public entry points re-exported here.
 
 Quickstart::
@@ -68,22 +70,36 @@ __all__ = [
     "ExperimentSpec",
     "FaultSpec",
     "HashFamily",
+    "LoadSpec",
     "Message",
     "MetricsCollector",
     "PullProtocol",
     "PushProtocol",
+    "ServeSpec",
     "TCBFCollection",
     "TemporalCountingBloomFilter",
     "__version__",
+    "load",
     "replicate",
     "resilience",
     "run",
+    "serve",
     "sweep",
 ]
 
 # The api/faults layers pull in the experiment harness (numpy-heavy);
 # resolve them lazily so `import repro` stays cheap for filter-only use.
-_LAZY_API = ("ExperimentSpec", "run", "sweep", "replicate", "resilience")
+_LAZY_API = (
+    "ExperimentSpec",
+    "LoadSpec",
+    "ServeSpec",
+    "load",
+    "replicate",
+    "resilience",
+    "run",
+    "serve",
+    "sweep",
+)
 
 
 def __getattr__(name: str):

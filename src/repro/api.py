@@ -36,15 +36,20 @@ from .experiments.sweeps import _df_sweep, _ttl_sweep
 from .faults.spec import FaultSpec
 from .obs import Observability
 from .pubsub.adaptive import AdaptiveDecayConfig
+from .serve.spec import LoadSpec, ServeSpec
 from .traces.model import ContactTrace
 from .workload.keys import KeyDistribution
 
 __all__ = [
     "ExperimentSpec",
-    "run",
-    "sweep",
+    "LoadSpec",
+    "ServeSpec",
+    "load",
     "replicate",
     "resilience",
+    "run",
+    "serve",
+    "sweep",
 ]
 
 
@@ -278,3 +283,37 @@ def resilience(
         distribution=distribution,
         obs=obs,
     )
+
+
+def serve(
+    spec: Optional[ServeSpec] = None,
+    *,
+    duration_s: Optional[float] = None,
+    registry=None,
+) -> dict:
+    """Run a live broker daemon per *spec*; blocks until done.
+
+    Serves the :mod:`repro.pubsub.wire` binary format over TCP until
+    *duration_s* elapses (forever when ``None``; Ctrl-C stops cleanly),
+    then shuts down gracefully and returns the run summary.  With
+    ``spec.trace_path`` set, the broker streams a schema-v2 trace whose
+    :func:`repro.obs.analyze_trace` totals match the live registry
+    exactly — same numbers online and offline.
+    """
+    from .serve.broker import run_broker
+
+    return run_broker(spec or ServeSpec(), duration_s, registry=registry)
+
+
+def load(spec: Optional[LoadSpec] = None, *, distribution=None):
+    """Replay a synthetic workload against a live broker; blocks.
+
+    Plans the whole workload deterministically from ``spec.seed``
+    (Table-II key distribution, diurnal arrival profiles), runs
+    ``spec.sessions`` concurrent socket sessions, and returns the
+    client-side :class:`~repro.serve.load.LoadReport` with true
+    end-to-end latency percentiles.
+    """
+    from .serve.load import run_load
+
+    return run_load(spec or LoadSpec(), distribution=distribution)

@@ -17,6 +17,11 @@ code:
 * ``export``    — write a synthetic trace to CSV (for other tools).
 * ``synth``     — stream a city-scale synthetic trace to an on-disk
   dataset directory (out-of-core; see ``docs/performance.md``).
+* ``serve``     — run the live asyncio TCP broker daemon (binary wire
+  format, durable subscriptions, Prometheus metrics, schema-v2 trace
+  emission; see ``docs/serving.md``).
+* ``load``      — replay a deterministic synthetic workload against a
+  live broker and report end-to-end latency.
 
 Traces come from the built-in generators (``haggle``, ``mit``,
 ``mobility``), from a file (``csv:PATH`` / ``txt:PATH``), or from an
@@ -528,6 +533,74 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _write_metrics(registry, path: str, fmt: str) -> None:
+    if fmt == "prom":
+        registry.write_prom(path)
+    else:
+        with open(path, "w") as fh:
+            fh.write(registry.to_json())
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from .obs.registry import MetricsRegistry
+    from .serve import ServeSpec
+    from .serve.broker import run_broker
+
+    spec = ServeSpec.parse(args.spec) if args.spec else ServeSpec()
+    if args.port is not None:
+        spec = spec.with_port(args.port)
+    if args.metrics_port is not None:
+        spec = spec.with_metrics_port(args.metrics_port)
+    if args.trace_out is not None:
+        spec = spec.with_trace(args.trace_out)
+    registry = MetricsRegistry()
+    print(f"broker: {spec.describe()}", file=sys.stderr)
+    summary = run_broker(spec, args.duration, registry=registry)
+    if args.metrics_out is not None:
+        _write_metrics(registry, args.metrics_out, args.metrics_format)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        rows = [[key, summary[key]] for key in sorted(summary)]
+        print(format_table(["field", "value"], rows, title="Broker run"))
+    return 0
+
+
+def _cmd_load(args) -> int:
+    import json
+
+    from .serve import LoadSpec
+    from .serve.load import run_load
+
+    spec = LoadSpec.parse(args.spec) if args.spec else LoadSpec()
+    if args.host is not None or args.port is not None:
+        spec = spec.with_target(
+            args.host if args.host is not None else spec.host,
+            args.port if args.port is not None else spec.port,
+        )
+    if args.sessions is not None:
+        spec = spec.with_sessions(args.sessions)
+    if args.duration is not None:
+        spec = spec.with_duration(args.duration)
+    print(f"load: {spec.describe()}", file=sys.stderr)
+    report = run_load(spec)
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    else:
+        flat = report.as_dict()
+        latency = flat.pop("latency")
+        rows = [[key, flat[key]] for key in sorted(flat)]
+        rows += [
+            [f"latency {key}", round(value, 3)]
+            for key, value in latency.items()
+        ]
+        print(format_table(["field", "value"], rows, title="Load run"))
+    # A healthy run decodes every broker frame it receives.
+    return 1 if report.decode_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -635,6 +708,57 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--seed", type=int, default=0)
     synth.add_argument("--name", default="city")
     synth.set_defaults(func=_cmd_synth)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the live asyncio TCP broker daemon",
+        description="Serve the binary wire format over TCP: durable "
+                    "subscriptions, live Prometheus metrics, and a "
+                    "schema-v2 event trace that 'analyze' reproduces "
+                    "exactly (see docs/serving.md).",
+    )
+    serve.add_argument("--spec", default=None, metavar="KV",
+                       help="ServeSpec as 'key=value,...', e.g. "
+                            "'port=7410,matching=bloom,m=512,k=4,"
+                            "faults=loss:0.05+seed:3'")
+    serve.add_argument("--port", type=int, default=None,
+                       help="override the listen port (0 = ephemeral)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve Prometheus text on this port")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve this many seconds then stop "
+                            "(default: until Ctrl-C)")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="stream the schema-v2 event trace here")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the final metrics snapshot")
+    serve.add_argument("--metrics-format", choices=["json", "prom"],
+                       default="json")
+    serve.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+    serve.set_defaults(func=_cmd_serve)
+
+    load = commands.add_parser(
+        "load",
+        help="replay a synthetic workload against a live broker",
+        description="Plan a deterministic pub-sub workload (Table II "
+                    "keys, diurnal arrivals) and drive it over real "
+                    "sockets; reports client-side end-to-end latency. "
+                    "Exits non-zero if any broker frame failed to "
+                    "decode.",
+    )
+    load.add_argument("--spec", default=None, metavar="KV",
+                      help="LoadSpec as 'key=value,...', e.g. "
+                           "'sessions=1000,duration_s=30,"
+                           "publish_rate_per_s=2,arrival=conference'")
+    load.add_argument("--host", default=None)
+    load.add_argument("--port", type=int, default=None)
+    load.add_argument("--sessions", type=int, default=None)
+    load.add_argument("--duration", type=float, default=None,
+                      help="run window in seconds")
+    load.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    load.set_defaults(func=_cmd_load)
 
     return parser
 

@@ -10,10 +10,10 @@ what EXPERIMENTS.md reports.
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core.params import warn_deprecated
 from ..traces.model import ContactTrace
 from ..workload.keys import KeyDistribution
 from .config import ExperimentConfig
@@ -69,12 +69,7 @@ def run_replicated(
     jobs: Optional[int] = None,
 ) -> ReplicatedResult:
     """Deprecated alias for :func:`repro.api.replicate` (same behaviour)."""
-    warnings.warn(
-        "run_replicated() is deprecated; use repro.api.replicate("
-        "trace_factory, spec, seeds=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    warn_deprecated("run_replicated")
     return _run_replicated(
         trace_factory, protocol_name, config, seeds, distribution, jobs
     )

@@ -10,11 +10,11 @@ DFs", Sec. VII-B).
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 from ..core.analysis import expected_unique_keys, recommended_decay_factor
+from ..core.params import warn_deprecated
 from ..dtn.simulator import Simulation, SimulationReport
 from ..faults.plan import FaultPlan
 from ..obs import NULL_RECORDER, Observability
@@ -176,12 +176,7 @@ def run_experiment(
     should build a typed :class:`repro.api.ExperimentSpec` and call
     :func:`repro.api.run` instead.
     """
-    warnings.warn(
-        "run_experiment() is deprecated; use repro.api.run(trace, "
-        "ExperimentSpec(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    warn_deprecated("run_experiment")
     return _run_experiment(trace, protocol_name, config, distribution, obs)
 
 

@@ -8,9 +8,9 @@ path for any ``jobs`` value.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence
 
+from ..core.params import warn_deprecated
 from ..traces.model import ContactTrace
 from ..workload.keys import KeyDistribution
 from .config import (
@@ -34,12 +34,7 @@ def ttl_sweep(
     jobs: Optional[int] = None,
 ) -> Dict[str, List[RunResult]]:
     """Deprecated alias for :func:`repro.api.sweep` with ``ttl_min=...``."""
-    warnings.warn(
-        "ttl_sweep() is deprecated; use repro.api.sweep(trace, spec, "
-        "ttl_min=[...]) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    warn_deprecated("ttl_sweep")
     return _ttl_sweep(
         trace, ttl_values_min, protocols, base_config, distribution, jobs
     )
@@ -82,12 +77,7 @@ def df_sweep(
     jobs: Optional[int] = None,
 ) -> List[RunResult]:
     """Deprecated alias for :func:`repro.api.sweep` with ``df_per_min=...``."""
-    warnings.warn(
-        "df_sweep() is deprecated; use repro.api.sweep(trace, spec, "
-        "df_per_min=[...]) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    warn_deprecated("df_sweep")
     return _df_sweep(
         trace, df_values_per_min, ttl_min, base_config, distribution, jobs
     )

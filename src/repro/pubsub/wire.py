@@ -17,6 +17,13 @@ is a sequence of frames:
   from a source, it does not need to report the counters", Sec. V-D) or
   a consumer's interest BF.
 * ``MESSAGE_BUNDLE`` — one or more messages (header + payload).
+* ``SUBSCRIBE`` — the session-layer durable subscription frame (type
+  bytes ``0x20`` and up are the live-broker session layer, see
+  :mod:`repro.serve`): the consumer's exact interest keys in
+  cleartext.  This is the wire form of the fact the paper leans on
+  throughout — "a user's own subscription list is exact local state" —
+  and is what lets a broker keep ground-truth interest sets (the
+  ``interest_encoding="raw"`` model) across reconnects.
 
 Every frame is ``[1-byte type][4-byte little-endian body length][body]``.
 Frames are self-delimiting, so a contact transcript is just their
@@ -30,6 +37,15 @@ stopped the parse (truncation, an unknown frame type, or a body that
 fails validation).  Receivers in a faulty network (see
 :mod:`repro.faults`) keep every frame that arrived intact and discard
 the rest, instead of crashing on a flipped byte.
+
+Decoding is also *incremental*: ``DecodeResult.consumed`` is the exact
+byte count covered by cleanly decoded frames, so a streaming receiver
+(a TCP session buffering partial reads) calls :func:`decode_frames` on
+its buffer, keeps ``buffer[result.consumed:]`` as the leftover, and
+treats ``truncated_header`` / ``truncated_body`` as "wait for more
+bytes" rather than damage.  :class:`StreamDecoder` packages that
+leftover-buffer contract (plus an oversized-declared-length guard) for
+the live broker's sessions.
 """
 
 from __future__ import annotations
@@ -50,8 +66,10 @@ __all__ = [
     "RelayFilter",
     "FilterRequest",
     "MessageBundle",
+    "Subscribe",
     "FrameError",
     "DecodeResult",
+    "StreamDecoder",
     "encode_frame",
     "decode_frames",
     "encode_message",
@@ -63,6 +81,11 @@ FRAME_INTEREST_ANNOUNCEMENT = 0x11
 FRAME_RELAY_FILTER = 0x12
 FRAME_FILTER_REQUEST = 0x13
 FRAME_MESSAGE_BUNDLE = 0x14
+# Session-layer frames (live broker, repro.serve) start at 0x20 so the
+# contact-layer range keeps room for protocol growth; bytes between
+# 0x15 and 0x1F remain deliberately unknown (the fuzz suite pins 0x15
+# as a future-version byte that must be rejected).
+FRAME_SUBSCRIBE = 0x20
 
 _FRAME_HEADER = struct.Struct("<BI")  # type, body length
 _HELLO_BODY = struct.Struct("<IBId")  # node id, broker flag, degree, time
@@ -114,7 +137,32 @@ class MessageBundle:
             )
 
 
-Frame = Union[Hello, InterestAnnouncement, RelayFilter, FilterRequest, MessageBundle]
+@dataclass(frozen=True)
+class Subscribe:
+    """A consumer's exact, durable interest keys (session layer).
+
+    Replaces the node's whole subscription set on receipt — sending it
+    again is the live-broker form of the paper's genuine-filter
+    re-announcement, and sending it with an updated key set is both
+    subscribe and unsubscribe in one idempotent operation.
+    """
+
+    keys: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.keys) > 65535:
+            raise ValueError("at most 65535 keys per subscribe frame")
+        for key in self.keys:
+            if not key:
+                raise ValueError("subscription keys must be non-empty")
+            if len(key.encode("utf-8")) > 255:
+                raise ValueError("subscription keys are at most 255 bytes")
+
+
+Frame = Union[
+    Hello, InterestAnnouncement, RelayFilter, FilterRequest, MessageBundle,
+    Subscribe,
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +179,9 @@ class FrameError:
         ``"truncated_header"`` — fewer than 5 header bytes remained;
         ``"truncated_body"`` — the declared body length runs past the
         end of the buffer (never over-read);
+        ``"oversized_body"`` — the declared body length exceeds the
+        caller's ``max_body_len`` bound (a hostile or corrupted length
+        a streaming receiver must not wait to buffer);
         ``"unknown_frame_type"`` — an unrecognised type byte (a flipped
         bit, or a frame from a future protocol version);
         ``"bad_body"`` — the body failed structural validation while
@@ -274,6 +325,13 @@ def encode_frame(frame: Frame) -> bytes:
             encode_message(m, p) for m, p in zip(frame.messages, frame.payloads)
         )
         return _frame(FRAME_MESSAGE_BUNDLE, b"".join(parts))
+    if isinstance(frame, Subscribe):
+        parts = [len(frame.keys).to_bytes(2, "little")]
+        parts.extend(
+            len(k.encode("utf-8")).to_bytes(1, "little") + k.encode("utf-8")
+            for k in frame.keys
+        )
+        return _frame(FRAME_SUBSCRIBE, b"".join(parts))
     raise TypeError(f"not a wire frame: {type(frame).__name__}")
 
 
@@ -284,6 +342,7 @@ _KNOWN_FRAME_TYPES = frozenset(
         FRAME_RELAY_FILTER,
         FRAME_FILTER_REQUEST,
         FRAME_MESSAGE_BUNDLE,
+        FRAME_SUBSCRIBE,
     )
 )
 
@@ -310,6 +369,28 @@ def _decode_body(
         )
     if frame_type == FRAME_FILTER_REQUEST:
         return FilterRequest(decode_bloom(body, family))
+    if frame_type == FRAME_SUBSCRIBE:
+        if len(body) < 2:
+            raise ValueError("truncated subscribe count")
+        key_count = int.from_bytes(body[:2], "little")
+        subscribe_keys: List[str] = []
+        position = 2
+        for _ in range(key_count):
+            if position >= len(body):
+                raise ValueError("truncated subscribe key block")
+            length = body[position]
+            position += 1
+            if position + length > len(body):
+                raise ValueError("truncated subscribe key")
+            subscribe_keys.append(
+                body[position : position + length].decode("utf-8")
+            )
+            position += length
+        if position != len(body):
+            raise ValueError(
+                f"{len(body) - position} trailing bytes after subscribe keys"
+            )
+        return Subscribe(tuple(subscribe_keys))
     # FRAME_MESSAGE_BUNDLE
     if len(body) < 2:
         raise ValueError("truncated bundle count")
@@ -324,12 +405,19 @@ def _decode_body(
     return MessageBundle(tuple(messages), tuple(payloads))
 
 
+#: FrameError reasons that mean "the tail might still be completed by
+#: more bytes" — the incremental half of the decode contract.  Every
+#: other reason is damage: more input cannot repair it.
+RESUMABLE_REASONS = frozenset(("truncated_header", "truncated_body"))
+
+
 def decode_frames(
     data: bytes,
     family: HashFamily,
     initial_value: float,
     decay_factor: float = 0.0,
     time: float = 0.0,
+    max_body_len: Optional[int] = None,
 ) -> DecodeResult:
     """Decode a contact transcript back into frames — never raises.
 
@@ -340,6 +428,23 @@ def decode_frames(
     fails structural validation.  Everything decoded before that point
     is returned; the problem itself is described by
     :attr:`DecodeResult.error` (``None`` for a clean parse).
+
+    **Leftover-buffer contract (incremental decoding).**  The function
+    is usable as a streaming decoder: ``consumed`` always lands on a
+    frame boundary, so a receiver accumulating partial reads decodes
+    its buffer, processes ``result.frames``, and carries
+    ``buffer[result.consumed:]`` forward into the next read.  An error
+    whose ``reason`` is in :data:`RESUMABLE_REASONS` (``truncated_header``
+    / ``truncated_body``) is not damage in that setting — it merely
+    marks where the undecoded tail begins — while any other reason is
+    unrecoverable for a length-prefixed stream (there is no way to
+    resynchronise past a lying header).  :class:`StreamDecoder` wraps
+    this contract.
+
+    ``max_body_len`` bounds the declared body length a caller is
+    willing to buffer: a header declaring more is rejected as
+    ``oversized_body`` (non-resumable) *before* any waiting-for-bytes,
+    so a hostile 4 GiB length can never pin a session's memory.
     """
     frames: List[Frame] = []
     offset = 0
@@ -356,6 +461,13 @@ def decode_frames(
             error = FrameError(
                 offset, frame_type, "unknown_frame_type",
                 f"type byte {frame_type:#x}",
+            )
+            break
+        if max_body_len is not None and body_len > max_body_len:
+            error = FrameError(
+                offset, frame_type, "oversized_body",
+                f"declared {body_len} body bytes exceeds the "
+                f"{max_body_len}-byte bound",
             )
             break
         start = offset + _FRAME_HEADER.size
@@ -377,3 +489,101 @@ def decode_frames(
         frames.append(frame)
         offset = end
     return DecodeResult(frames=tuple(frames), error=error, consumed=offset)
+
+
+class StreamDecoder:
+    """Incremental frame decoder for a byte stream (one per session).
+
+    Feed it the chunks a socket yields — split mid-frame, coalescing
+    several frames, or one byte at a time — and it returns the frames
+    completed so far, holding the unfinished tail in an internal
+    buffer.  The contract mirrors :func:`decode_frames`:
+
+    * ``feed(chunk)`` returns a :class:`DecodeResult` whose ``frames``
+      are newly completed frames and whose ``error`` is ``None`` while
+      the stream is merely mid-frame (resumable truncation is the
+      *expected* steady state, not an error).
+    * A non-resumable problem (unknown type byte, oversized declared
+      length, a body failing validation) sets :attr:`fatal` and is
+      returned as the result's ``error``; a length-prefixed stream
+      cannot resynchronise past it, so the session must be dropped.
+      Further ``feed`` calls return the same error and no frames.
+    * ``pending`` exposes the buffered tail size; ``at_boundary`` is
+      True when the stream currently sits exactly on a frame boundary
+      (the clean-disconnect test: EOF mid-frame means the peer died
+      mid-transfer).
+
+    ``max_frame_bytes`` bounds both the declared body length *and* the
+    buffered tail, so a peer can never grow the buffer past one
+    maximum-size frame plus one chunk.
+    """
+
+    __slots__ = (
+        "family", "initial_value", "decay_factor", "max_frame_bytes",
+        "_buffer", "_fatal", "bytes_fed", "frames_decoded",
+    )
+
+    def __init__(
+        self,
+        family: HashFamily,
+        initial_value: float,
+        decay_factor: float = 0.0,
+        max_frame_bytes: int = 1 << 20,
+    ):
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.family = family
+        self.initial_value = initial_value
+        self.decay_factor = decay_factor
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = b""
+        self._fatal: Optional[FrameError] = None
+        self.bytes_fed = 0
+        self.frames_decoded = 0
+
+    @property
+    def fatal(self) -> Optional[FrameError]:
+        """The unrecoverable error that poisoned the stream, if any."""
+        return self._fatal
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    @property
+    def at_boundary(self) -> bool:
+        """True when no partial frame is buffered (clean cut point)."""
+        return not self._buffer and self._fatal is None
+
+    def feed(self, chunk: bytes, time: float = 0.0) -> DecodeResult:
+        """Absorb *chunk*; return the frames it completed.
+
+        ``time`` is passed through to TCBF body decoding (the
+        receiver's clock, for decay alignment).  Never raises.
+        """
+        if self._fatal is not None:
+            return DecodeResult(frames=(), error=self._fatal, consumed=0)
+        self.bytes_fed += len(chunk)
+        data = self._buffer + chunk if self._buffer else chunk
+        result = decode_frames(
+            data,
+            self.family,
+            self.initial_value,
+            self.decay_factor,
+            time=time,
+            max_body_len=self.max_frame_bytes,
+        )
+        self.frames_decoded += len(result.frames)
+        if result.error is None or result.error.reason in RESUMABLE_REASONS:
+            # Mid-frame is the steady state: keep the tail, report no
+            # error, and wait for the next chunk.
+            self._buffer = data[result.consumed:]
+            return DecodeResult(
+                frames=result.frames, error=None, consumed=result.consumed
+            )
+        self._fatal = result.error
+        self._buffer = b""
+        return result

@@ -1,0 +1,40 @@
+"""Live serving: an asyncio TCP broker daemon + load driver.
+
+The simulator replays contacts; this package *serves* them: a real
+socket daemon speaking the :mod:`repro.pubsub.wire` binary format,
+with durable subscriptions, live Prometheus metrics, and schema-v2
+trace emission that keeps ``bsub analyze`` exactly in agreement with
+the broker's own registry.  See ``docs/serving.md``.
+
+Layering (transport-free core under an asyncio shell):
+
+* :class:`ServeSpec` / :class:`LoadSpec` — frozen typed configuration
+  (the :mod:`repro.api` facade re-exports these).
+* :class:`SessionContext` — the typed per-connection identity record.
+* :class:`BrokerCore` + :class:`Dispatcher` — socket-free protocol
+  engine (fully unit-testable).
+* :class:`BrokerServer` / :func:`run_broker` — the asyncio daemon.
+* :class:`LoadDriver` / :func:`run_load` — the asyncio load driver.
+"""
+
+from .broker import BrokerServer, run_broker
+from .dispatcher import BrokerCore, Dispatcher, HandleResult, ProtocolError
+from .load import LoadDriver, LoadReport, run_load
+from .session import BROKER_NODE_ID, SessionContext
+from .spec import LoadSpec, ServeSpec
+
+__all__ = [
+    "BROKER_NODE_ID",
+    "BrokerCore",
+    "BrokerServer",
+    "Dispatcher",
+    "HandleResult",
+    "LoadDriver",
+    "LoadReport",
+    "LoadSpec",
+    "ProtocolError",
+    "ServeSpec",
+    "SessionContext",
+    "run_broker",
+    "run_load",
+]

@@ -1,0 +1,343 @@
+"""The asyncio TCP broker daemon.
+
+:class:`BrokerServer` owns everything transport: accepting sockets,
+feeding each connection's bytes through a per-session
+:class:`~repro.pubsub.wire.StreamDecoder`, enforcing the idle timeout,
+writing outbound frames, and shutting down gracefully.  Every decoded
+frame is handed to the transport-free :class:`~repro.serve.dispatcher.
+BrokerCore`, which owns the pub-sub semantics — so this module contains
+no protocol logic at all, only plumbing:
+
+* **Partial reads are the normal case.**  A read may end mid-frame or
+  carry several coalesced frames; the stream decoder buffers across
+  reads and only ever yields whole frames.  EOF while the decoder is
+  mid-frame is counted as a mid-frame disconnect (the peer died during
+  a transfer).
+* **A hostile peer cannot crash a session loop.**  Oversized declared
+  lengths, unknown type bytes, and malformed bodies all surface as a
+  fatal decode error: the session is counted and closed, the broker
+  keeps serving.
+* **Keepalive / idle timeout.**  Any inbound byte counts as activity;
+  a session silent for ``spec.idle_timeout_s`` is closed.  Clients with
+  nothing to say send a repeated ``Hello``.
+* **Graceful shutdown.**  ``stop()`` stops accepting, closes every
+  session (emitting its ``contact`` event), drains the session tasks,
+  emits ``sim_end``, and flushes the trace sink — so the emitted trace
+  is always complete and ``bsub analyze`` over it reproduces the live
+  registry exactly.
+* **Live metrics.**  When ``spec.metrics_port`` is set, a minimal HTTP
+  responder serves the registry in Prometheus text exposition format
+  (any GET path answers, ``/metrics`` is conventional).
+
+Run one with :func:`run_broker` (blocking, CLI-facing) or manage the
+lifecycle yourself with ``await BrokerServer(spec).start()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Dict, Optional, Set, Tuple
+
+from ..obs.recorder import NULL_RECORDER, TraceRecorder
+from ..obs.registry import MetricsRegistry
+from ..pubsub.wire import Frame, StreamDecoder, encode_frame
+from .dispatcher import BrokerCore, ProtocolError
+from .spec import ServeSpec
+
+__all__ = ["BrokerServer", "run_broker"]
+
+#: Socket read size.  Large enough that a maximum-rate session rarely
+#: needs two syscalls per frame batch, small enough to share fairly.
+_READ_CHUNK = 1 << 16
+
+
+class BrokerServer:
+    """One live broker: sockets in front, a :class:`BrokerCore` behind.
+
+    Parameters
+    ----------
+    spec:
+        The frozen :class:`~repro.serve.spec.ServeSpec`.  ``port`` (and
+        ``metrics_port``) may be 0 to bind ephemerally; the bound ports
+        are exposed as :attr:`port` / :attr:`metrics_port` after
+        ``start()``.
+    registry:
+        Live metrics registry (created if omitted).
+    recorder:
+        Explicit trace recorder.  When omitted and ``spec.trace_path``
+        is set, the broker opens that file and streams schema-v2 JSONL
+        to it, closing it on ``stop()``.
+    """
+
+    def __init__(
+        self,
+        spec: ServeSpec,
+        registry: Optional[MetricsRegistry] = None,
+        recorder=None,
+    ):
+        self.spec = spec
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._trace_file = None
+        if recorder is None:
+            if spec.trace_path is not None:
+                self._trace_file = open(spec.trace_path, "w")
+                recorder = TraceRecorder(sink=self._trace_file)
+            else:
+                recorder = NULL_RECORDER
+        self.recorder = recorder
+        origin = _time.monotonic()
+        self.core = BrokerCore(
+            spec,
+            registry=self.registry,
+            recorder=recorder,
+            clock=lambda: _time.monotonic() - origin,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._next_session = 1
+        self._stopping = False
+        self._summary: Optional[dict] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "BrokerServer":
+        """Bind the listening socket(s); returns self for chaining."""
+        self._server = await asyncio.start_server(
+            self._on_client, host=self.spec.host, port=self.spec.port
+        )
+        if self.spec.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_client,
+                host=self.spec.host,
+                port=self.spec.metrics_port,
+            )
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound broker port (resolves ephemeral binds)."""
+        assert self._server is not None, "broker not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound metrics port, if a metrics endpoint is up."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    @property
+    def summary(self) -> Optional[dict]:
+        """The shutdown summary once ``stop()`` has run."""
+        return self._summary
+
+    async def stop(self) -> dict:
+        """Graceful shutdown; idempotent.  Returns the run summary."""
+        if self._summary is not None:
+            return self._summary
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+        # Nudge every live session loop to finish, then drain them so
+        # each runs its disconnect accounting before sim_end.
+        for writer in list(self._writers.values()):
+            writer.close()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._summary = self.core.shutdown()
+        if self._trace_file is not None:
+            self._trace_file.close()
+            self._trace_file = None
+        return self._summary
+
+    async def serve_for(self, duration_s: Optional[float]) -> dict:
+        """Serve for *duration_s* seconds (forever when ``None``), stop."""
+        try:
+            if duration_s is None:
+                await asyncio.Event().wait()
+            else:
+                await asyncio.sleep(duration_s)
+        finally:
+            return await self.stop()  # noqa: B012
+
+    # -- client sessions ----------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session_id = self._next_session
+        self._next_session += 1
+        peername = writer.get_extra_info("peername")
+        peer = (
+            f"{peername[0]}:{peername[1]}"
+            if isinstance(peername, tuple) and len(peername) >= 2
+            else str(peername)
+        )
+        try:
+            self.core.connect(session_id, peer)
+        except ProtocolError:
+            writer.close()
+            return
+        self._writers[session_id] = writer
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        decoder = StreamDecoder(
+            self.core.family,
+            self.spec.initial_value,
+            decay_factor=self.core._df_per_s,
+            max_frame_bytes=self.spec.max_frame_bytes,
+        )
+        reason = "eof"
+        try:
+            reason = await self._session_loop(session_id, reader, decoder)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            reason = "reset"
+        except asyncio.CancelledError:
+            reason = "shutdown" if self._stopping else "cancelled"
+        finally:
+            self._close_session(session_id, reason, decoder)
+
+    async def _session_loop(
+        self,
+        session_id: int,
+        reader: asyncio.StreamReader,
+        decoder: StreamDecoder,
+    ) -> str:
+        """Read/decode/dispatch until the session ends; returns why."""
+        while True:
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(_READ_CHUNK), timeout=self.spec.idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self.registry.counter("serve_idle_timeouts_total").inc()
+                return "idle_timeout"
+            if not chunk:
+                if not decoder.at_boundary:
+                    self.registry.counter(
+                        "serve_midframe_disconnects_total"
+                    ).inc()
+                    return "midframe_eof"
+                return "eof"
+            result = decoder.feed(chunk, time=self.core.clock())
+            for frame in result.frames:
+                try:
+                    handled = self.core.handle_frame(session_id, frame)
+                except ProtocolError:
+                    self.registry.counter("serve_protocol_errors_total").inc()
+                    return "protocol_error"
+                await self._apply(handled)
+            if result.error is not None:
+                self.core.handle_decode_error(session_id, result.error)
+                return "decode_error"
+
+    async def _apply(self, handled) -> None:
+        """Carry out a HandleResult: sends first, then forced closes."""
+        for target, frame in handled.outbound:
+            await self._send(target, frame)
+        for target, reason in handled.close:
+            writer = self._writers.get(target)
+            if writer is not None:
+                # The target's own session loop sees EOF and accounts
+                # the disconnect; superseded sessions must not keep the
+                # node's delivery route.
+                self.core.disconnect(target, reason=reason)
+                self._writers.pop(target, None)
+                writer.close()
+
+    async def _send(self, session_id: int, frame: Frame) -> None:
+        writer = self._writers.get(session_id)
+        if writer is None or writer.is_closing():
+            self.registry.counter("serve_send_drops_total").inc()
+            return
+        try:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+            self.registry.counter("serve_frames_out_total").inc()
+        except ConnectionError:
+            self.registry.counter("serve_send_drops_total").inc()
+
+    def _close_session(
+        self, session_id: int, reason: str, decoder: StreamDecoder
+    ) -> None:
+        writer = self._writers.pop(session_id, None)
+        if writer is not None:
+            writer.close()
+        self.registry.counter("serve_bytes_in_total").inc(decoder.bytes_fed)
+        self.core.disconnect(session_id, reason=reason)
+
+    # -- metrics endpoint ---------------------------------------------------
+
+    async def _on_metrics_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP GET with the Prometheus exposition text."""
+        try:
+            # Read the request head; the body of a GET is empty.
+            await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        body = self.registry.to_prom().encode("utf-8")
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+
+def run_broker(
+    spec: ServeSpec,
+    duration_s: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Blocking entry point: serve until *duration_s* (or Ctrl-C).
+
+    Returns the shutdown summary dict.  This is what ``bsub serve``
+    calls; library code embedding a broker should drive
+    :class:`BrokerServer` inside its own event loop instead.
+    """
+
+    async def _main() -> dict:
+        server = BrokerServer(spec, registry=registry)
+        await server.start()
+        try:
+            return await server.serve_for(duration_s)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            return await server.stop()
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        return {"interrupted": True}
+
+
+def parse_hostport(value: str) -> Tuple[str, int]:
+    """``"host:port"`` -> tuple (CLI convenience)."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {value!r}")
+    return host, int(port)

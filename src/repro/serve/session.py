@@ -1,0 +1,85 @@
+"""The typed per-connection session record.
+
+A :class:`SessionContext` is the broker's *identity* view of one TCP
+connection: who connected, when, and — once the peer introduced itself
+with a ``Hello`` frame — which protocol node it is.  It is frozen, so
+every lifecycle transition produces a new context via a ``with_*``
+helper; the mutable transport machinery (stream decoder, writer,
+activity clock) lives with the connection handler, never here.
+
+Lifecycle::
+
+    connect  ->  SessionContext(session_id, peer, connected_at)
+    Hello    ->  ctx.with_hello(node_id, t)     # identified, keepalive
+    Hello    ->  ctx.with_hello(node_id, t)     # later Hellos refresh
+    close    ->  (context discarded; durable subscription state for
+                  ctx.node_id survives in the BrokerCore)
+
+A session must identify before any other frame is accepted — the
+broker needs a node id to anchor durable subscriptions, delivery
+routing, and trace events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["SessionContext", "BROKER_NODE_ID"]
+
+#: The broker's own protocol node id.  Client ``Hello`` frames must
+#: carry ids >= 1; 0 is reserved so trace events can always distinguish
+#: the daemon from its peers.
+BROKER_NODE_ID = 0
+
+
+@dataclass(frozen=True)
+class SessionContext:
+    """Immutable identity snapshot of one live connection.
+
+    Attributes
+    ----------
+    session_id:
+        Broker-local connection counter (unique per accept, never
+        reused within one broker lifetime).
+    peer:
+        Remote address as ``"host:port"`` (diagnostics only).
+    connected_at:
+        Broker-relative time of the accept, seconds.
+    node_id:
+        The protocol node id the peer claimed via ``Hello``; ``None``
+        until the session identified.
+    hello_at:
+        Broker-relative time of the most recent ``Hello`` (the
+        keepalive timestamp); ``None`` until identified.
+    """
+
+    session_id: int
+    peer: str
+    connected_at: float
+    node_id: Optional[int] = None
+    hello_at: Optional[float] = None
+
+    @property
+    def identified(self) -> bool:
+        """True once the peer has introduced itself with ``Hello``."""
+        return self.node_id is not None
+
+    def with_hello(self, node_id: int, t: float) -> "SessionContext":
+        """The context after a ``Hello`` frame at broker time *t*.
+
+        A repeated ``Hello`` with the same id refreshes ``hello_at``
+        (keepalive); changing the node id mid-session is a protocol
+        error the caller must reject before getting here.
+        """
+        if node_id < 1:
+            raise ValueError(
+                f"client node ids must be >= 1 "
+                f"({BROKER_NODE_ID} is the broker), got {node_id}"
+            )
+        if self.node_id is not None and node_id != self.node_id:
+            raise ValueError(
+                f"session {self.session_id} is bound to node "
+                f"{self.node_id}; cannot rebind to {node_id}"
+            )
+        return replace(self, node_id=node_id, hello_at=t)

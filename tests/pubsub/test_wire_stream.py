@@ -1,0 +1,164 @@
+"""Incremental decoding: the leftover-buffer contract and StreamDecoder.
+
+The broker feeds socket reads straight into :class:`StreamDecoder`, so
+this is the layer that turns "TCP is a byte stream" back into frames.
+The contract under test: frames split across arbitrary chunk
+boundaries decode identically to one contiguous buffer; resumable
+truncation is silent steady state; any non-resumable problem poisons
+the stream permanently.
+"""
+
+import pytest
+
+from repro.core.hashing import HashFamily
+from repro.core.tcbf import TemporalCountingBloomFilter
+from repro.pubsub.messages import Message
+from repro.pubsub.wire import (
+    RESUMABLE_REASONS,
+    Hello,
+    InterestAnnouncement,
+    MessageBundle,
+    StreamDecoder,
+    Subscribe,
+    decode_frames,
+    encode_frame,
+)
+
+
+@pytest.fixture
+def family():
+    return HashFamily(num_hashes=4, num_bits=256)
+
+
+def sample_frames(family):
+    tcbf = TemporalCountingBloomFilter(
+        family=family, initial_value=50.0, decay_factor=0.0
+    )
+    tcbf.insert("NewMoon")
+    message = Message.create("NewMoon", source=3, created_at=1.0,
+                             ttl_s=600.0, size_bytes=5)
+    return [
+        Hello(node_id=7, is_broker=False, degree=2, time=1.0),
+        Subscribe(("NewMoon", "H1N1")),
+        InterestAnnouncement(tcbf),
+        MessageBundle((message,), (b"hello",)),
+    ]
+
+
+def feed_all(decoder, blob, chunk_size):
+    frames = []
+    for start in range(0, len(blob), chunk_size):
+        result = decoder.feed(blob[start:start + chunk_size])
+        assert result.error is None
+        frames.extend(result.frames)
+    return frames
+
+
+class TestDecodeFramesContract:
+    def test_consumed_lands_on_frame_boundary(self, family):
+        blob = b"".join(encode_frame(f) for f in sample_frames(family))
+        # Cut mid-way through the last frame.
+        cut = blob[: len(blob) - 3]
+        result = decode_frames(cut, family, 50.0)
+        assert result.error is not None
+        assert result.error.reason in RESUMABLE_REASONS
+        assert len(result.frames) == 3
+        # The documented carry-forward: buffer[consumed:] + next read
+        # must complete the stream.
+        rest = cut[result.consumed:] + blob[len(blob) - 3:]
+        result2 = decode_frames(rest, family, 50.0)
+        assert result2.ok and len(result2.frames) == 1
+
+    def test_max_body_len_rejects_declared_oversize(self, family):
+        blob = encode_frame(Hello(1, False, 0, 0.0))
+        result = decode_frames(blob, family, 50.0, max_body_len=4)
+        assert result.error is not None
+        assert result.error.reason == "oversized_body"
+        assert result.error.reason not in RESUMABLE_REASONS
+
+    def test_oversized_rejected_before_waiting_for_bytes(self, family):
+        # Header declaring 4 GiB with no body present: must be rejected
+        # as oversized, not reported as resumable truncation.
+        import struct
+        header = struct.pack("<BI", 0x10, 0xFFFFFFFF)
+        result = decode_frames(header, family, 50.0, max_body_len=1 << 20)
+        assert result.error.reason == "oversized_body"
+
+
+class TestStreamDecoder:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, 10_000])
+    def test_arbitrary_chunking_equals_contiguous(self, family, chunk_size):
+        frames = sample_frames(family)
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = StreamDecoder(family, 50.0)
+        decoded = feed_all(decoder, blob, chunk_size)
+        assert len(decoded) == len(frames)
+        assert [type(f) for f in decoded] == [type(f) for f in frames]
+        assert decoder.at_boundary
+        assert decoder.pending == 0
+        assert decoder.frames_decoded == len(frames)
+        assert decoder.bytes_fed == len(blob)
+
+    def test_coalesced_frames_in_one_chunk(self, family):
+        frames = sample_frames(family)
+        blob = b"".join(encode_frame(f) for f in frames)
+        result = StreamDecoder(family, 50.0).feed(blob)
+        assert result.error is None
+        assert len(result.frames) == len(frames)
+
+    def test_mid_frame_state_is_not_an_error(self, family):
+        blob = encode_frame(Subscribe(("alpha", "beta")))
+        decoder = StreamDecoder(family, 50.0)
+        result = decoder.feed(blob[:4])
+        assert result.error is None and result.frames == ()
+        assert not decoder.at_boundary
+        assert decoder.pending == 4
+        result = decoder.feed(blob[4:])
+        assert result.frames[0] == Subscribe(("alpha", "beta"))
+        assert decoder.at_boundary
+
+    def test_unknown_type_byte_is_fatal(self, family):
+        decoder = StreamDecoder(family, 50.0)
+        result = decoder.feed(b"\xee\x00\x00\x00\x00")
+        assert result.error is not None
+        assert result.error.reason == "unknown_frame_type"
+        assert decoder.fatal is result.error
+
+    def test_fatal_stream_stays_poisoned(self, family):
+        decoder = StreamDecoder(family, 50.0)
+        decoder.feed(b"\xee\x00\x00\x00\x00")
+        # Even a perfectly valid frame cannot revive the stream: there
+        # is no resynchronisation in a length-prefixed format.
+        result = decoder.feed(encode_frame(Hello(1, False, 0, 0.0)))
+        assert result.frames == ()
+        assert result.error.reason == "unknown_frame_type"
+        assert decoder.pending == 0
+
+    def test_oversized_declared_length_is_fatal(self, family):
+        import struct
+        decoder = StreamDecoder(family, 50.0, max_frame_bytes=128)
+        result = decoder.feed(struct.pack("<BI", 0x14, 1 << 30))
+        assert result.error.reason == "oversized_body"
+        assert decoder.fatal is not None
+
+    def test_interleaved_valid_then_fatal(self, family):
+        frames = sample_frames(family)
+        blob = b"".join(encode_frame(f) for f in frames)
+        decoder = StreamDecoder(family, 50.0)
+        result = decoder.feed(blob + b"\xee\x00\x00\x00\x00")
+        # Every complete valid frame before the poison byte decodes.
+        assert len(result.frames) == len(frames)
+        assert result.error.reason == "unknown_frame_type"
+
+    def test_frame_split_across_three_reads(self, family):
+        blob = encode_frame(Hello(9, True, 4, 2.5))
+        decoder = StreamDecoder(family, 50.0)
+        third = len(blob) // 3
+        assert decoder.feed(blob[:third]).frames == ()
+        assert decoder.feed(blob[third:2 * third]).frames == ()
+        frames = decoder.feed(blob[2 * third:]).frames
+        assert frames == (Hello(9, True, 4, 2.5),)
+
+    def test_max_frame_bytes_validation(self, family):
+        with pytest.raises(ValueError, match="max_frame_bytes"):
+            StreamDecoder(family, 50.0, max_frame_bytes=0)

@@ -1,0 +1,1 @@
+"""Tests for the live serving layer (repro.serve)."""

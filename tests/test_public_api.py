@@ -39,7 +39,8 @@ class TestTopLevel:
         # The typed API loads lazily (PEP 562) but must still be
         # discoverable.
         for name in ("ExperimentSpec", "run", "sweep", "replicate",
-                     "resilience", "FaultSpec"):
+                     "resilience", "FaultSpec", "ServeSpec", "LoadSpec",
+                     "serve", "load"):
             assert name in dir(repro), name
 
 
@@ -54,16 +55,18 @@ class TestSurfaceSnapshot:
         assert sorted(repro.__all__) == [
             "BloomFilter", "BsubConfig", "BsubProtocol",
             "CountingBloomFilter", "ExperimentSpec", "FaultSpec",
-            "HashFamily", "Message", "MetricsCollector", "PullProtocol",
-            "PushProtocol", "TCBFCollection", "TemporalCountingBloomFilter",
-            "__version__", "replicate", "resilience", "run", "sweep",
+            "HashFamily", "LoadSpec", "Message", "MetricsCollector",
+            "PullProtocol", "PushProtocol", "ServeSpec", "TCBFCollection",
+            "TemporalCountingBloomFilter", "__version__", "load",
+            "replicate", "resilience", "run", "serve", "sweep",
         ]
 
     def test_api_module_all(self):
         import repro.api
 
         assert sorted(repro.api.__all__) == [
-            "ExperimentSpec", "replicate", "resilience", "run", "sweep",
+            "ExperimentSpec", "LoadSpec", "ServeSpec", "load",
+            "replicate", "resilience", "run", "serve", "sweep",
         ]
 
     def test_faults_module_all(self):
@@ -93,6 +96,8 @@ class TestSurfaceSnapshot:
         assert params(api.resilience) == [
             "trace", "spec", "distribution", "obs",
         ]
+        assert params(api.serve) == ["spec", "duration_s", "registry"]
+        assert params(api.load) == ["spec", "distribution"]
 
     def test_experiment_spec_fields(self):
         import dataclasses
@@ -105,6 +110,24 @@ class TestSurfaceSnapshot:
         # Normalised names only — the aliases live at call sites.
         assert "num_bits" in names and "m" not in names
         assert "num_hashes" in names and "k" not in names
+
+    def test_serve_spec_fields(self):
+        import dataclasses
+
+        from repro.api import LoadSpec, ServeSpec
+
+        serve_names = [f.name for f in dataclasses.fields(ServeSpec)]
+        assert serve_names[:2] == ["host", "port"]
+        for name in ("matching", "filter_spec", "faults", "idle_timeout_s",
+                     "max_frame_bytes", "trace_path", "metrics_port"):
+            assert name in serve_names, name
+        # Normalised names only — m/k/df aliases live in parse().
+        assert "num_bits" in serve_names and "m" not in serve_names
+        assert "num_hashes" in serve_names and "k" not in serve_names
+        load_names = [f.name for f in dataclasses.fields(LoadSpec)]
+        for name in ("sessions", "publisher_fraction", "duration_s",
+                     "arrival", "seed", "faults"):
+            assert name in load_names, name
 
     def test_filter_constructors_accept_aliases(self):
         import inspect
@@ -159,7 +182,13 @@ class TestSubpackageSurfaces:
                 "ascii_chart", "ALL_PROTOCOLS",
             ]),
             ("repro.api", [
-                "ExperimentSpec", "run", "sweep", "replicate", "resilience",
+                "ExperimentSpec", "ServeSpec", "LoadSpec", "run", "sweep",
+                "replicate", "resilience", "serve", "load",
+            ]),
+            ("repro.serve", [
+                "ServeSpec", "LoadSpec", "SessionContext", "BrokerCore",
+                "BrokerServer", "Dispatcher", "LoadDriver", "LoadReport",
+                "ProtocolError", "run_broker", "run_load", "BROKER_NODE_ID",
             ]),
             ("repro.faults", [
                 "FaultSpec", "FaultPlan", "FaultyContactChannel",
@@ -177,7 +206,7 @@ class TestSubpackageSurfaces:
         [
             "repro.core", "repro.pubsub", "repro.dtn", "repro.traces",
             "repro.social", "repro.workload", "repro.experiments",
-            "repro.api", "repro.faults",
+            "repro.api", "repro.faults", "repro.serve",
         ],
     )
     def test_all_lists_resolve(self, module):
@@ -210,7 +239,9 @@ class TestDocstrings:
             "repro.workload.keys", "repro.experiments.runner",
             "repro.experiments.resilience", "repro.api", "repro.faults.spec",
             "repro.faults.channel", "repro.faults.churn", "repro.faults.plan",
-            "repro.cli",
+            "repro.cli", "repro.serve", "repro.serve.spec",
+            "repro.serve.session", "repro.serve.dispatcher",
+            "repro.serve.broker", "repro.serve.load",
         ],
     )
     def test_module_docstrings(self, module):

@@ -1,13 +1,31 @@
-"""BENCH_serve — live-broker throughput and latency vs session count.
+"""BENCH_serve — live-broker throughput and latency vs sessions and workers.
 
-Runs the :mod:`repro.serve` asyncio broker in-process and drives it
-with the deterministic load generator (``python -m repro load``) in a
-*subprocess*, so broker and clients each own their own file-descriptor
-budget and event loop — the broker cell is measured, not the client.
-Each cell records connected sessions, publish throughput, end-to-end
-delivery latency percentiles (client-measured over real sockets), and
-the broker's own counters; every cell asserts **zero decode errors**,
-which is the PR's acceptance bar for the session layer.
+Runs the :mod:`repro.serve` broker in-process and drives it with the
+deterministic load generator (``python -m repro load``) in one or more
+*subprocesses*, so broker and clients each own their own
+file-descriptor budget and event loop — the broker cell is measured,
+not the client.  Each cell records connected sessions, publish
+throughput, end-to-end delivery latency percentiles (client-measured
+over real sockets), and the broker's own counters; every cell asserts
+**zero decode errors**, which is the acceptance bar for the session
+layer.
+
+Two ladders:
+
+* **Session ladder** (1k/5k/10k, single process) — the historical
+  curve: throughput and latency vs concurrent sessions.
+* **Worker ladder** (1/2/4 SO_REUSEPORT workers at equal offered
+  load) — fleet scaling.  On a multi-core host the delivery
+  throughput should scale with workers; on a single-core host the
+  curve is flat (workers time-share one CPU) and the cell honestly
+  records ``cpu_count`` so readers can tell which regime they are in.
+* **City rung** (100k sessions, 8 workers × 8 sharded load driver
+  subprocesses) — both sides shard to stay inside the per-process
+  RLIMIT_NOFILE; drivers use ``node_offset`` for disjoint node ids,
+  ``ramp_s`` to spread the connect storm, and a per-shard
+  ``bind_host`` source IP (``127.0.0.1x``) because a single loopback
+  source address tops out at the ~28k-port ephemeral range of
+  4-tuples to one broker address.
 
 Run directly::
 
@@ -17,10 +35,6 @@ Run directly::
 or through pytest (smoke cell only)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
-
-The full ladder climbs to 10 000 concurrent sessions; the soft
-RLIMIT_NOFILE is raised to the hard limit first, since the broker
-holds one socket per session.
 """
 
 import argparse
@@ -33,16 +47,29 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.serve import BrokerServer, ServeSpec
+from repro.serve import BrokerFleet, BrokerServer, ServeSpec, event_loop_name
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serve.json"
 
-#: (label, sessions, duration_s, publisher_fraction, rate_per_s)
-SMOKE_CELLS = [("smoke-200", 200, 3.0, 0.1, 2.0)]
+#: (label, sessions, duration_s, publisher_fraction, rate_per_s,
+#:  workers, load_procs, ramp_s)
+SMOKE_CELLS = [("smoke-200", 200, 3.0, 0.1, 2.0, 1, 1, None)]
 FULL_CELLS = [
-    ("s1k", 1_000, 10.0, 0.1, 1.0),
-    ("s5k", 5_000, 10.0, 0.1, 1.0),
-    ("s10k", 10_000, 12.0, 0.05, 1.0),
+    # Session ladder (single process, historical curve).
+    ("s1k", 1_000, 10.0, 0.1, 1.0, 1, 1, None),
+    ("s5k", 5_000, 10.0, 0.1, 1.0, 1, 1, None),
+    ("s10k", 10_000, 12.0, 0.05, 1.0, 1, 1, None),
+    # Worker ladder: identical offered load, growing fleet.
+    ("w1-s2k", 2_000, 10.0, 0.1, 1.0, 1, 1, None),
+    ("w2-s2k", 2_000, 10.0, 0.1, 1.0, 2, 1, None),
+    ("w4-s2k", 2_000, 10.0, 0.1, 1.0, 4, 1, None),
+    # City rung: 100k sessions, sharded 8 ways on both sides.  The
+    # publisher trickle is tiny on purpose: at 100k subscribers over
+    # the 38-key Table II universe a single publish fans out to
+    # thousands of sessions, and the rung measures *session scale*
+    # (connect storm, fd budgets, mesh replication), not fanout
+    # saturation.
+    ("s100k", 100_000, 240.0, 0.0, 0.01, 8, 8, 180.0),
 ]
 
 
@@ -53,22 +80,27 @@ def _raise_nofile() -> int:
     return resource.getrlimit(resource.RLIMIT_NOFILE)[0]
 
 
-async def _run_cell_async(
-    label: str,
+async def _run_load_shard(
+    port: int,
+    shard: int,
     sessions: int,
+    node_offset: int,
     duration_s: float,
     publisher_fraction: float,
     rate_per_s: float,
-    log,
+    ramp_s: Optional[float],
+    bind_host: Optional[str],
 ) -> Dict:
-    server = BrokerServer(ServeSpec(port=0, idle_timeout_s=duration_s + 60))
-    await server.start()
     spec_str = (
-        f"port={server.port},sessions={sessions},"
+        f"port={port},sessions={sessions},"
         f"duration_s={duration_s},publisher_fraction={publisher_fraction},"
-        f"publish_rate_per_s={rate_per_s},interests_per_node=2,seed=13"
+        f"publish_rate_per_s={rate_per_s},interests_per_node=2,"
+        f"seed={13 + shard},node_offset={node_offset}"
     )
-    started = time.perf_counter()
+    if ramp_s is not None:
+        spec_str += f",ramp_s={ramp_s}"
+    if bind_host is not None:
+        spec_str += f",bind_host={bind_host}"
     proc = await asyncio.create_subprocess_exec(
         sys.executable, "-m", "repro", "load",
         "--spec", spec_str, "--json",
@@ -77,44 +109,98 @@ async def _run_cell_async(
         env={**os.environ, "PYTHONPATH": _pythonpath()},
     )
     stdout, stderr = await proc.communicate()
-    wall_s = time.perf_counter() - started
     if proc.returncode != 0:
         raise RuntimeError(
-            f"load driver failed (rc={proc.returncode}): "
+            f"load shard {shard} failed (rc={proc.returncode}): "
             f"{stderr.decode()[-2000:]}"
         )
-    report = json.loads(stdout.decode().strip().splitlines()[-1])
-    summary = await server.stop()
-    parity = server.core.parity_counters()
+    return json.loads(stdout.decode().strip().splitlines()[-1])
+
+
+async def _run_cell_async(
+    label: str,
+    sessions: int,
+    duration_s: float,
+    publisher_fraction: float,
+    rate_per_s: float,
+    workers: int,
+    load_procs: int,
+    ramp_s: Optional[float],
+    log,
+) -> Dict:
+    spec = ServeSpec(
+        port=0, idle_timeout_s=duration_s + 60, workers=workers
+    )
+    if workers > 1:
+        broker = BrokerFleet(spec)
+    else:
+        broker = BrokerServer(spec)
+    await broker.start()
+    per_shard = sessions // load_procs
+    started = time.perf_counter()
+    # Above ~28k sessions the loopback 4-tuple space to one broker
+    # address runs out of ephemeral source ports; give each shard its
+    # own 127.0.0.x source IP so each one gets a full port range.
+    reports = await asyncio.gather(*[
+        _run_load_shard(
+            broker.port, shard, per_shard, shard * per_shard,
+            duration_s, publisher_fraction, rate_per_s, ramp_s,
+            f"127.0.0.{10 + shard}" if load_procs > 1 else None,
+        )
+        for shard in range(load_procs)
+    ])
+    wall_s = time.perf_counter() - started
+    summary = await broker.stop()
+    if workers > 1:
+        parity = summary["parity"]
+    else:
+        parity = broker.core.parity_counters()
+
+    def total(key: str) -> int:
+        return sum(report[key] for report in reports)
+
+    # Across shards the exact union percentile is unknowable from
+    # per-shard digests; report the worst shard as the upper envelope.
+    latency = max(
+        (report["latency"] for report in reports),
+        key=lambda d: d["p95_ms"],
+    )
     cell = {
         "label": label,
-        "sessions": sessions,
-        "sessions_connected": report["sessions_connected"],
-        "connect_failures": report["connect_failures"],
+        "sessions": per_shard * load_procs,
+        "workers": workers,
+        "load_procs": load_procs,
+        "ramp_s": ramp_s,
+        "sessions_connected": total("sessions_connected"),
+        "connect_failures": total("connect_failures"),
         "duration_s": duration_s,
         "wall_s": round(wall_s, 3),
-        "messages_published": report["messages_published"],
-        "deliveries_client": report["deliveries_received"],
+        "messages_published": total("messages_published"),
+        "deliveries_client": total("deliveries_received"),
         "deliveries_broker": parity["deliveries_total"],
-        "decode_errors": report["decode_errors"],
+        "decode_errors": total("decode_errors"),
         "delivery_completeness": round(
-            report["deliveries_received"]
+            total("deliveries_received")
             / max(1, parity["deliveries_total"]), 4
         ),
         "publish_throughput_per_s": round(
-            report["messages_published"] / duration_s, 2
+            total("messages_published") / duration_s, 2
         ),
         "delivery_throughput_per_s": round(
-            report["deliveries_received"] / duration_s, 2
+            total("deliveries_received") / duration_s, 2
         ),
-        "latency_ms": report["latency"],
+        "delivery_throughput_broker_per_s": round(
+            parity["deliveries_total"] / wall_s, 2
+        ),
+        "latency_ms": latency,
         "broker_summary": summary,
     }
     log(
-        f"{label}: {cell['sessions_connected']}/{sessions} sessions, "
+        f"{label}: {cell['sessions_connected']}/{cell['sessions']} sessions "
+        f"x{workers} workers, "
         f"{cell['delivery_throughput_per_s']}/s delivered, "
-        f"p95={report['latency']['p95_ms']:.2f}ms, "
-        f"decode_errors={report['decode_errors']}"
+        f"p95={latency['p95_ms']:.2f}ms, "
+        f"decode_errors={cell['decode_errors']}"
     )
     return cell
 
@@ -133,14 +219,20 @@ def run_benchmark(
     nofile = _raise_nofile()
     cells_spec = SMOKE_CELLS if smoke else FULL_CELLS
     cells: List[Dict] = []
-    for label, sessions, duration, fraction, rate in cells_spec:
-        if sessions + 256 > nofile:
-            log(f"{label}: skipped (needs >{sessions} fds, limit {nofile})")
+    for (label, sessions, duration, fraction, rate,
+         workers, load_procs, ramp_s) in cells_spec:
+        # Both sides shard: each load subprocess holds sessions/procs
+        # sockets, each broker worker roughly sessions/workers.
+        per_process = max(sessions // load_procs, sessions // workers)
+        if per_process + 256 > nofile:
+            log(f"{label}: skipped (needs >{per_process} fds per process, "
+                f"limit {nofile})")
             continue
         cells.append(
             asyncio.run(
                 _run_cell_async(
-                    label, sessions, duration, fraction, rate, log
+                    label, sessions, duration, fraction, rate,
+                    workers, load_procs, ramp_s, log,
                 )
             )
         )
@@ -150,12 +242,17 @@ def run_benchmark(
             "cpu_count": os.cpu_count(),
             "python": sys.version.split()[0],
             "rlimit_nofile": nofile,
+            "event_loop": event_loop_name(),
         },
         "notes": {
-            "topology": "broker in-process, load driver in a subprocess "
-                        "(separate fd budgets and event loops)",
+            "topology": "broker in-process (one BrokerServer or an "
+                        "SO_REUSEPORT BrokerFleet), load drivers in "
+                        "subprocesses (separate fd budgets and event "
+                        "loops)",
             "latency": "client-measured end-to-end over loopback: "
-                       "publisher created_at stamp to subscriber decode",
+                       "publisher created_at stamp to subscriber decode; "
+                       "multi-shard cells report the worst shard's "
+                       "percentiles (upper envelope)",
             "acceptance": "every cell must report decode_errors == 0 and "
                           "all sessions connected",
             "completeness": "deliveries_client / deliveries_broker; below "
@@ -163,6 +260,17 @@ def run_benchmark(
                             "while fanout deliveries were still in flight "
                             "(clients disconnect at duration end), not a "
                             "decode failure",
+            "throughput": "delivery_throughput_per_s counts client-decoded "
+                          "deliveries per offered second; at saturation "
+                          "prefer delivery_throughput_broker_per_s "
+                          "(broker-emitted deliveries per wall second), "
+                          "which is not truncated by the drain race",
+            "worker_ladder": "w1/w2/w4 cells offer identical load to "
+                             "growing fleets; delivery throughput scales "
+                             "with workers only when cpu_count allows — "
+                             "on a single-core host the workers time-share "
+                             "one CPU and the curve is flat with a small "
+                             "peer-mesh overhead",
         },
         "cells": cells,
     }

@@ -13,11 +13,18 @@ the PR's acceptance bar end to end:
    created messages, intended pairs, direct forwards, and total /
    intended / false deliveries.
 
+With ``--workers N`` (N > 1) the soak runs against the multi-process
+SO_REUSEPORT fleet instead: the gate then checks that ``analyze_trace``
+over the deterministically *merged* shard trace equals the **sum** of
+the workers' parity counters — the fleet-wide version of the same
+online/offline contract.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_serve_parity.py              # quick
     PYTHONPATH=src python scripts/check_serve_parity.py --sessions 1000 \
         --duration 30                                                # soak
+    PYTHONPATH=src python scripts/check_serve_parity.py --workers 2  # fleet
 
 Exit code 0 = all checks green.
 """
@@ -29,7 +36,14 @@ import tempfile
 from pathlib import Path
 
 from repro.obs.analyze import analyze_trace
-from repro.serve import BrokerServer, LoadDriver, LoadSpec, ServeSpec
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    BrokerFleet,
+    BrokerServer,
+    LoadDriver,
+    LoadSpec,
+    ServeSpec,
+)
 
 
 async def scrape(host: str, port: int) -> str:
@@ -41,17 +55,22 @@ async def scrape(host: str, port: int) -> str:
     return response
 
 
-async def soak(sessions: int, duration: float, trace_path: str):
-    server = BrokerServer(
-        ServeSpec(
-            port=0, metrics_port=0, trace_path=trace_path,
-            idle_timeout_s=duration + 60,
-        )
+async def soak(
+    sessions: int, duration: float, trace_path: str, workers: int,
+    registry: MetricsRegistry,
+):
+    spec = ServeSpec(
+        port=0, metrics_port=0, trace_path=trace_path,
+        idle_timeout_s=duration + 60, workers=workers,
     )
-    await server.start()
+    if workers > 1:
+        broker = BrokerFleet(spec, registry=registry)
+    else:
+        broker = BrokerServer(spec, registry=registry)
+    await broker.start()
     driver = LoadDriver(
         LoadSpec(
-            port=server.port,
+            port=broker.port,
             sessions=sessions,
             publisher_fraction=0.1,
             duration_s=duration,
@@ -64,23 +83,32 @@ async def soak(sessions: int, duration: float, trace_path: str):
     load_task = asyncio.ensure_future(driver.run())
     # Scrape mid-soak: the endpoint must serve while under load.
     await asyncio.sleep(duration / 2)
-    prom = await scrape(server.spec.host, server.metrics_port)
+    prom = await scrape(spec.host, broker.metrics_port)
     report = await load_task
-    summary = await server.stop()
-    return server, report, summary, prom
+    summary = await broker.stop()
+    if workers > 1:
+        parity = summary["parity"]  # sum of the workers' counters
+    else:
+        parity = broker.core.parity_counters()
+    return report, summary, prom, parity
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sessions", type=int, default=200)
     parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the SO_REUSEPORT fleet with N workers "
+                             "(default 1 = single process)")
     args = parser.parse_args(argv)
 
     failures = []
+    registry = MetricsRegistry()
     with tempfile.TemporaryDirectory(prefix="serve-parity-") as tmp:
         trace_path = str(Path(tmp) / "broker_trace.jsonl")
-        server, report, summary, prom = asyncio.run(
-            soak(args.sessions, args.duration, trace_path)
+        report, summary, prom, parity = asyncio.run(
+            soak(args.sessions, args.duration, trace_path,
+                 args.workers, registry)
         )
 
         print(f"sessions: {report.sessions_connected}/{args.sessions} "
@@ -99,9 +127,7 @@ def main(argv=None) -> int:
             failures.append(
                 f"{report.decode_errors} client-side decode errors"
             )
-        broker_errors = server.registry.counter(
-            "serve_decode_errors_total"
-        ).value
+        broker_errors = registry.counter("serve_decode_errors_total").value
         if broker_errors:
             failures.append(f"{broker_errors} broker-side decode errors")
         if not prom.startswith("HTTP/1.1 200") or "serve_" not in prom:
@@ -110,7 +136,6 @@ def main(argv=None) -> int:
             failures.append("no messages published (soak misconfigured)")
 
         analysis = analyze_trace(trace_path)
-        parity = server.core.parity_counters()
         offline = {
             "messages_created": analysis.messages["created"],
             "intended_pairs": analysis.messages["intended_pairs"],

@@ -299,6 +299,13 @@ def serve(
     ``spec.trace_path`` set, the broker streams a schema-v2 trace whose
     :func:`repro.obs.analyze_trace` totals match the live registry
     exactly — same numbers online and offline.
+
+    ``spec.workers > 1`` runs the multi-process SO_REUSEPORT fleet
+    (:class:`repro.serve.BrokerFleet`): N worker processes share the
+    port, durable subscriptions shard onto ``spec.state_dir``, each
+    worker emits a trace shard, and the shards merge deterministically
+    into ``spec.trace_path`` on shutdown — the analyzer over the
+    merged trace equals the *sum* of the workers' parity counters.
     """
     from .serve.broker import run_broker
 

@@ -555,6 +555,8 @@ def _cmd_serve(args) -> int:
         spec = spec.with_metrics_port(args.metrics_port)
     if args.trace_out is not None:
         spec = spec.with_trace(args.trace_out)
+    if args.workers is not None:
+        spec = spec.with_workers(args.workers, spec.state_dir)
     registry = MetricsRegistry()
     print(f"broker: {spec.describe()}", file=sys.stderr)
     summary = run_broker(spec, args.duration, registry=registry)
@@ -563,7 +565,12 @@ def _cmd_serve(args) -> int:
     if args.json:
         print(json.dumps(summary, sort_keys=True))
     else:
-        rows = [[key, summary[key]] for key in sorted(summary)]
+        flat = {
+            key: value
+            for key, value in summary.items()
+            if not isinstance(value, (dict, list))
+        }
+        rows = [[key, flat[key]] for key in sorted(flat)]
         print(format_table(["field", "value"], rows, title="Broker run"))
     return 0
 
@@ -725,6 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the listen port (0 = ephemeral)")
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="serve Prometheus text on this port")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="run N SO_REUSEPORT worker processes "
+                            "sharing the port (default 1 = one process)")
     serve.add_argument("--duration", type=float, default=None,
                        help="serve this many seconds then stop "
                             "(default: until Ctrl-C)")

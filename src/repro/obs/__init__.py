@@ -55,6 +55,7 @@ from .recorder import (
     NullRecorder,
     TraceRecorder,
     file_trace_digest,
+    merge_traces,
     read_trace,
     read_trace_iter,
     read_trace_meta,
@@ -72,6 +73,7 @@ __all__ = [
     "TraceRecorder",
     "trace_digest",
     "file_trace_digest",
+    "merge_traces",
     "read_trace",
     "read_trace_iter",
     "read_trace_meta",

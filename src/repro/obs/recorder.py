@@ -24,8 +24,9 @@ behaviour alone.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from .events import (
     EVENT_TYPES,
@@ -40,6 +41,7 @@ __all__ = [
     "TraceRecorder",
     "trace_digest",
     "file_trace_digest",
+    "merge_traces",
     "read_trace",
     "read_trace_iter",
     "read_trace_meta",
@@ -152,6 +154,70 @@ def file_trace_digest(path: str) -> str:
     notwithstanding.
     """
     return trace_digest(read_trace_iter(path))
+
+
+def merge_traces(shard_paths: Sequence[str], out_path: str) -> int:
+    """Deterministically merge per-worker trace shards into one trace.
+
+    The fleet broker (:mod:`repro.serve.supervisor`) gives every worker
+    its own trace shard; this stitches them back into a single
+    schema-v2 trace the analyzer consumes as if one process had
+    emitted it:
+
+    * Events are merged in ``(t, seq, worker)`` order — all workers
+      share one monotonic clock origin, so ``t`` is a fleet-wide
+      timeline, per-shard ``seq`` breaks ties within a worker, and the
+      worker index (the shard's position in *shard_paths*) breaks
+      cross-worker ties.  The same shards always merge to the same
+      bytes.
+    * Each shard ends with its own ``sim_end``; those are dropped and
+      replaced by one synthesized trailing ``sim_end`` whose
+      ``contacts``/``messages`` are the per-shard sums and whose ``t``
+      is the latest shard end — so the merged trace has exactly one
+      end-of-run anchor, at the end, like a single-process trace.
+    * Sequence numbers are reassigned contiguously from 0.
+
+    Memory is O(shards): one pending event per shard via
+    :func:`heapq.merge` over the streaming readers.  Returns the
+    number of events written (excluding the meta header).
+    """
+
+    def _keyed(worker: int, path: str):
+        for event in read_trace_iter(path):
+            yield (event.t, event.seq, worker), event
+
+    streams = [_keyed(w, p) for w, p in enumerate(shard_paths)]
+    end_contacts = 0
+    end_messages = 0
+    end_time: Optional[float] = None
+    seq = 0
+    with open(out_path, "w") as fh:
+        fh.write(trace_meta_line() + "\n")
+        for _key, event in heapq.merge(*streams, key=lambda kv: kv[0]):
+            if event.type == "sim_end":
+                end_contacts += int(event.fields.get("contacts", 0))
+                end_messages += int(event.fields.get("messages", 0))
+                end_time = (
+                    event.t if end_time is None else max(end_time, event.t)
+                )
+                continue
+            fh.write(
+                TraceEvent(
+                    seq=seq, t=event.t, type=event.type, fields=event.fields
+                ).to_json() + "\n"
+            )
+            seq += 1
+        if end_time is not None:
+            fh.write(
+                TraceEvent(
+                    seq=seq, t=end_time, type="sim_end",
+                    fields={
+                        "contacts": end_contacts, "messages": end_messages
+                    },
+                ).to_json() + "\n"
+            )
+            seq += 1
+    return seq
 
 
 def read_trace_meta(path: str) -> Dict[str, object]:

@@ -179,6 +179,41 @@ class MetricsRegistry:
             },
         }
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Absorb another registry's :meth:`to_dict` snapshot.
+
+        The fleet supervisor aggregates its workers' registries this
+        way (each snapshot crosses a process boundary as JSON):
+        counters add, histograms with identical edges add
+        bucket-for-bucket, and gauges add too — the serve gauges that
+        matter fleet-wide (open sessions, known nodes) are naturally
+        summable, and a sum is at least monotone for the rest.
+        Histograms unseen locally are created with the snapshot's
+        edges; mismatched edges are an error, as everywhere else.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(gauge.value + value)
+        for name, doc in snapshot.get("histograms", {}).items():
+            # histogram() raises on mismatched edges, as everywhere.
+            histogram = self.histogram(name, edges=doc["edges"])
+            for i, in_bucket in enumerate(doc["buckets"]):
+                histogram.buckets[i] += int(in_bucket)
+            histogram.count += int(doc["count"])
+            histogram.total += float(doc["total"])
+
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Sequence[Dict[str, dict]]
+    ) -> "MetricsRegistry":
+        """A registry holding the merged sum of *snapshots*."""
+        registry = cls()
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        return registry
+
     def to_json(self) -> str:
         """Canonical JSON (sorted keys, compact separators, newline-terminated)."""
         return (

@@ -14,18 +14,25 @@ Layering (transport-free core under an asyncio shell):
 * :class:`BrokerCore` + :class:`Dispatcher` — socket-free protocol
   engine (fully unit-testable).
 * :class:`BrokerServer` / :func:`run_broker` — the asyncio daemon.
+* :class:`BrokerFleet` / :func:`run_fleet` — the multi-process
+  SO_REUSEPORT worker fleet (``ServeSpec(workers=N)``), with
+  :class:`StateShardStore` as its shared durable subscription store.
 * :class:`LoadDriver` / :func:`run_load` — the asyncio load driver.
 """
 
 from .broker import BrokerServer, run_broker
 from .dispatcher import BrokerCore, Dispatcher, HandleResult, ProtocolError
+from .eventloop import event_loop_name, install_event_loop_policy
 from .load import LoadDriver, LoadReport, run_load
 from .session import BROKER_NODE_ID, SessionContext
 from .spec import LoadSpec, ServeSpec
+from .state_shard import StateShardStore, SubscriptionRecord
+from .supervisor import BrokerFleet, run_fleet, sum_parity
 
 __all__ = [
     "BROKER_NODE_ID",
     "BrokerCore",
+    "BrokerFleet",
     "BrokerServer",
     "Dispatcher",
     "HandleResult",
@@ -35,6 +42,12 @@ __all__ = [
     "ProtocolError",
     "ServeSpec",
     "SessionContext",
+    "StateShardStore",
+    "SubscriptionRecord",
+    "event_loop_name",
+    "install_event_loop_policy",
     "run_broker",
+    "run_fleet",
     "run_load",
+    "sum_parity",
 ]

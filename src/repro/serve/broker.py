@@ -37,19 +37,26 @@ from __future__ import annotations
 
 import asyncio
 import time as _time
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..obs.recorder import NULL_RECORDER, TraceRecorder
 from ..obs.registry import MetricsRegistry
 from ..pubsub.wire import Frame, StreamDecoder, encode_frame
 from .dispatcher import BrokerCore, ProtocolError
+from .eventloop import install_event_loop_policy
 from .spec import ServeSpec
+from .state_shard import StateShardStore
 
 __all__ = ["BrokerServer", "run_broker"]
 
 #: Socket read size.  Large enough that a maximum-rate session rarely
 #: needs two syscalls per frame batch, small enough to share fairly.
 _READ_CHUNK = 1 << 16
+
+#: Listen backlog.  The default (100) stalls mass connection ramps —
+#: a fleet soak opens tens of thousands of sockets through one accept
+#: queue — and a deeper backlog costs nothing when idle.
+_LISTEN_BACKLOG = 4096
 
 
 class BrokerServer:
@@ -68,6 +75,20 @@ class BrokerServer:
         Explicit trace recorder.  When omitted and ``spec.trace_path``
         is set, the broker opens that file and streams schema-v2 JSONL
         to it, closing it on ``stop()``.
+    clock_origin:
+        Monotonic instant that maps to broker time 0.  The fleet
+        supervisor captures one origin and passes it to every worker
+        (Linux ``CLOCK_MONOTONIC`` is system-wide), so all trace
+        shards share a single timeline and the merged trace sorts
+        correctly by ``t``.  Default: now.
+    worker_index / num_workers / state_store:
+        Fleet identity and durable store, forwarded to
+        :class:`~repro.serve.dispatcher.BrokerCore`; ``num_workers > 1``
+        also turns on ``SO_REUSEPORT`` on the listening socket.
+    peer_send:
+        Callback receiving each peer-cast op the core produces (the
+        worker runtime broadcasts them over the fleet mesh); ``None``
+        discards them (single-process).
     """
 
     def __init__(
@@ -75,6 +96,11 @@ class BrokerServer:
         spec: ServeSpec,
         registry: Optional[MetricsRegistry] = None,
         recorder=None,
+        clock_origin: Optional[float] = None,
+        worker_index: int = 0,
+        num_workers: int = 1,
+        state_store: Optional[StateShardStore] = None,
+        peer_send: Optional[Callable[[dict], None]] = None,
     ):
         self.spec = spec
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -86,13 +112,20 @@ class BrokerServer:
             else:
                 recorder = NULL_RECORDER
         self.recorder = recorder
-        origin = _time.monotonic()
+        origin = (
+            clock_origin if clock_origin is not None else _time.monotonic()
+        )
         self.core = BrokerCore(
             spec,
             registry=self.registry,
             recorder=recorder,
             clock=lambda: _time.monotonic() - origin,
+            worker_index=worker_index,
+            num_workers=num_workers,
+            state_store=state_store,
         )
+        self._num_workers = num_workers
+        self._peer_send = peer_send
         self._server: Optional[asyncio.AbstractServer] = None
         self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
@@ -106,7 +139,12 @@ class BrokerServer:
     async def start(self) -> "BrokerServer":
         """Bind the listening socket(s); returns self for chaining."""
         self._server = await asyncio.start_server(
-            self._on_client, host=self.spec.host, port=self.spec.port
+            self._on_client,
+            host=self.spec.host,
+            port=self.spec.port,
+            backlog=_LISTEN_BACKLOG,
+            # Fleet workers share one port; the kernel shards accepts.
+            reuse_port=True if self._num_workers > 1 else None,
         )
         if self.spec.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
@@ -241,9 +279,20 @@ class BrokerServer:
                 return "decode_error"
 
     async def _apply(self, handled) -> None:
-        """Carry out a HandleResult: sends first, then forced closes."""
-        for target, frame in handled.outbound:
-            await self._send(target, frame)
+        """Carry out a HandleResult: sends first, then forced closes.
+
+        Outbound frames are coalesced per target session — one
+        ``write()`` of the joined encodings and one ``drain()`` per
+        writer, instead of a write+drain syscall pair per frame.  A
+        wide fan-out (one publish, hundreds of recipients) is the
+        broker's hottest path, and the per-frame drain was most of it.
+        """
+        if handled.outbound:
+            batches: Dict[int, List[bytes]] = {}
+            for target, frame in handled.outbound:
+                batches.setdefault(target, []).append(encode_frame(frame))
+            for target, encoded in batches.items():
+                await self._send_batch(target, encoded)
         for target, reason in handled.close:
             writer = self._writers.get(target)
             if writer is not None:
@@ -253,18 +302,31 @@ class BrokerServer:
                 self.core.disconnect(target, reason=reason)
                 self._writers.pop(target, None)
                 writer.close()
+        if handled.peer_casts and self._peer_send is not None:
+            for op in handled.peer_casts:
+                self._peer_send(op)
 
     async def _send(self, session_id: int, frame: Frame) -> None:
+        await self._send_batch(session_id, [encode_frame(frame)])
+
+    async def _send_batch(
+        self, session_id: int, encoded: List[bytes]
+    ) -> None:
         writer = self._writers.get(session_id)
         if writer is None or writer.is_closing():
-            self.registry.counter("serve_send_drops_total").inc()
+            self.registry.counter("serve_send_drops_total").inc(len(encoded))
             return
         try:
-            writer.write(encode_frame(frame))
+            writer.write(b"".join(encoded) if len(encoded) > 1 else encoded[0])
             await writer.drain()
-            self.registry.counter("serve_frames_out_total").inc()
+            self.registry.counter("serve_frames_out_total").inc(len(encoded))
         except ConnectionError:
-            self.registry.counter("serve_send_drops_total").inc()
+            self.registry.counter("serve_send_drops_total").inc(len(encoded))
+
+    async def apply_peer_op(self, op: dict) -> None:
+        """Apply one fleet peer-cast and carry out its effects (the
+        worker runtime calls this for every op received on the mesh)."""
+        await self._apply(self.core.apply_peer_op(op))
 
     def _close_session(
         self, session_id: int, reason: str, decoder: StreamDecoder
@@ -319,7 +381,16 @@ def run_broker(
     Returns the shutdown summary dict.  This is what ``bsub serve``
     calls; library code embedding a broker should drive
     :class:`BrokerServer` inside its own event loop instead.
+
+    ``spec.workers > 1`` hands off to the multi-process fleet
+    supervisor (:func:`repro.serve.supervisor.run_fleet`) — same
+    signature, same summary shape, plus per-worker detail.
     """
+    if spec.workers > 1:
+        from .supervisor import run_fleet
+
+        return run_fleet(spec, duration_s, registry)
+    install_event_loop_policy()
 
     async def _main() -> dict:
         server = BrokerServer(spec, registry=registry)

@@ -42,6 +42,7 @@ the online/offline parity guarantee checked by
 
 from __future__ import annotations
 
+import base64
 import random
 import time as _time
 from dataclasses import dataclass, field
@@ -52,6 +53,7 @@ from ..core.tcbf import TemporalCountingBloomFilter
 from ..obs.introspect import relay_max_counter
 from ..obs.recorder import NULL_RECORDER
 from ..obs.registry import MetricsRegistry
+from ..pubsub.messages import Message
 from ..pubsub.node import BsubNodeState
 from ..pubsub.wire import (
     FilterRequest,
@@ -65,6 +67,7 @@ from ..pubsub.wire import (
 )
 from .session import BROKER_NODE_ID, SessionContext
 from .spec import ServeSpec
+from .state_shard import StateShardStore
 
 __all__ = ["BrokerCore", "Dispatcher", "HandleResult", "ProtocolError"]
 
@@ -89,6 +92,10 @@ class HandleResult:
     #: (session_id, reason) sessions the core wants closed (e.g. a
     #: stale connection superseded by a reconnect).
     close: List[Tuple[int, str]] = field(default_factory=list)
+    #: JSON-able ops to broadcast to the other fleet workers (empty in
+    #: the single-process broker) — see :meth:`BrokerCore.apply_peer_op`
+    #: for the vocabulary.
+    peer_casts: List[Dict] = field(default_factory=list)
 
 
 class Dispatcher:
@@ -149,6 +156,19 @@ class BrokerCore:
     clock:
         Returns broker-relative seconds (monotonic, starting near 0).
         Injectable so unit tests control time exactly.
+    worker_index / num_workers:
+        Fleet identity.  Message ids are striped
+        (``worker_index + num_workers * local_count``) so every worker
+        mints globally unique ids without coordination; the defaults
+        (``0`` / ``1``) reproduce the single-process id sequence
+        ``0, 1, 2, ...`` exactly.  ``num_workers > 1`` also turns on
+        the peer-cast protocol (subscription replication, cross-worker
+        claim, publish relay).
+    state_store:
+        Optional :class:`~repro.serve.state_shard.StateShardStore`;
+        when set, ``Subscribe`` persists the key set and ``Hello``
+        lazily restores a node's durable subscriptions that this
+        process has never seen (a restarted worker's reconnects).
     """
 
     def __init__(
@@ -157,8 +177,19 @@ class BrokerCore:
         registry: Optional[MetricsRegistry] = None,
         recorder=NULL_RECORDER,
         clock: Optional[Callable[[], float]] = None,
+        worker_index: int = 0,
+        num_workers: int = 1,
+        state_store: Optional[StateShardStore] = None,
     ):
         self.spec = spec
+        if not 0 <= worker_index < num_workers:
+            raise ValueError(
+                f"worker_index {worker_index} out of range for "
+                f"{num_workers} workers"
+            )
+        self.worker_index = worker_index
+        self.num_workers = num_workers
+        self.state_store = state_store
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = recorder
         if clock is None:
@@ -222,6 +253,17 @@ class BrokerCore:
                 "session must identify with Hello before other frames"
             )
         return session
+
+    def _next_msg_id(self) -> int:
+        """Globally unique message id, striped across the fleet.
+
+        ``workers=1`` yields the historical ``0, 1, 2, ...`` sequence;
+        an N-worker fleet interleaves (worker w mints ``w, w+N,
+        w+2N, ...``) so ids never collide without any coordination.
+        """
+        index = self.worker_index + self.num_workers * self._published
+        self._published += 1
+        return index
 
     # -- connection lifecycle ----------------------------------------------
 
@@ -337,6 +379,12 @@ class BrokerCore:
             # (the old socket may be dead without a FIN ever arriving).
             result.close.append((stale, "superseded"))
         self.node_sessions[frame.node_id] = session_id
+        if frame.node_id not in self.subscriptions:
+            self._restore_subscription(frame.node_id)
+        if self.num_workers > 1:
+            # Cross-worker latest-wins: any peer holding an older
+            # session for this node closes it on receipt.
+            result.peer_casts.append({"op": "claim", "node": frame.node_id})
         self.registry.gauge("serve_nodes_known").set(len(self.subscriptions))
         result.outbound.append((
             session_id,
@@ -353,6 +401,29 @@ class BrokerCore:
         node_id = session.ctx.node_id
         now = self.clock()
         keys = frozenset(frame.keys)
+        self._install_subscription(node_id, keys, now)
+        self._absorb_keys(node_id, keys, now)
+        self._count("serve_subscribes_total")
+        if self.state_store is not None:
+            self.state_store.save(node_id, keys, now)
+        if self.num_workers > 1:
+            # Replicate the durable subscription so every worker's
+            # intended-recipient index covers the whole fleet.
+            result.peer_casts.append(
+                {"op": "sub", "node": node_id, "keys": sorted(keys)}
+            )
+        self.registry.gauge("serve_nodes_known").set(len(self.subscriptions))
+        self.registry.gauge("serve_subscribed_keys").set(
+            len(self._key_index)
+        )
+
+    def _install_subscription(
+        self, node_id: int, keys: FrozenSet[str], now: float
+    ) -> None:
+        """Replace a node's durable subscription set in the local
+        index (shared by local ``Subscribe``, peer replication, and
+        state-store restore — only the local path adds relay merges,
+        counters, and persistence on top)."""
         old = self.subscriptions.get(node_id, frozenset())
         for key in old - keys:
             bucket = self._key_index.get(key)
@@ -366,21 +437,58 @@ class BrokerCore:
         # Durable per-node state via the existing node machinery: the
         # genuine filter and its Bloom projection back the "bloom"
         # matching mode, exactly as a simulated consumer's would.
-        self.nodes[node_id] = BsubNodeState(
-            node_id=node_id,
-            interests=keys,
-            family=self.family,
-            initial_value=self.spec.initial_value,
-            decay_factor=self._df_per_s,
-            copy_limit=0,
-            start_time=now,
+        # Only that mode ever reads it (see :meth:`_match`), and the
+        # rebuild is the single most expensive step of a subscribe —
+        # under ``exact`` matching (the default) skipping it roughly
+        # triples fleet connect throughput, since the mesh replays
+        # every subscription onto every worker.
+        if self.spec.matching == "bloom":
+            self.nodes[node_id] = BsubNodeState(
+                node_id=node_id,
+                interests=keys,
+                family=self.family,
+                initial_value=self.spec.initial_value,
+                decay_factor=self._df_per_s,
+                copy_limit=0,
+                start_time=now,
+            )
+
+    def _restore_subscription(self, node_id: int) -> None:
+        """Lazily restore a node's durable subscriptions from the
+        shard store on ``Hello`` (a restarted worker meeting an old
+        client).  No counters or relay merges: the original
+        ``Subscribe`` already accounted for those."""
+        if self.state_store is None:
+            return
+        record = self.state_store.load(node_id)
+        if record is None:
+            return
+        self._install_subscription(
+            node_id, frozenset(record.keys), self.clock()
         )
-        self._absorb_keys(node_id, keys, now)
-        self._count("serve_subscribes_total")
-        self.registry.gauge("serve_nodes_known").set(len(self.subscriptions))
-        self.registry.gauge("serve_subscribed_keys").set(
-            len(self._key_index)
-        )
+        self._count("serve_state_restores_total")
+
+    def restore_all_subscriptions(self) -> int:
+        """Rebuild the full subscription index from the shard store
+        (worker startup after a crash).  Returns records restored."""
+        if self.state_store is None:
+            return 0
+        restored = 0
+        now = self.clock()
+        for record in self.state_store.load_all():
+            self._install_subscription(
+                record.node_id, frozenset(record.keys), now
+            )
+            restored += 1
+        if restored:
+            self._count("serve_state_restores_total", restored)
+            self.registry.gauge("serve_nodes_known").set(
+                len(self.subscriptions)
+            )
+            self.registry.gauge("serve_subscribed_keys").set(
+                len(self._key_index)
+            )
+        return restored
 
     def _absorb_keys(
         self, src: int, keys: FrozenSet[str], now: float
@@ -491,8 +599,7 @@ class BrokerCore:
         started = _time.perf_counter()
         session.publishes += len(frame.messages)
         for message, payload in zip(frame.messages, frame.payloads):
-            index = self._published
-            self._published += 1
+            index = self._next_msg_id()
             intended = self._intended(message.keys, publisher)
             self._count("serve_messages_total")
             self._count("serve_intended_pairs_total", len(intended))
@@ -504,37 +611,140 @@ class BrokerCore:
                     num_intended=len(intended),
                 )
             recipients = self._match(message.keys, publisher, intended)
-            self.registry.histogram("serve_fanout_recipients").observe(
-                float(len(recipients))
+            self._deliver(
+                result, index, message, payload, publisher, intended,
+                recipients, now,
             )
-            for dst in recipients:
-                dst_session = self.node_sessions[dst]
-                self.sessions[dst_session].deliveries_out += 1
-                is_intended = dst in intended
-                self._count("serve_forwards_direct_total")
-                self._count("serve_deliveries_total")
-                self._count(
-                    "serve_deliveries_intended_total"
-                    if is_intended
-                    else "serve_deliveries_false_total"
-                )
-                if self.recorder.enabled:
-                    self.recorder.emit(
-                        "forward", t=now, kind="direct", msg=index,
-                        src=publisher, dst=dst,
-                        size=float(message.size_bytes),
-                        match=self.spec.matching,
-                    )
-                    self.recorder.emit(
-                        "delivery", t=now, msg=index, node=dst,
-                        intended=is_intended, cause="direct",
-                    )
-                result.outbound.append((
-                    dst_session,
-                    MessageBundle((message,), (payload,)),
-                ))
+            if self.num_workers > 1:
+                # Relay to the peers: the intended set is stamped at
+                # the origin (it already spans the replicated index),
+                # so each peer just delivers to its own live sessions
+                # and the per-worker parity counters stay summable.
+                result.peer_casts.append({
+                    "op": "pub",
+                    "msg": index,
+                    "publisher": publisher,
+                    "keys": sorted(message.keys),
+                    "created_at": message.created_at,
+                    "ttl_s": message.ttl_s,
+                    "size_bytes": message.size_bytes,
+                    "intended": sorted(intended),
+                    "payload": base64.b64encode(payload).decode("ascii"),
+                })
         self.registry.histogram("serve_publish_seconds").observe(
             _time.perf_counter() - started
+        )
+
+    def _deliver(
+        self,
+        result: HandleResult,
+        index: int,
+        message: Message,
+        payload: bytes,
+        publisher: int,
+        intended: FrozenSet[int],
+        recipients: List[int],
+        now: float,
+    ) -> None:
+        """Fan one publish out to locally connected recipients —
+        shared by the local publish path and the peer relay, so the
+        counters and trace events are identical on both."""
+        self.registry.histogram("serve_fanout_recipients").observe(
+            float(len(recipients))
+        )
+        for dst in recipients:
+            dst_session = self.node_sessions[dst]
+            self.sessions[dst_session].deliveries_out += 1
+            is_intended = dst in intended
+            self._count("serve_forwards_direct_total")
+            self._count("serve_deliveries_total")
+            self._count(
+                "serve_deliveries_intended_total"
+                if is_intended
+                else "serve_deliveries_false_total"
+            )
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    "forward", t=now, kind="direct", msg=index,
+                    src=publisher, dst=dst,
+                    size=float(message.size_bytes),
+                    match=self.spec.matching,
+                )
+                self.recorder.emit(
+                    "delivery", t=now, msg=index, node=dst,
+                    intended=is_intended, cause="direct",
+                )
+            result.outbound.append((
+                dst_session,
+                MessageBundle((message,), (payload,)),
+            ))
+
+    # -- fleet peer protocol ------------------------------------------------
+
+    def apply_peer_op(self, op: Dict) -> HandleResult:
+        """Apply one op broadcast by another fleet worker.
+
+        The vocabulary (all JSON-able dicts, produced in
+        ``HandleResult.peer_casts``):
+
+        * ``{"op": "sub", "node": n, "keys": [...]}`` — replicate a
+          durable subscription into the local index (no counters or
+          relay merges: the origin worker accounted for those).
+        * ``{"op": "claim", "node": n}`` — the sender now owns node
+          ``n``'s session; close any stale local one (latest wins,
+          across processes).
+        * ``{"op": "pub", "msg": id, "publisher": p, "keys": [...],
+          "created_at": t, "ttl_s": ttl, "size_bytes": b,
+          "intended": [...], "payload": b64}`` — deliver a publish
+          originated on another worker to locally connected
+          recipients; the intended set is the origin's ground truth,
+          so forwards/deliveries counted here sum cleanly with the
+          origin's parity counters.
+        """
+        result = HandleResult()
+        kind = op.get("op")
+        if kind == "sub":
+            self._install_subscription(
+                int(op["node"]),
+                frozenset(str(k) for k in op["keys"]),
+                self.clock(),
+            )
+            self._count("serve_peer_subs_total")
+            self.registry.gauge("serve_nodes_known").set(
+                len(self.subscriptions)
+            )
+            self.registry.gauge("serve_subscribed_keys").set(
+                len(self._key_index)
+            )
+        elif kind == "claim":
+            stale = self.node_sessions.get(int(op["node"]))
+            if stale is not None:
+                result.close.append((stale, "superseded"))
+            self._count("serve_peer_claims_total")
+        elif kind == "pub":
+            self._apply_peer_publish(op, result)
+        else:
+            raise ProtocolError(f"unknown peer op {kind!r}")
+        return result
+
+    def _apply_peer_publish(self, op: Dict, result: HandleResult) -> None:
+        """Deliver a relayed publish to this worker's sessions."""
+        now = self.clock()
+        message = Message(
+            id=int(op["msg"]),
+            keys=frozenset(str(k) for k in op["keys"]),
+            source=int(op["publisher"]),
+            created_at=float(op["created_at"]),
+            ttl_s=float(op["ttl_s"]),
+            size_bytes=int(op["size_bytes"]),
+        )
+        payload = base64.b64decode(op["payload"])
+        intended = frozenset(int(n) for n in op["intended"])
+        recipients = self._match(message.keys, message.source, intended)
+        self._count("serve_peer_pubs_total")
+        self._deliver(
+            result, message.id, message, payload, message.source,
+            intended, recipients, now,
         )
 
     # -- matching -----------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Event-loop policy selection for the serve layer.
+
+``BSUB_EVENT_LOOP=uvloop`` opts the broker, fleet workers, and load
+driver into `uvloop <https://github.com/MagicStack/uvloop>`_ when it
+is importable; anything else (unset, ``asyncio``, or uvloop missing)
+keeps the stdlib loop.  The selection is deliberately *soft*: uvloop
+is an optional accelerator, never a dependency, so a bare container
+runs identically with the flag set — it just reports
+``asyncio (uvloop requested, not installed)`` in bench metadata
+instead of silently differing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+__all__ = ["install_event_loop_policy", "event_loop_name"]
+
+_ENV_VAR = "BSUB_EVENT_LOOP"
+
+
+def _uvloop_requested() -> bool:
+    return os.environ.get(_ENV_VAR, "").strip().lower() == "uvloop"
+
+
+def install_event_loop_policy() -> str:
+    """Honour ``BSUB_EVENT_LOOP``; returns the active loop name.
+
+    Call once per process before ``asyncio.run`` (the fleet supervisor
+    calls it in every worker it spawns).  Idempotent.
+    """
+    if _uvloop_requested():
+        try:
+            import uvloop  # type: ignore[import-not-found]
+        except ImportError:
+            return "asyncio (uvloop requested, not installed)"
+        if not isinstance(
+            asyncio.get_event_loop_policy(), uvloop.EventLoopPolicy
+        ):
+            asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+        return "uvloop"
+    return "asyncio"
+
+
+def event_loop_name() -> str:
+    """What :func:`install_event_loop_policy` would (or did) select —
+    for bench/report metadata, without mutating the policy."""
+    if _uvloop_requested():
+        try:
+            import uvloop  # noqa: F401  type: ignore[import-not-found]
+        except ImportError:
+            return "asyncio (uvloop requested, not installed)"
+        return "uvloop"
+    return "asyncio"

@@ -138,6 +138,13 @@ class LoadDriver:
         self.spec = spec
         self.distribution = distribution or twitter_trends_2009()
         self.plans = self._plan()
+        # Encoded-frame caches: with Table-II interests most sessions
+        # share a handful of distinct subscription sets, and every
+        # publish carries the same zero payload — encode each once
+        # instead of per session/tick (driver CPU belongs to the
+        # broker under bench).
+        self._subscribe_cache: Dict[Tuple[str, ...], bytes] = {}
+        self._payload = b"\0" * spec.size_bytes
         # -- tallies (mutated by session tasks; single event loop, so
         # no locking needed) --
         self.sessions_connected = 0
@@ -159,7 +166,11 @@ class LoadDriver:
         profile = _PROFILES[spec.arrival]
         num_publishers = spec.num_publishers
         plans: List[_NodePlan] = []
-        for node_id in range(1, spec.sessions + 1):
+        for index in range(1, spec.sessions + 1):
+            # node_offset shifts ids (not draws): several drivers can
+            # share one broker with disjoint node-id ranges while each
+            # replays its own deterministic workload.
+            node_id = index + spec.node_offset
             interests = tuple(
                 sorted(
                     set(
@@ -170,7 +181,7 @@ class LoadDriver:
                 )
             )
             publishes: List[Tuple[float, Tuple[str, ...]]] = []
-            if node_id <= num_publishers:
+            if index <= num_publishers:
                 count = max(
                     1, round(spec.publish_rate_per_s * spec.duration_s)
                 )
@@ -205,7 +216,10 @@ class LoadDriver:
         """Run every planned session; returns the aggregate report."""
         loop = asyncio.get_running_loop()
         t0 = loop.time()
-        ramp = min(_MAX_RAMP_S, self.spec.duration_s / 5.0)
+        if self.spec.ramp_s is not None:
+            ramp = min(self.spec.ramp_s, self.spec.duration_s)
+        else:
+            ramp = min(_MAX_RAMP_S, self.spec.duration_s / 5.0)
         tasks = [
             asyncio.ensure_future(
                 self._session(plan, t0, ramp * i / max(1, len(self.plans)))
@@ -251,7 +265,10 @@ class LoadDriver:
             await asyncio.sleep(ramp_delay)
         try:
             reader, writer = await asyncio.open_connection(
-                spec.host, spec.port
+                spec.host, spec.port,
+                local_addr=(
+                    (spec.bind_host, 0) if spec.bind_host else None
+                ),
             )
         except OSError:
             self.connect_failures += 1
@@ -283,7 +300,7 @@ class LoadDriver:
             )
             self.frames_sent += 1
             if plan.interests:
-                writer.write(encode_frame(Subscribe(plan.interests)))
+                writer.write(self._encoded_subscribe(plan.interests))
                 self.frames_sent += 1
             await writer.drain()
             truncated = await self._publish_loop(
@@ -318,7 +335,7 @@ class LoadDriver:
         """Send the planned bundles; True if chaos truncated the session."""
         spec = self.spec
         loop = asyncio.get_running_loop()
-        payload = b"\0" * spec.size_bytes
+        payload = self._payload
         for send_at, keys in plan.publishes:
             delay = (t0 + send_at) - loop.time()
             if delay > 0:
@@ -396,6 +413,14 @@ class LoadDriver:
             if result.error is not None:
                 self.decode_errors += 1
                 return
+
+    def _encoded_subscribe(self, interests: Tuple[str, ...]) -> bytes:
+        encoded = self._subscribe_cache.get(interests)
+        if encoded is None:
+            encoded = self._subscribe_cache[interests] = encode_frame(
+                Subscribe(interests)
+            )
+        return encoded
 
     def _family(self):
         from ..core.hashing import HashFamily

@@ -77,6 +77,14 @@ def _opt_str(raw: str) -> Optional[str]:
     return None if raw.lower() in ("none", "off") else raw
 
 
+def _opt_float(raw: str) -> Optional[float]:
+    return None if raw.lower() in ("none", "off") else float(raw)
+
+
+def _opt_str(raw: str) -> Optional[str]:
+    return None if raw.lower() in ("none", "off") else raw
+
+
 @dataclass(frozen=True)
 class ServeSpec:
     """Everything one broker daemon needs, as a single typed value.
@@ -121,7 +129,25 @@ class ServeSpec:
         When set, the broker streams its schema-v2 event trace to this
         JSONL file; ``bsub analyze`` on that file reproduces the
         broker's own registry counters exactly (the online/offline
-        observability-parity guarantee).
+        observability-parity guarantee).  With ``workers > 1`` each
+        worker streams its own shard (``<path>.wN``) and the fleet
+        supervisor merges them deterministically into ``trace_path``
+        at shutdown.
+    workers:
+        Broker processes sharing the listen port via ``SO_REUSEPORT``.
+        The default ``1`` keeps today's single-process asyncio broker
+        byte-for-byte; ``N > 1`` runs an N-worker fleet under
+        :class:`~repro.serve.supervisor.BrokerFleet` (one event loop
+        and one :class:`~repro.serve.dispatcher.BrokerCore` per
+        worker, durable state shared through ``state_dir``, publishes
+        relayed worker-to-worker so fan-out spans the whole fleet).
+    state_dir:
+        Directory for the durable subscription store, sharded by
+        node-id hash (see :mod:`repro.serve.state_shard`).  ``None``
+        keeps durable state in-memory only (the single-process
+        default); a fleet without an explicit ``state_dir`` gets a
+        supervisor-managed temporary directory so a restarted worker
+        can rebuild its subscription index.
     """
 
     host: str = "127.0.0.1"
@@ -138,6 +164,8 @@ class ServeSpec:
     max_frame_bytes: int = 1 << 20
     max_sessions: Optional[int] = None
     trace_path: Optional[str] = None
+    workers: int = 1
+    state_dir: Optional[str] = None
 
     _PARSE_FIELDS = {
         "host": str,
@@ -154,6 +182,8 @@ class ServeSpec:
         "max_frame_bytes": int,
         "max_sessions": _opt_int,
         "trace_path": _opt_str,
+        "workers": int,
+        "state_dir": _opt_str,
     }
 
     def __post_init__(self) -> None:
@@ -197,6 +227,8 @@ class ServeSpec:
             raise ValueError(
                 f"max_sessions must be >= 1, got {self.max_sessions}"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     # -- construction -------------------------------------------------------
 
@@ -230,6 +262,11 @@ class ServeSpec:
     def with_trace(self, trace_path: Optional[str]) -> "ServeSpec":
         return replace(self, trace_path=trace_path)
 
+    def with_workers(
+        self, workers: int, state_dir: Optional[str] = None
+    ) -> "ServeSpec":
+        return replace(self, workers=workers, state_dir=state_dir)
+
     def describe(self) -> str:
         """Compact human-readable summary (CLI banner / report label)."""
         parts = [
@@ -247,6 +284,10 @@ class ServeSpec:
             parts.append(f"faults[{self.faults.describe()}]")
         if self.trace_path:
             parts.append(f"trace={self.trace_path}")
+        if self.workers > 1:
+            parts.append(f"workers={self.workers}")
+        if self.state_dir:
+            parts.append(f"state={self.state_dir}")
         return " ".join(parts)
 
 
@@ -280,6 +321,29 @@ class LoadSpec:
     seed:
         Root seed for interests, arrival times, and key choices — the
         same spec replays the same workload.
+    node_offset:
+        Added to every session's node id (ids become
+        ``node_offset + 1 .. node_offset + sessions``).  Lets several
+        load-driver processes share one broker without colliding on
+        node ids (a collision triggers the broker's latest-wins
+        supersede and silently drops the older session).
+    ramp_s:
+        Connection-ramp length: session connects spread evenly over
+        ``min(ramp_s, duration_s)`` seconds.  ``None`` keeps the
+        historical ``min(2 s, duration/5)``; soaks with tens of
+        thousands of sockets through one accept queue need a longer
+        ramp.
+    bind_host:
+        Optional local source address for every client socket.
+        A TCP connection is identified by its 4-tuple, so all
+        loopback clients sharing one source IP cap out at the
+        ephemeral port range (~28k concurrent connections to a
+        single broker address on a default Linux host).  Sharded
+        drivers pass a distinct ``127.0.0.x`` per process — the
+        whole ``127.0.0.0/8`` block routes to loopback with no
+        configuration — and each shard gets its own full port
+        space.  ``None`` lets the kernel pick (single-shard
+        default).
     num_bits / num_hashes / initial_value:
         Filter geometry; must match the broker's :class:`ServeSpec`
         for the optional filter frames to decode.
@@ -308,6 +372,9 @@ class LoadSpec:
     num_hashes: int = 4
     initial_value: float = 50.0
     faults: Optional[FaultSpec] = None
+    node_offset: int = 0
+    ramp_s: Optional[float] = None
+    bind_host: Optional[str] = None
 
     _PARSE_FIELDS = {
         "host": str,
@@ -326,6 +393,9 @@ class LoadSpec:
         "num_hashes": int,
         "initial_value": float,
         "faults": _parse_fault_value,
+        "node_offset": int,
+        "ramp_s": _opt_float,
+        "bind_host": _opt_str,
     }
 
     def __post_init__(self) -> None:
@@ -381,6 +451,16 @@ class LoadSpec:
                 f"faults must be a FaultSpec or None, "
                 f"got {type(self.faults).__name__}"
             )
+        if self.node_offset < 0:
+            raise ValueError(
+                f"node_offset must be >= 0, got {self.node_offset}"
+            )
+        if self.ramp_s is not None and not (
+            math.isfinite(self.ramp_s) and self.ramp_s > 0
+        ):
+            raise ValueError(f"ramp_s must be positive, got {self.ramp_s}")
+        if self.bind_host is not None and not self.bind_host.strip():
+            raise ValueError("bind_host must be a non-empty address or None")
 
     @property
     def num_publishers(self) -> int:

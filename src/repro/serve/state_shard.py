@@ -1,0 +1,166 @@
+"""Durable subscription store, sharded by node-id hash.
+
+The multi-worker broker fleet (:mod:`repro.serve.supervisor`) keeps
+its session/matching state per-process, but the *durable* part — each
+node's exact subscription key set — must survive a worker crash so the
+restarted process can rebuild its index and a reconnecting session
+lands on any worker with its subscriptions intact.  This module is
+that durability layer: one small JSON record per node, grouped into
+``shard_NN/`` directories by node-id hash so a directory never grows
+beyond ``nodes / num_shards`` entries.
+
+Writes are atomic (``tmp`` + ``os.replace``) and last-writer-wins,
+which matches the broker's own latest-wins session semantics: two
+workers racing on the same node id can only happen across a reconnect,
+and the newer subscription is the one that must stick.  The single
+process broker (``workers=1``) never touches this module unless a
+``state_dir`` is configured explicitly.
+
+The record format deliberately stores the raw key set rather than a
+serialized filter: ``BsubNodeState`` is cheap to rebuild from keys
+(the dispatcher already does exactly that on every ``Subscribe``), and
+keys survive geometry changes where a serialized Bloom image would
+not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["StateShardStore", "SubscriptionRecord", "DEFAULT_NUM_SHARDS"]
+
+#: Default shard-directory fan-out; 64 keeps directories small up to
+#: ~1M nodes while staying trivial to `ls` by hand.
+DEFAULT_NUM_SHARDS = 64
+
+
+@dataclass(frozen=True)
+class SubscriptionRecord:
+    """One node's durable subscription state, as persisted."""
+
+    node_id: int
+    keys: Tuple[str, ...]
+    updated_at: float
+
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node_id,
+            "keys": list(self.keys),
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SubscriptionRecord":
+        return cls(
+            node_id=int(doc["node"]),
+            keys=tuple(str(k) for k in doc["keys"]),
+            updated_at=float(doc["updated_at"]),
+        )
+
+
+class StateShardStore:
+    """On-disk per-node subscription records under ``root/shard_NN/``.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use).
+    num_shards:
+        Hash-shard fan-out; must match across every process sharing
+        the store (it is part of the on-disk layout, so the supervisor
+        passes one value to all workers).
+    """
+
+    def __init__(
+        self, root: os.PathLike, num_shards: int = DEFAULT_NUM_SHARDS
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.root = Path(root)
+        self.num_shards = num_shards
+
+    # -- layout -------------------------------------------------------------
+
+    def shard_of(self, node_id: int) -> int:
+        """Deterministic shard index for a node (stable across runs:
+        plain modulo, not the salted built-in ``hash``)."""
+        return node_id % self.num_shards
+
+    def _record_path(self, node_id: int) -> Path:
+        shard = self.shard_of(node_id)
+        return self.root / f"shard_{shard:02d}" / f"node_{node_id}.json"
+
+    # -- io -----------------------------------------------------------------
+
+    def save(
+        self, node_id: int, keys, updated_at: float
+    ) -> SubscriptionRecord:
+        """Persist one node's subscription set atomically.
+
+        The tmp name embeds the pid so two workers racing on the same
+        node never scribble over each other's half-written tmp file;
+        ``os.replace`` makes the final rename atomic (last writer
+        wins).
+        """
+        record = SubscriptionRecord(
+            node_id=node_id,
+            keys=tuple(sorted(keys)),
+            updated_at=updated_at,
+        )
+        path = self._record_path(node_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record.as_dict(), sort_keys=True))
+        os.replace(tmp, path)
+        return record
+
+    def load(self, node_id: int) -> Optional[SubscriptionRecord]:
+        """The node's record, or ``None`` if it was never saved."""
+        path = self._record_path(node_id)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A record caught mid-crash is unreadable; treat as absent
+            # (the client will resubscribe on reconnect).
+            return None
+        return SubscriptionRecord.from_dict(doc)
+
+    def delete(self, node_id: int) -> bool:
+        """Remove a node's record; ``True`` if one existed."""
+        try:
+            os.unlink(self._record_path(node_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def load_all(self) -> Iterator[SubscriptionRecord]:
+        """Every readable record, ordered by node id.
+
+        Used by a restarted worker to rebuild its key index before
+        accepting traffic; corrupt or half-written files are skipped
+        exactly as in :meth:`load`.
+        """
+        records = []
+        if not self.root.is_dir():
+            return iter(())
+        for shard_dir in sorted(self.root.glob("shard_*")):
+            for path in shard_dir.glob("node_*.json"):
+                try:
+                    records.append(
+                        SubscriptionRecord.from_dict(
+                            json.loads(path.read_text())
+                        )
+                    )
+                except (json.JSONDecodeError, OSError, KeyError, ValueError):
+                    continue
+        records.sort(key=lambda r: r.node_id)
+        return iter(records)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.load_all())

@@ -158,3 +158,65 @@ class TestPromExposition:
         path = tmp_path / "metrics.prom"
         reg.write_prom(str(path))
         assert path.read_text() == reg.to_prom()
+
+
+class TestMergeSnapshot:
+    """Fleet aggregation: absorbing another registry's to_dict()."""
+
+    def make(self, counter=0, gauge=0.0, observations=()):
+        reg = MetricsRegistry()
+        if counter:
+            reg.counter("frames_total").inc(counter)
+        if gauge:
+            reg.gauge("open_sessions").set(gauge)
+        if observations:
+            h = reg.histogram("fanout", edges=[1, 10])
+            for v in observations:
+                h.observe(v)
+        return reg
+
+    def test_counters_add(self):
+        reg = self.make(counter=3)
+        reg.merge_snapshot(self.make(counter=4).to_dict())
+        assert reg.counter("frames_total").value == 7
+
+    def test_gauges_sum(self):
+        reg = self.make(gauge=2.0)
+        reg.merge_snapshot(self.make(gauge=5.0).to_dict())
+        assert reg.gauge("open_sessions").value == 7.0
+
+    def test_histograms_add_bucket_for_bucket(self):
+        reg = self.make(observations=[0.5, 5.0])
+        reg.merge_snapshot(self.make(observations=[5.0, 50.0]).to_dict())
+        h = reg.histogram("fanout")
+        assert h.buckets == [1, 2, 1]
+        assert h.count == 4
+        assert h.total == 60.5
+
+    def test_unseen_metrics_created_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(
+            self.make(counter=2, gauge=1.0, observations=[0.5]).to_dict()
+        )
+        assert reg.counter("frames_total").value == 2
+        assert reg.gauge("open_sessions").value == 1.0
+        assert reg.histogram("fanout").count == 1
+
+    def test_mismatched_histogram_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("fanout", edges=[1, 100])
+        with pytest.raises(ValueError, match="edges"):
+            reg.merge_snapshot(self.make(observations=[0.5]).to_dict())
+
+    def test_from_snapshots_sums_many(self):
+        snapshots = [self.make(counter=i).to_dict() for i in (1, 2, 3)]
+        merged = MetricsRegistry.from_snapshots(snapshots)
+        assert merged.counter("frames_total").value == 6
+
+    def test_merge_survives_json_round_trip(self):
+        snapshot = json.loads(
+            json.dumps(self.make(counter=2, observations=[5.0]).to_dict())
+        )
+        reg = MetricsRegistry.from_snapshots([snapshot])
+        assert reg.counter("frames_total").value == 2
+        assert reg.histogram("fanout").count == 1

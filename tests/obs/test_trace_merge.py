@@ -1,0 +1,143 @@
+"""merge_traces: deterministic stitch of per-worker trace shards."""
+
+from repro.obs import merge_traces, read_trace_iter, read_trace_meta
+from repro.obs.events import TRACE_SCHEMA_VERSION
+from repro.obs.recorder import TraceRecorder
+
+
+def write_shard(path, events, *, sim_end=None):
+    """Write one schema-v2 shard from (t, type, fields) triples."""
+    recorder = TraceRecorder()
+    for t, type_, fields in events:
+        recorder.emit(type_, t, **fields)
+    if sim_end is not None:
+        recorder.emit("sim_end", sim_end[0], **sim_end[1])
+    recorder.write_jsonl(str(path))
+    return str(path)
+
+
+class TestMergeOrdering:
+    def test_events_merge_in_time_order(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2}),
+             (3.0, "contact", {"a": 1, "b": 3})],
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl",
+            [(2.0, "contact", {"a": 2, "b": 3})],
+        )
+        out = tmp_path / "merged.jsonl"
+        written = merge_traces([a, b], str(out))
+        events = list(read_trace_iter(str(out)))
+        assert written == 3
+        assert [e.t for e in events] == [1.0, 2.0, 3.0]
+
+    def test_seq_reassigned_contiguously_from_zero(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl", [(1.0, "contact", {"a": 1, "b": 2})]
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl", [(0.5, "contact", {"a": 3, "b": 4})]
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a, b], str(out))
+        events = list(read_trace_iter(str(out)))
+        assert [e.seq for e in events] == list(range(len(events)))
+
+    def test_worker_index_breaks_exact_ties(self, tmp_path):
+        # Identical (t, seq) in both shards: shard order must decide.
+        a = write_shard(
+            tmp_path / "a.jsonl", [(1.0, "contact", {"a": 1, "b": 2})]
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl", [(1.0, "contact", {"a": 9, "b": 8})]
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a, b], str(out))
+        events = list(read_trace_iter(str(out)))
+        assert events[0].fields["a"] == 1
+        assert events[1].fields["a"] == 9
+
+    def test_merge_is_deterministic(self, tmp_path):
+        shards = [
+            write_shard(
+                tmp_path / f"s{i}.jsonl",
+                [(float(j), "contact", {"a": i, "b": j})
+                 for j in range(5)],
+            )
+            for i in range(3)
+        ]
+        out1, out2 = tmp_path / "m1.jsonl", tmp_path / "m2.jsonl"
+        merge_traces(shards, str(out1))
+        merge_traces(shards, str(out2))
+        assert out1.read_bytes() == out2.read_bytes()
+
+
+class TestSimEndSynthesis:
+    def test_shard_sim_ends_collapse_into_one(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2})],
+            sim_end=(5.0, {"contacts": 10, "messages": 3}),
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl",
+            [(2.0, "contact", {"a": 2, "b": 3})],
+            sim_end=(7.0, {"contacts": 4, "messages": 2}),
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a, b], str(out))
+        events = list(read_trace_iter(str(out)))
+        ends = [e for e in events if e.type == "sim_end"]
+        assert len(ends) == 1
+        end = ends[0]
+        assert end is events[-1]
+        assert end.t == 7.0
+        assert end.fields["contacts"] == 14
+        assert end.fields["messages"] == 5
+
+    def test_no_sim_end_synthesized_when_shards_have_none(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl", [(1.0, "contact", {"a": 1, "b": 2})]
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a], str(out))
+        events = list(read_trace_iter(str(out)))
+        assert all(e.type != "sim_end" for e in events)
+
+
+class TestMergeHeader:
+    def test_merged_trace_has_single_schema_v2_meta(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl", [(1.0, "contact", {"a": 1, "b": 2})]
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl", [(2.0, "contact", {"a": 3, "b": 4})]
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a, b], str(out))
+        meta = read_trace_meta(str(out))
+        assert meta["schema"] == TRACE_SCHEMA_VERSION
+        with open(out) as fh:
+            metas = [line for line in fh if '"trace_meta"' in line]
+        assert len(metas) == 1
+
+    def test_single_shard_merge_preserves_events(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2}),
+             (2.0, "contact", {"a": 1, "b": 3})],
+            sim_end=(9.0, {"contacts": 2, "messages": 0}),
+        )
+        out = tmp_path / "merged.jsonl"
+        written = merge_traces([a], str(out))
+        assert written == 3
+        events = list(read_trace_iter(str(out)))
+        assert [e.type for e in events] == ["contact", "contact", "sim_end"]
+
+    def test_empty_shard_list_yields_empty_trace(self, tmp_path):
+        out = tmp_path / "merged.jsonl"
+        written = merge_traces([], str(out))
+        assert written == 0
+        assert list(read_trace_iter(str(out))) == []

@@ -381,3 +381,27 @@ class TestChaosLoad:
         assert chaos_seen > 0
         # Clean frames still flowed end to end.
         assert summary["messages"] > 0
+
+
+class TestBindHost:
+    def test_sessions_bind_alternate_loopback_source(self):
+        """bind_host=127.0.0.x gives a shard its own ephemeral-port space."""
+
+        async def main():
+            server = await make_server().start()
+            driver = LoadDriver(
+                LoadSpec(
+                    port=server.port, sessions=5, publisher_fraction=0.5,
+                    duration_s=1.0, publish_rate_per_s=4.0, seed=11,
+                    bind_host="127.0.0.9",
+                )
+            )
+            report = await driver.run()
+            summary = await server.stop()
+            return report, summary
+
+        report, summary = asyncio.run(main())
+        assert report.sessions_connected == 5
+        assert report.connect_failures == 0
+        assert report.decode_errors == 0
+        assert summary["messages"] > 0

@@ -177,3 +177,71 @@ class TestParseTableCoversFields:
     def test_parse_fields_match_dataclass(self, cls):
         names = {f.name for f in dataclasses.fields(cls)}
         assert set(cls._PARSE_FIELDS) == names
+
+
+class TestFleetSpecFields:
+    """The fleet knobs added for multi-worker serving."""
+
+    def test_workers_default_is_single_process(self):
+        spec = ServeSpec()
+        assert spec.workers == 1
+        assert spec.state_dir is None
+
+    def test_parse_workers_and_state_dir(self):
+        spec = ServeSpec.parse("workers=4,state_dir=/tmp/state")
+        assert spec.workers == 4
+        assert spec.state_dir == "/tmp/state"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServeSpec(workers=0)
+
+    def test_with_workers_replaces_both(self):
+        spec = ServeSpec().with_workers(2, "/tmp/s")
+        assert (spec.workers, spec.state_dir) == (2, "/tmp/s")
+        assert ServeSpec().workers == 1
+
+    def test_describe_mentions_fleet_only_when_active(self):
+        assert "workers=" not in ServeSpec().describe()
+        text = ServeSpec(workers=3, state_dir="/tmp/s").describe()
+        assert "workers=3" in text
+        assert "state=/tmp/s" in text
+
+
+class TestLoadShardingFields:
+    """node_offset / ramp_s: sharding one workload across drivers."""
+
+    def test_defaults(self):
+        spec = LoadSpec()
+        assert spec.node_offset == 0
+        assert spec.ramp_s is None
+
+    def test_parse_offset_and_ramp(self):
+        spec = LoadSpec.parse("node_offset=1000,ramp_s=5")
+        assert spec.node_offset == 1000
+        assert spec.ramp_s == 5.0
+
+    def test_ramp_none_spelling(self):
+        assert LoadSpec.parse("ramp_s=none").ramp_s is None
+
+    def test_node_offset_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="node_offset"):
+            LoadSpec(node_offset=-1)
+
+    def test_ramp_must_be_positive_when_set(self):
+        with pytest.raises(ValueError, match="ramp_s"):
+            LoadSpec(ramp_s=0.0)
+
+    def test_bind_host_defaults_to_kernel_choice(self):
+        assert LoadSpec().bind_host is None
+
+    def test_parse_bind_host(self):
+        spec = LoadSpec.parse("bind_host=127.0.0.12")
+        assert spec.bind_host == "127.0.0.12"
+
+    def test_bind_host_none_spelling(self):
+        assert LoadSpec.parse("bind_host=none").bind_host is None
+
+    def test_bind_host_rejects_blank(self):
+        with pytest.raises(ValueError, match="bind_host"):
+            LoadSpec(bind_host="  ")

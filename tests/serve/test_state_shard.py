@@ -1,0 +1,118 @@
+"""StateShardStore: durable per-node subscription records on disk."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve import StateShardStore, SubscriptionRecord
+from repro.serve.state_shard import DEFAULT_NUM_SHARDS
+
+
+class TestShardLayout:
+    def test_shard_of_is_node_id_mod_num_shards(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=8)
+        assert store.shard_of(0) == 0
+        assert store.shard_of(7) == 7
+        assert store.shard_of(8) == 0
+        assert store.shard_of(8_000_001) == 8_000_001 % 8
+
+    def test_default_shard_count(self, tmp_path):
+        store = StateShardStore(str(tmp_path))
+        assert store.num_shards == DEFAULT_NUM_SHARDS
+
+    def test_records_land_in_their_shard_directory(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(6, {"k"}, 1.0)
+        expected = tmp_path / "shard_02" / "node_6.json"
+        assert expected.exists()
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            StateShardStore(str(tmp_path), num_shards=0)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(42, {"b", "a"}, 12.5)
+        record = store.load(42)
+        assert record == SubscriptionRecord(
+            node_id=42, keys=("a", "b"), updated_at=12.5
+        )
+
+    def test_keys_stored_sorted_for_determinism(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(1, {"z", "m", "a"}, 0.0)
+        assert store.load(1).keys == ("a", "m", "z")
+
+    def test_save_overwrites_latest_wins(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(7, {"old"}, 1.0)
+        store.save(7, {"new"}, 2.0)
+        record = store.load(7)
+        assert record.keys == ("new",)
+        assert record.updated_at == 2.0
+
+    def test_load_missing_returns_none(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        assert store.load(999) is None
+
+    def test_delete_removes_record(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(3, {"k"}, 1.0)
+        store.delete(3)
+        assert store.load(3) is None
+        store.delete(3)  # idempotent
+
+    def test_len_counts_records(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        assert len(store) == 0
+        for node in range(5):
+            store.save(node, {"k"}, 0.0)
+        assert len(store) == 5
+
+
+class TestRobustness:
+    def test_corrupt_record_treated_as_absent(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(5, {"k"}, 1.0)
+        path = store._record_path(5)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert store.load(5) is None
+
+    def test_load_all_skips_corrupt_and_sorts_by_node(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        for node in (9, 2, 17):
+            store.save(node, {f"k{node}"}, float(node))
+        with open(store._record_path(9), "w") as fh:
+            fh.write("")
+        records = list(store.load_all())
+        assert [r.node_id for r in records] == [2, 17]
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        for node in range(10):
+            store.save(node, {"k"}, 0.0)
+        leftovers = [
+            name
+            for _root, _dirs, files in os.walk(tmp_path)
+            for name in files
+            if ".tmp." in name
+        ]
+        assert leftovers == []
+
+    def test_record_file_is_valid_json(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        store.save(11, {"x"}, 3.0)
+        with open(store._record_path(11)) as fh:
+            doc = json.load(fh)
+        assert doc["node"] == 11
+        assert doc["keys"] == ["x"]
+
+    def test_two_stores_same_root_interoperate(self, tmp_path):
+        writer = StateShardStore(str(tmp_path), num_shards=4)
+        reader = StateShardStore(str(tmp_path), num_shards=4)
+        writer.save(8, {"shared"}, 5.0)
+        assert reader.load(8).keys == ("shared",)

@@ -19,12 +19,20 @@ over the deterministically *merged* shard trace equals the **sum** of
 the workers' parity counters — the fleet-wide version of the same
 online/offline contract.
 
+With ``--live`` a :class:`repro.obs.live.LiveTailer` additionally
+follows the growing trace shard(s) *while the soak runs* — the online
+observability path — with periodic ``verify_parity`` checkpoints, and
+at shutdown the tailer's rolling counters must exactly equal the
+offline analyzer's totals (check 5).
+
 Usage::
 
     PYTHONPATH=src python scripts/check_serve_parity.py              # quick
     PYTHONPATH=src python scripts/check_serve_parity.py --sessions 1000 \
         --duration 30                                                # soak
     PYTHONPATH=src python scripts/check_serve_parity.py --workers 2  # fleet
+    PYTHONPATH=src python scripts/check_serve_parity.py --workers 2 \
+        --live                                          # fleet + live tailer
 
 Exit code 0 = all checks green.
 """
@@ -33,9 +41,11 @@ import argparse
 import asyncio
 import sys
 import tempfile
+import threading
 from pathlib import Path
 
 from repro.obs.analyze import analyze_trace
+from repro.obs.live import LiveTailer, follow_merged_traces
 from repro.obs.registry import MetricsRegistry
 from repro.serve import (
     BrokerFleet,
@@ -44,6 +54,63 @@ from repro.serve import (
     LoadSpec,
     ServeSpec,
 )
+
+
+class LiveTail:
+    """A :class:`LiveTailer` pumped from a follower thread.
+
+    Tails every trace shard while the broker is still writing it,
+    feeding the tailer in deterministic merge order.  The thread ends
+    on its own once every shard has emitted ``sim_end`` (i.e. shortly
+    after ``broker.stop()``); ``finish()`` joins it and surfaces any
+    exception — including :class:`repro.obs.live.ParityError` from the
+    periodic checkpoints — to the caller.
+    """
+
+    def __init__(self, shard_paths, checkpoint_every: int = 2000):
+        self.shard_paths = [str(p) for p in shard_paths]
+        self.tailer = LiveTailer(
+            source_paths=self.shard_paths,
+            checkpoint_every=checkpoint_every,
+        )
+        self.error = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="live-tail", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self):
+        try:
+            pairs = follow_merged_traces(
+                self.shard_paths,
+                follow=True,
+                poll_interval_s=0.05,
+                should_stop=self._stop.is_set,
+            )
+            for shard, event in pairs:
+                self.tailer.feed(event, shard=shard)
+        except Exception as error:  # surfaced via finish()
+            self.error = error
+
+    def finish(self, timeout_s: float = 30.0) -> None:
+        """Join the follower; raise if it failed or never drained."""
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            # A shard never emitted sim_end — unstick the thread and
+            # report the hang rather than deadlocking CI.
+            self._stop.set()
+            self._thread.join(5.0)
+            raise RuntimeError(
+                "live tailer did not drain the trace shards within "
+                f"{timeout_s}s (missing sim_end?)"
+            )
+        if self.error is not None:
+            raise self.error
+        # Final explicit checkpoint over the now-quiescent shards, so
+        # even a soak too short for the periodic threshold still gets
+        # at least one full prefix re-read + comparison.
+        self.tailer.verify_parity()
 
 
 async def scrape(host: str, port: int) -> str:
@@ -57,7 +124,7 @@ async def scrape(host: str, port: int) -> str:
 
 async def soak(
     sessions: int, duration: float, trace_path: str, workers: int,
-    registry: MetricsRegistry,
+    registry: MetricsRegistry, live: bool = False,
 ):
     spec = ServeSpec(
         port=0, metrics_port=0, trace_path=trace_path,
@@ -68,6 +135,13 @@ async def soak(
     else:
         broker = BrokerServer(spec, registry=registry)
     await broker.start()
+    tail = None
+    if live:
+        if workers > 1:
+            shard_paths = [f"{trace_path}.w{i}" for i in range(workers)]
+        else:
+            shard_paths = [trace_path]
+        tail = LiveTail(shard_paths)
     driver = LoadDriver(
         LoadSpec(
             port=broker.port,
@@ -86,11 +160,15 @@ async def soak(
     prom = await scrape(spec.host, broker.metrics_port)
     report = await load_task
     summary = await broker.stop()
+    if tail is not None:
+        # Joins once every shard's sim_end has been consumed; raises on
+        # a hung shard or any mid-soak verify_parity checkpoint break.
+        await asyncio.get_running_loop().run_in_executor(None, tail.finish)
     if workers > 1:
         parity = summary["parity"]  # sum of the workers' counters
     else:
         parity = broker.core.parity_counters()
-    return report, summary, prom, parity
+    return report, summary, prom, parity, tail
 
 
 def main(argv=None) -> int:
@@ -100,15 +178,18 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="run the SO_REUSEPORT fleet with N workers "
                              "(default 1 = single process)")
+    parser.add_argument("--live", action="store_true",
+                        help="also tail the growing trace with a "
+                             "LiveTailer and gate live == offline totals")
     args = parser.parse_args(argv)
 
     failures = []
     registry = MetricsRegistry()
     with tempfile.TemporaryDirectory(prefix="serve-parity-") as tmp:
         trace_path = str(Path(tmp) / "broker_trace.jsonl")
-        report, summary, prom, parity = asyncio.run(
+        report, summary, prom, parity, tail = asyncio.run(
             soak(args.sessions, args.duration, trace_path,
-                 args.workers, registry)
+                 args.workers, registry, live=args.live)
         )
 
         print(f"sessions: {report.sessions_connected}/{args.sessions} "
@@ -151,6 +232,26 @@ def main(argv=None) -> int:
                 failures.append(
                     f"parity break on {key}: live {live}, "
                     f"offline {offline[key]}"
+                )
+
+        if tail is not None:
+            tailed = tail.tailer.parity_counters()
+            checks = tail.tailer.parity_checks
+            print(f"live tailer: {tail.tailer.seen_events} events tailed, "
+                  f"{checks} mid-soak parity checkpoints")
+            for key, value in sorted(tailed.items()):
+                status = "==" if offline[key] == value else "!="
+                print(f"tailer {key}: live {value} {status} "
+                      f"offline {offline[key]}")
+                if offline[key] != value:
+                    failures.append(
+                        f"live tailer break on {key}: tailed {value}, "
+                        f"offline {offline[key]}"
+                    )
+            if checks == 0:
+                failures.append(
+                    "live tailer ran zero parity checkpoints "
+                    "(soak too short for --live gate)"
                 )
 
     for failure in failures:

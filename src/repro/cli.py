@@ -22,6 +22,11 @@ code:
   emission; see ``docs/serving.md``).
 * ``load``      — replay a deterministic synthetic workload against a
   live broker and report end-to-end latency.
+* ``watch``     — tail a (growing) trace, or a fleet's shards, and
+  render a refreshing live summary table (rolling completeness,
+  latency percentiles, attribution; see ``docs/observability.md``).
+* ``dash``      — the same live view as a dependency-free web
+  dashboard (stdlib HTTP server + polling JSON endpoint).
 
 Traces come from the built-in generators (``haggle``, ``mit``,
 ``mobility``), from a file (``csv:PATH`` / ``txt:PATH``), or from an
@@ -557,6 +562,8 @@ def _cmd_serve(args) -> int:
         spec = spec.with_trace(args.trace_out)
     if args.workers is not None:
         spec = spec.with_workers(args.workers, spec.state_dir)
+    if args.live:
+        spec = spec.with_live(True)
     registry = MetricsRegistry()
     print(f"broker: {spec.describe()}", file=sys.stderr)
     summary = run_broker(spec, args.duration, registry=registry)
@@ -606,6 +613,123 @@ def _cmd_load(args) -> int:
         print(format_table(["field", "value"], rows, title="Load run"))
     # A healthy run decodes every broker frame it receives.
     return 1 if report.decode_errors else 0
+
+
+def _live_source(args):
+    """Build the (shard, event) stream a watch/dash session consumes."""
+    from .obs.live import follow_merged_traces, replay_trace_iter
+
+    if args.replay is not None:
+        if len(args.traces) != 1:
+            raise SystemExit("--replay takes exactly one trace file")
+        return (
+            (0, event)
+            for event in replay_trace_iter(args.traces[0], speed=args.replay)
+        )
+    return follow_merged_traces(args.traces, follow=args.follow)
+
+
+def _cmd_watch(args) -> int:
+    import time
+
+    from .obs.live import LiveTailer, ParityError, format_watch_table
+
+    tailer = LiveTailer(
+        window_s=args.window,
+        source_paths=args.traces,
+        checkpoint_every=args.parity_every,
+    )
+    source = _live_source(args)
+    refreshing = not args.once and sys.stdout.isatty()
+    last_render = 0.0
+    try:
+        for shard, event in source:
+            tailer.feed(event, shard=shard)
+            now = time.monotonic()
+            if refreshing and now - last_render >= args.interval:
+                print(
+                    "\x1b[2J\x1b[H" + format_watch_table(tailer.snapshot()),
+                    flush=True,
+                )
+                last_render = now
+    except KeyboardInterrupt:
+        pass
+    except ParityError as error:
+        print(format_watch_table(tailer.snapshot()))
+        print(f"\nPARITY FAILURE: {error}", file=sys.stderr)
+        return 1
+    if args.verify and args.replay is None:
+        try:
+            tailer.verify_parity()
+        except ParityError as error:
+            print(format_watch_table(tailer.snapshot()))
+            print(f"\nPARITY FAILURE: {error}", file=sys.stderr)
+            return 1
+    print(format_watch_table(tailer.snapshot()))
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    import time
+
+    from .obs.dash import DashboardServer
+    from .obs.live import LiveTailer
+    from .obs.registry import MetricsRegistry
+
+    tailer = LiveTailer(
+        registry=MetricsRegistry(),
+        window_s=args.window,
+        source_paths=args.traces,
+        checkpoint_every=args.parity_every,
+    )
+    dash = DashboardServer(tailer, host=args.host, port=args.port).start()
+    print(f"dashboard: {dash.url}", file=sys.stderr)
+    feeder = dash.feed_from(_live_source(args))
+    try:
+        if args.duration is not None:
+            deadline = time.monotonic() + args.duration
+            while time.monotonic() < deadline:
+                time.sleep(min(0.2, deadline - time.monotonic()))
+        else:
+            # Serve until the operator interrupts; the feeder may have
+            # finished long ago (offline replay) — the page stays up.
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        dash.stop()
+        feeder.join(timeout=2.0)
+    from .obs.live import format_watch_table
+
+    print(format_watch_table(tailer.snapshot()))
+    return 0
+
+
+def _add_live_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "traces", nargs="+", metavar="TRACE",
+        help="JSONL trace file(s); pass every fleet shard "
+             "(trace.jsonl.w0 trace.jsonl.w1 ...) to watch a fleet",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="tail growing files (tail -f); default reads to EOF",
+    )
+    parser.add_argument(
+        "--replay", type=float, default=None, metavar="SPEED",
+        help="replay one finished trace at SPEED trace-seconds per "
+             "wall second instead of tailing",
+    )
+    parser.add_argument(
+        "--window", type=float, default=300.0,
+        help="rolling-window horizon in trace seconds (default: 300)",
+    )
+    parser.add_argument(
+        "--parity-every", type=int, default=0, metavar="N",
+        help="re-run the offline analyzer over the consumed prefix "
+             "every N events and fail loudly on divergence (0 = off)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -744,6 +868,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final metrics snapshot")
     serve.add_argument("--metrics-format", choices=["json", "prom"],
                        default="json")
+    serve.add_argument("--live", action="store_true",
+                       help="attach the live tailer: /metrics gains "
+                            "rolling live_* series and shutdown "
+                            "cross-checks live vs dispatcher parity "
+                            "(needs --trace-out)")
     serve.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
     serve.set_defaults(func=_cmd_serve)
@@ -769,6 +898,53 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--json", action="store_true",
                       help="print the report as JSON")
     load.set_defaults(func=_cmd_load)
+
+    watch = commands.add_parser(
+        "watch",
+        help="live terminal summary of a (growing) trace or fleet shards",
+        description="Stream trace events through the live tailer and "
+                    "render a refreshing summary table: rolling "
+                    "completeness, latency decomposition percentiles, "
+                    "false-injection attribution, per-broker dwell. "
+                    "Works on a finished trace, a growing one "
+                    "(--follow), a fleet's shards, or a wall-clock "
+                    "replay (--replay).",
+    )
+    _add_live_source_args(watch)
+    watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh interval in wall seconds (default: 1)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="consume the stream silently, print one final table",
+    )
+    watch.add_argument(
+        "--verify", action="store_true",
+        help="after the stream ends, re-run the offline analyzer over "
+             "everything consumed and fail on any parity mismatch",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    dash = commands.add_parser(
+        "dash",
+        help="single-file web dashboard over the same live tailer",
+        description="Serve an embedded HTML/JS page (no dependencies, "
+                    "no external assets) polling a JSON endpoint of "
+                    "the live tailer's snapshot, plus /metrics and "
+                    "/healthz. Same sources as 'watch'.",
+    )
+    _add_live_source_args(dash)
+    dash.add_argument("--host", default="127.0.0.1")
+    dash.add_argument(
+        "--dash-port", dest="port", type=int, default=8780,
+        help="dashboard HTTP port (0 = ephemeral; default: 8780)",
+    )
+    dash.add_argument(
+        "--duration", type=float, default=None,
+        help="serve this many seconds then stop (default: until Ctrl-C)",
+    )
+    dash.set_defaults(func=_cmd_dash)
 
     return parser
 

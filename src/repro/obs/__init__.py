@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from .analyze import ANALYSIS_VERSION, TraceAnalysis, analyze_trace
+from .dash import DashboardServer
 from .events import EVENT_TYPES, TRACE_SCHEMA_VERSION, TraceEvent
 from .feedback import (
     AttributionFeedback,
@@ -49,6 +50,16 @@ from .lineage import (
     LatencyDecomposition,
     LineageBuilder,
     MessageLineage,
+)
+from .live import (
+    PARITY_KEYS,
+    LiveTailer,
+    ParityError,
+    RollingWindow,
+    follow_merged_traces,
+    format_watch_table,
+    offline_parity_counters,
+    replay_trace_iter,
 )
 from .recorder import (
     NULL_RECORDER,
@@ -85,6 +96,15 @@ __all__ = [
     "TraceAnalysis",
     "analyze_trace",
     "ANALYSIS_VERSION",
+    "PARITY_KEYS",
+    "ParityError",
+    "RollingWindow",
+    "LiveTailer",
+    "DashboardServer",
+    "follow_merged_traces",
+    "format_watch_table",
+    "offline_parity_counters",
+    "replay_trace_iter",
     "AttributionFeedback",
     "feedback_from_analysis",
     "plan_retouch_from_analysis",

@@ -207,6 +207,9 @@ class MessageLineage:
 #: Callback invoked with each finalised lineage.
 FinalizedCallback = Callable[[MessageLineage], None]
 
+#: Callback invoked with (lineage, leg) as each delivery is absorbed.
+DeliveryCallback = Callable[[MessageLineage, DeliveryLeg], None]
+
 
 class LineageBuilder:
     """Streaming reconstruction of message lineages from trace events.
@@ -219,10 +222,20 @@ class LineageBuilder:
         mention it (simulation time passed its TTL horizon, or the
         stream ended).  After the callback returns the lineage is
         dropped, which is what bounds memory to the live set.
+    on_delivery:
+        Called with ``(lineage, leg)`` the moment each delivery event
+        is absorbed — the leg already carries its causal chain and
+        :class:`LatencyDecomposition`, so live consumers get latency
+        components without waiting for finalisation.
     """
 
-    def __init__(self, on_finalized: Optional[FinalizedCallback] = None):
+    def __init__(
+        self,
+        on_finalized: Optional[FinalizedCallback] = None,
+        on_delivery: Optional[DeliveryCallback] = None,
+    ):
         self._on_finalized = on_finalized
+        self._on_delivery_cb = on_delivery
         self._live: Dict[int, MessageLineage] = {}
         #: (expires_at, msg) heap driving expiry finalisation.
         self._expiry_heap: List[Tuple[float, int]] = []
@@ -299,17 +312,18 @@ class LineageBuilder:
             if lineage.created_at is not None
             else None
         )
-        lineage.deliveries.append(
-            DeliveryLeg(
-                t=event.t,
-                node=node,
-                intended=bool(fields["intended"]),
-                cause=fields.get("cause"),
-                delay_s=delay,
-                chain=chain,
-                decomposition=lineage.decompose(chain, event.t),
-            )
+        leg = DeliveryLeg(
+            t=event.t,
+            node=node,
+            intended=bool(fields["intended"]),
+            cause=fields.get("cause"),
+            delay_s=delay,
+            chain=chain,
+            decomposition=lineage.decompose(chain, event.t),
         )
+        lineage.deliveries.append(leg)
+        if self._on_delivery_cb is not None:
+            self._on_delivery_cb(lineage, leg)
 
     def _on_false_injection(self, event: TraceEvent) -> None:
         self._lineage(int(event.fields["msg"])).false_injections += 1

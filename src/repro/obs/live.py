@@ -1,0 +1,724 @@
+"""Online observability: stream a growing trace into rolling live metrics.
+
+The lineage/analysis engine (:mod:`repro.obs.analyze`) is a pure
+function of a *finished* trace.  This module turns the same event
+stream into a **live** ops surface: a :class:`LiveTailer` consumes
+schema-v2 events as they happen — from the in-process
+:meth:`TraceRecorder.subscribe <repro.obs.recorder.TraceRecorder.subscribe>`
+bus, from ``read_trace_iter(path, follow=True)`` tailing a growing
+file, from :func:`follow_merged_traces` over a fleet's per-worker
+shards, or from :func:`replay_trace_iter` re-playing a recorded run at
+wall-clock speed — and maintains:
+
+* **Exact running totals** that match ``analyze_trace`` on the bytes
+  seen so far.  The offline analyzer counts messages/forwards/
+  injections at event-feed time and deliveries at lineage
+  finalisation, but its final flush makes the delivery totals
+  insensitive to finalisation timing — so counting deliveries directly
+  at event time reproduces the analyzer's totals over *any* event
+  prefix.  :meth:`LiveTailer.verify_parity` re-runs the offline
+  analyzer over the consumed prefix and raises :class:`ParityError` on
+  any mismatch; the serve soak gate does this at every checkpoint.
+* **Bounded rolling windows** (time-horizon + hard length cap) of
+  delivery completeness, latency decomposition percentiles
+  (wait / carry / final hop, via the
+  :class:`~repro.obs.lineage.LineageBuilder` ``on_delivery`` hook),
+  false-injection attribution by cause class, and per-broker dwell.
+  Lineage state stays O(live messages) — the builder's expiry heap
+  does the bounding, exactly as offline.
+* **A registry mirror**: live counters are incremented into an
+  attached :class:`~repro.obs.registry.MetricsRegistry` at feed time
+  and window-derived gauges refreshed on demand, so the broker's
+  ``/metrics`` exposition grows ``live_*`` series for free.
+
+Attribution is fully event-derivable, so it stays exact (not just
+windowed): ``relay_filter_fp`` counts ``false_injection`` events,
+``genuine_but_stale`` counts inject forwards with ``match="stale"``,
+``producer_self`` counts unintended deliveries with ``cause="self"``,
+and ``direct_bf_fp`` the remaining unintended deliveries — the same
+classes, by the same rules, as the offline analyzer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .analyze import TraceAnalysis, analyze_trace
+from .events import TraceEvent
+from .lineage import DeliveryLeg, LineageBuilder, MessageLineage
+from .recorder import _parse_trace_line, read_trace_iter
+
+__all__ = [
+    "PARITY_KEYS",
+    "ParityError",
+    "RollingWindow",
+    "LiveTailer",
+    "follow_merged_traces",
+    "offline_parity_counters",
+    "replay_trace_iter",
+    "format_watch_table",
+]
+
+#: The six totals gated for exact online/offline parity — the same
+#: keys ``scripts/check_serve_parity.py`` compares between the broker's
+#: dispatcher counters and the offline analyzer.
+PARITY_KEYS = (
+    "messages_created",
+    "intended_pairs",
+    "forwards_direct",
+    "deliveries_total",
+    "deliveries_intended",
+    "deliveries_false",
+)
+
+
+class ParityError(AssertionError):
+    """Live rolling totals diverged from the offline analyzer."""
+
+    def __init__(self, mismatches: Sequence[str]):
+        super().__init__(
+            "live/offline parity violated: " + "; ".join(mismatches)
+        )
+        self.mismatches = list(mismatches)
+
+
+def offline_parity_counters(analysis: TraceAnalysis) -> Dict[str, int]:
+    """The six :data:`PARITY_KEYS` totals of an offline analysis."""
+    return {
+        "messages_created": int(analysis.messages["created"]),
+        "intended_pairs": int(analysis.messages["intended_pairs"]),
+        "forwards_direct": int(analysis.forwards.get("direct", 0)),
+        "deliveries_total": int(analysis.deliveries["total"]),
+        "deliveries_intended": int(analysis.deliveries["intended"]),
+        "deliveries_false": int(analysis.deliveries["false"]),
+    }
+
+
+class RollingWindow:
+    """A time-horizon window of (t, value) samples with a hard cap.
+
+    Samples older than ``horizon_s`` relative to the newest sample are
+    pruned on every ``add``; ``max_samples`` additionally bounds memory
+    regardless of event rate.  Percentiles use the nearest-rank method
+    on the retained samples.
+    """
+
+    __slots__ = ("horizon_s", "_samples")
+
+    def __init__(self, horizon_s: float = 300.0, max_samples: int = 4096):
+        self.horizon_s = float(horizon_s)
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=max_samples)
+
+    def add(self, t: float, value: float) -> None:
+        self._samples.append((float(t), float(value)))
+        self.prune(t)
+
+    def prune(self, now: float) -> None:
+        cutoff = float(now) - self.horizon_s
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def sum(self) -> float:
+        return sum(value for _, value in self._samples)
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return self.sum() / len(self._samples)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile ``p`` in [0, 100] of the window."""
+        if not self._samples:
+            return None
+        ordered = sorted(value for _, value in self._samples)
+        rank = max(
+            0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1)
+        )
+        if p <= 0:
+            rank = 0
+        return ordered[rank]
+
+
+class LiveTailer:
+    """Streaming consumer maintaining live metrics with offline parity.
+
+    Feed it schema-v2 events — via :meth:`feed` from any source — and
+    read :meth:`totals`, :meth:`snapshot`, or the mirrored registry at
+    any moment.  Thread-safe: events may arrive from an event-loop
+    thread (the recorder bus) or a feeder thread while HTTP handlers
+    take snapshots concurrently.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        ``live_*`` counters at feed time and gauges on
+        :meth:`refresh_registry`.
+    window_s:
+        Rolling-window horizon in trace seconds.
+    top_k:
+        Per-broker dwell rows retained in :meth:`snapshot`.
+    source_paths:
+        Shard paths backing the stream, enabling
+        :meth:`verify_parity` with no arguments.
+    checkpoint_every:
+        When > 0 and ``source_paths`` is set, automatically run a
+        file-backed parity checkpoint every N fed events.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        window_s: float = 300.0,
+        top_k: int = 8,
+        source_paths: Optional[Sequence[str]] = None,
+        checkpoint_every: int = 0,
+    ):
+        self.registry = registry
+        self.window_s = float(window_s)
+        self.top_k = int(top_k)
+        self.source_paths = list(source_paths) if source_paths else None
+        self.checkpoint_every = int(checkpoint_every)
+        self._lock = threading.RLock()
+        self.builder = LineageBuilder(on_delivery=self._on_leg)
+        # -- exact running totals (analyzer event-time semantics) ----------
+        self.seen_events = 0
+        self.seen_by_shard: Dict[int, int] = {}
+        self.messages_created = 0
+        self.intended_pairs = 0
+        self.forwards: Dict[str, int] = {}
+        self.deliveries_total = 0
+        self.deliveries_intended = 0
+        self.deliveries_false = 0
+        self.false_injections = 0
+        self.injection_match: Dict[str, int] = {}
+        self.attribution: Dict[str, int] = {
+            "relay_filter_fp": 0,
+            "genuine_but_stale": 0,
+            "direct_bf_fp": 0,
+            "producer_self": 0,
+        }
+        self.end_time: Optional[float] = None
+        self.sim_ends_seen = 0
+        self.parity_checks = 0
+        self.parity_failures = 0
+        self.last_event_t: Optional[float] = None
+        self._started_wall = time.monotonic()
+        # -- rolling windows ------------------------------------------------
+        self.delay_window = RollingWindow(self.window_s)
+        self.wait_window = RollingWindow(self.window_s)
+        self.carry_window = RollingWindow(self.window_s)
+        self.final_hop_window = RollingWindow(self.window_s)
+        self.intended_window = RollingWindow(self.window_s)
+        self.false_window = RollingWindow(self.window_s)
+        #: node -> [dwell_s sum, deliveries carried] (exact totals).
+        self.broker_dwell: Dict[int, List[float]] = {}
+
+    # -- ingestion ----------------------------------------------------------
+
+    def feed(self, event: TraceEvent, shard: int = 0) -> None:
+        """Absorb one event (events must arrive in stream order)."""
+        with self._lock:
+            self.seen_events += 1
+            self.seen_by_shard[shard] = self.seen_by_shard.get(shard, 0) + 1
+            self.last_event_t = event.t
+            fields = event.fields
+            type_ = event.type
+            if type_ == "create":
+                self.messages_created += 1
+                self.intended_pairs += int(fields.get("num_intended", 0))
+            elif type_ == "forward":
+                kind = fields.get("kind", "?")
+                self.forwards[kind] = self.forwards.get(kind, 0) + 1
+                if kind == "inject":
+                    match = fields.get("match", "legacy")
+                    self.injection_match[match] = (
+                        self.injection_match.get(match, 0) + 1
+                    )
+                    if match == "stale":
+                        self.attribution["genuine_but_stale"] += 1
+            elif type_ == "delivery":
+                self.deliveries_total += 1
+                if bool(fields["intended"]):
+                    self.deliveries_intended += 1
+                    self.intended_window.add(event.t, 1.0)
+                else:
+                    self.deliveries_false += 1
+                    self.false_window.add(event.t, 1.0)
+                    if fields.get("cause") == "self":
+                        self.attribution["producer_self"] += 1
+                    else:
+                        self.attribution["direct_bf_fp"] += 1
+            elif type_ == "false_injection":
+                self.false_injections += 1
+                self.attribution["relay_filter_fp"] += 1
+            elif type_ == "sim_end":
+                self.sim_ends_seen += 1
+                self.end_time = (
+                    event.t
+                    if self.end_time is None
+                    else max(self.end_time, event.t)
+                )
+            registry = self.registry
+            if registry is not None:
+                registry.counter("live_events_total").inc()
+                if type_ == "delivery":
+                    registry.counter("live_deliveries_total").inc()
+                    if bool(fields["intended"]):
+                        registry.counter("live_deliveries_intended_total").inc()
+                    else:
+                        registry.counter("live_deliveries_false_total").inc()
+                elif type_ == "false_injection":
+                    registry.counter("live_false_injections_total").inc()
+            self.builder.feed(event)
+            if (
+                self.checkpoint_every > 0
+                and self.source_paths
+                and self.seen_events % self.checkpoint_every == 0
+            ):
+                self.verify_parity()
+
+    def _on_leg(self, lineage: MessageLineage, leg: DeliveryLeg) -> None:
+        # Invoked by the builder inside feed() — the lock is held.
+        if leg.intended and leg.delay_s is not None:
+            self.delay_window.add(leg.t, leg.delay_s)
+        decomposition = leg.decomposition
+        if decomposition is None:
+            return
+        if decomposition.producer_wait_s is not None:
+            self.wait_window.add(leg.t, decomposition.producer_wait_s)
+            self.carry_window.add(leg.t, decomposition.carry_s)
+            self.final_hop_window.add(leg.t, decomposition.final_hop_s)
+        for node, dwell in decomposition.dwells:
+            account = self.broker_dwell.get(node)
+            if account is None:
+                account = self.broker_dwell[node] = [0.0, 0]
+            account[0] += dwell
+            account[1] += 1
+
+    # -- parity -------------------------------------------------------------
+
+    def parity_counters(self) -> Dict[str, int]:
+        """The six :data:`PARITY_KEYS` running totals."""
+        with self._lock:
+            return {
+                "messages_created": self.messages_created,
+                "intended_pairs": self.intended_pairs,
+                "forwards_direct": self.forwards.get("direct", 0),
+                "deliveries_total": self.deliveries_total,
+                "deliveries_intended": self.deliveries_intended,
+                "deliveries_false": self.deliveries_false,
+            }
+
+    def check_parity(self, offline: Dict[str, int]) -> List[str]:
+        """Mismatch descriptions vs an offline six-key dict (empty = ok)."""
+        live = self.parity_counters()
+        return [
+            f"{key}: live {live[key]} != offline {int(offline[key])}"
+            for key in PARITY_KEYS
+            if live[key] != int(offline[key])
+        ]
+
+    def verify_parity(
+        self, paths: Optional[Sequence[str]] = None
+    ) -> Dict[str, int]:
+        """Checkpoint: re-analyze the consumed prefix offline, compare.
+
+        Re-reads the first ``seen_by_shard[i]`` events of every shard
+        file (``itertools.islice`` never consumes past the prefix, so
+        an in-flight partially written trailing line is never touched),
+        chains them through :func:`analyze_trace`, and compares the six
+        parity totals against the live ones.  Raises
+        :class:`ParityError` on any mismatch; returns the offline
+        totals otherwise.
+        """
+        with self._lock:
+            consumed = dict(self.seen_by_shard)
+            live = self.parity_counters()
+            paths = list(paths) if paths is not None else self.source_paths
+        if not paths:
+            raise ValueError(
+                "verify_parity needs shard paths (source_paths unset)"
+            )
+        events = itertools.chain.from_iterable(
+            itertools.islice(read_trace_iter(path), consumed.get(shard, 0))
+            for shard, path in enumerate(paths)
+        )
+        offline = offline_parity_counters(
+            analyze_trace(events, trace_schema=2)
+        )
+        mismatches = [
+            f"{key}: live {live[key]} != offline {offline[key]}"
+            for key in PARITY_KEYS
+            if live[key] != offline[key]
+        ]
+        with self._lock:
+            self.parity_checks += 1
+            if mismatches:
+                self.parity_failures += 1
+            registry = self.registry
+            if registry is not None:
+                registry.counter("live_parity_checks_total").inc()
+                if mismatches:
+                    registry.counter("live_parity_failures_total").inc()
+        if mismatches:
+            raise ParityError(mismatches)
+        return offline
+
+    # -- views --------------------------------------------------------------
+
+    def totals(self) -> Dict[str, object]:
+        """Exact running totals (analyzer semantics) as a plain dict."""
+        with self._lock:
+            intended = self.intended_pairs
+            return {
+                "events": self.seen_events,
+                "messages_created": self.messages_created,
+                "intended_pairs": intended,
+                "forwards": dict(sorted(self.forwards.items())),
+                "deliveries": {
+                    "total": self.deliveries_total,
+                    "intended": self.deliveries_intended,
+                    "false": self.deliveries_false,
+                },
+                "false_injections": self.false_injections,
+                "attribution": dict(self.attribution),
+                "completeness": (
+                    self.deliveries_intended / intended if intended else None
+                ),
+                "messages_live": self.builder.num_live,
+                "peak_live_messages": self.builder.peak_live,
+                "end_time": self.end_time,
+            }
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready live view: totals + windows + parity health."""
+        with self._lock:
+            now = self.last_event_t
+            if now is not None:
+                for window in (
+                    self.delay_window,
+                    self.wait_window,
+                    self.carry_window,
+                    self.final_hop_window,
+                    self.intended_window,
+                    self.false_window,
+                ):
+                    window.prune(now)
+            brokers = sorted(
+                self.broker_dwell.items(),
+                key=lambda item: (-item[1][0], item[0]),
+            )[: self.top_k]
+            horizon = self.window_s
+            return {
+                "totals": self.totals(),
+                "window_s": horizon,
+                "window": {
+                    "deliveries_intended": self.intended_window.count,
+                    "deliveries_false": self.false_window.count,
+                    "delivery_rate_per_s": (
+                        (self.intended_window.count + self.false_window.count)
+                        / horizon
+                    ),
+                    "delay_p50_s": self.delay_window.percentile(50),
+                    "delay_p95_s": self.delay_window.percentile(95),
+                    "wait_p50_s": self.wait_window.percentile(50),
+                    "wait_p95_s": self.wait_window.percentile(95),
+                    "carry_p50_s": self.carry_window.percentile(50),
+                    "carry_p95_s": self.carry_window.percentile(95),
+                    "final_hop_p50_s": self.final_hop_window.percentile(50),
+                    "final_hop_p95_s": self.final_hop_window.percentile(95),
+                },
+                "brokers": [
+                    {
+                        "node": node,
+                        "dwell_s": dwell,
+                        "deliveries_carried": carried,
+                    }
+                    for node, (dwell, carried) in brokers
+                ],
+                "parity": {
+                    "checks": self.parity_checks,
+                    "failures": self.parity_failures,
+                },
+                "shards": dict(sorted(self.seen_by_shard.items())),
+                "uptime_s": time.monotonic() - self._started_wall,
+                "last_event_t": self.last_event_t,
+                "sim_ends_seen": self.sim_ends_seen,
+            }
+
+    def refresh_registry(self) -> None:
+        """Mirror window-derived values into the registry's gauges."""
+        registry = self.registry
+        if registry is None:
+            return
+        snapshot = self.snapshot()
+        totals = snapshot["totals"]
+        window = snapshot["window"]
+        registry.gauge("live_messages_live").set(totals["messages_live"])
+        completeness = totals["completeness"]
+        registry.gauge("live_completeness").set(
+            completeness if completeness is not None else 0.0
+        )
+        for key in (
+            "delay_p50_s",
+            "delay_p95_s",
+            "wait_p95_s",
+            "carry_p95_s",
+            "final_hop_p95_s",
+        ):
+            value = window[key]
+            registry.gauge(f"live_window_{key}").set(
+                value if value is not None else 0.0
+            )
+        registry.gauge("live_window_deliveries").set(
+            window["deliveries_intended"] + window["deliveries_false"]
+        )
+
+
+# -- stream sources ---------------------------------------------------------
+
+
+class _ShardTail:
+    """Incremental reader of one (possibly still growing) trace shard."""
+
+    __slots__ = ("shard", "path", "fh", "buffer", "pending", "done")
+
+    def __init__(self, shard: int, path: str):
+        self.shard = shard
+        self.path = path
+        self.fh = None
+        self.buffer = b""
+        self.pending: Deque[TraceEvent] = deque()
+        self.done = False
+
+    def pump(self) -> bool:
+        """Read whatever is available; True if any new event arrived."""
+        if self.done:
+            return False
+        if self.fh is None:
+            try:
+                self.fh = open(self.path, "rb")
+            except FileNotFoundError:
+                return False
+        progressed = False
+        while True:
+            chunk = self.fh.read(65536)
+            if not chunk:
+                break
+            self.buffer += chunk
+            while True:
+                newline = self.buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line = self.buffer[:newline].decode("utf-8")
+                self.buffer = self.buffer[newline + 1:]
+                event = _parse_trace_line(line)
+                if event is None:
+                    continue
+                self.pending.append(event)
+                progressed = True
+        return progressed
+
+    @property
+    def head(self) -> Optional[TraceEvent]:
+        return self.pending[0] if self.pending else None
+
+    def pop(self) -> TraceEvent:
+        event = self.pending.popleft()
+        if event.type == "sim_end":
+            self.finish()
+        return event
+
+    def finish(self) -> None:
+        self.done = True
+        if self.fh is not None:
+            self.fh.close()
+            self.fh = None
+
+
+def follow_merged_traces(
+    paths: Sequence[str],
+    *,
+    follow: bool = True,
+    poll_interval_s: float = 0.2,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Tuple[int, TraceEvent]]:
+    """K-way merge of trace shards, yielding ``(shard, event)`` pairs.
+
+    Events are merged by ``(t, seq, shard)`` — the
+    :func:`~repro.obs.recorder.merge_traces` ordering — so over
+    quiescent (fully written) shards the event sequence matches the
+    offline merge exactly.  While shards are still growing, strict
+    ordering would let one idle shard stall the stream, so after one
+    empty poll the merge emits the earliest *available* head instead;
+    the six parity totals are order-insensitive, so end-of-run parity
+    is unaffected.
+
+    Each shard completes at its own ``sim_end`` (yielded as-is; sum
+    the fields across shards for fleet totals).  With ``follow=False``
+    a shard also completes at EOF.  *should_stop* drains the buffered
+    heads in order and returns.
+    """
+    tails = [_ShardTail(shard, path) for shard, path in enumerate(paths)]
+
+    def earliest(candidates: List[_ShardTail]) -> _ShardTail:
+        return min(
+            candidates,
+            key=lambda tail: (tail.head.t, tail.head.seq, tail.shard),
+        )
+
+    waited = False
+    while any(not tail.done for tail in tails):
+        for tail in tails:
+            tail.pump()
+        if not follow:
+            for tail in tails:
+                if not tail.done and not tail.pending:
+                    tail.finish()
+        ready = [tail for tail in tails if not tail.done and tail.pending]
+        blocked = [tail for tail in tails if not tail.done and not tail.pending]
+        if ready and (not blocked or waited):
+            tail = earliest(ready)
+            yield tail.shard, tail.pop()
+            waited = False
+            continue
+        if should_stop is not None and should_stop():
+            while ready:
+                tail = earliest(ready)
+                yield tail.shard, tail.pop()
+                ready = [t for t in tails if not t.done and t.pending]
+            for tail in tails:
+                tail.finish()
+            return
+        waited = True
+        time.sleep(poll_interval_s)
+    while True:
+        ready = [tail for tail in tails if tail.pending]
+        if not ready:
+            break
+        tail = earliest(ready)
+        yield tail.shard, tail.pop()
+
+
+def replay_trace_iter(
+    path: str,
+    speed: float = 1.0,
+    sleep: Callable[[float], None] = time.sleep,
+    max_sleep_s: float = 5.0,
+) -> Iterator[TraceEvent]:
+    """Replay a recorded trace paced against the wall clock.
+
+    Trace time advances ``speed`` seconds per wall second (``speed=60``
+    replays a minute of trace per second); individual sleeps are capped
+    at *max_sleep_s* so long quiet gaps in the trace stay skimmable.
+    The pacing anchors to the first event, so cumulative drift does not
+    accumulate across events.
+    """
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    origin_t: Optional[float] = None
+    origin_wall = time.monotonic()
+    for event in read_trace_iter(path):
+        if origin_t is None:
+            origin_t = event.t
+            origin_wall = time.monotonic()
+        else:
+            due = origin_wall + (event.t - origin_t) / speed
+            wait = due - time.monotonic()
+            if wait > 0:
+                sleep(min(wait, max_sleep_s))
+        yield event
+
+
+# -- terminal rendering -----------------------------------------------------
+
+
+def _fmt(value, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}{suffix}"
+    return f"{value}{suffix}"
+
+
+def format_watch_table(snapshot: Dict[str, object]) -> str:
+    """Render a :meth:`LiveTailer.snapshot` as a terminal summary table."""
+    totals = snapshot["totals"]
+    window = snapshot["window"]
+    deliveries = totals["deliveries"]
+    attribution = totals["attribution"]
+    parity = snapshot["parity"]
+    lines = [
+        "B-SUB live observability",
+        "=" * 56,
+        f"{'events seen':<28}{_fmt(totals['events'])}",
+        f"{'trace time':<28}{_fmt(snapshot['last_event_t'], 's')}",
+        f"{'messages created':<28}{_fmt(totals['messages_created'])}",
+        f"{'messages live':<28}{_fmt(totals['messages_live'])}",
+        f"{'completeness':<28}{_fmt(totals['completeness'])}",
+        (
+            f"{'deliveries (int/false)':<28}"
+            f"{deliveries['total']} "
+            f"({deliveries['intended']}/{deliveries['false']})"
+        ),
+        f"{'false injections':<28}{_fmt(totals['false_injections'])}",
+        "-" * 56,
+        f"rolling window ({_fmt(snapshot['window_s'], 's')})",
+        (
+            f"{'  deliveries (int/false)':<28}"
+            f"{window['deliveries_intended']}/{window['deliveries_false']}"
+        ),
+        (
+            f"{'  delay p50/p95':<28}"
+            f"{_fmt(window['delay_p50_s'], 's')} / "
+            f"{_fmt(window['delay_p95_s'], 's')}"
+        ),
+        (
+            f"{'  wait p95 / carry p95':<28}"
+            f"{_fmt(window['wait_p95_s'], 's')} / "
+            f"{_fmt(window['carry_p95_s'], 's')}"
+        ),
+        f"{'  final hop p95':<28}{_fmt(window['final_hop_p95_s'], 's')}",
+        "-" * 56,
+        "attribution",
+    ]
+    for cause in sorted(attribution):
+        lines.append(f"{'  ' + cause:<28}{attribution[cause]}")
+    brokers = snapshot["brokers"]
+    if brokers:
+        lines.append("-" * 56)
+        lines.append("top brokers by dwell")
+        for row in brokers:
+            lines.append(
+                f"  node {row['node']:<8}"
+                f"dwell {_fmt(row['dwell_s'], 's'):<14}"
+                f"carried {row['deliveries_carried']}"
+            )
+    lines.append("-" * 56)
+    lines.append(
+        f"{'parity checks (failures)':<28}"
+        f"{parity['checks']} ({parity['failures']})"
+    )
+    return "\n".join(lines)

@@ -19,6 +19,12 @@ version (:data:`~repro.obs.events.TRACE_SCHEMA_VERSION`); the readers
 headerless version-1 files unchanged.  Digests always cover the events
 only, never the header, so a digest is a function of protocol
 behaviour alone.
+
+Two streaming hooks feed the live-observability layer
+(:mod:`repro.obs.live`): :meth:`TraceRecorder.subscribe` registers an
+in-process listener invoked with every event at emit time (no file
+round-trip), and ``read_trace_iter(path, follow=True)`` tails a trace
+file that is still being written, yielding events as their lines land.
 """
 
 from __future__ import annotations
@@ -26,7 +32,16 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+import time as _time
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from .events import (
     EVENT_TYPES,
@@ -75,6 +90,12 @@ class TraceRecorder:
         line is written immediately and each event is additionally
         written as one JSONL line at emit time (streaming mode for runs
         too large to buffer).
+
+    Listeners registered via :meth:`subscribe` are called synchronously
+    with every :class:`TraceEvent` at emit time — the in-process event
+    bus that lets a live consumer (:class:`repro.obs.live.LiveTailer`)
+    observe a run with zero file round-trip.  With no listeners the
+    cost is a single truthiness check per emit.
     """
 
     enabled = True
@@ -83,8 +104,26 @@ class TraceRecorder:
         self.events: List[TraceEvent] = []
         self._seq = 0
         self._sink = sink
+        self._listeners: List[Callable[[TraceEvent], None]] = []
         if sink is not None:
             sink.write(trace_meta_line() + "\n")
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register *listener* to receive every future event at emit time.
+
+        Listeners run synchronously on the emitting thread, in
+        registration order; a slow listener slows the hot path, so
+        live consumers should do O(1) work per event.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def emit(self, type: str, t: float, **fields) -> None:
         """Record one event, assigning the next sequence number."""
@@ -93,6 +132,9 @@ class TraceRecorder:
         self.events.append(event)
         if self._sink is not None:
             self._sink.write(event.to_json() + "\n")
+        if self._listeners:
+            for listener in list(self._listeners):
+                listener(event)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -238,8 +280,58 @@ def read_trace_meta(path: str) -> Dict[str, object]:
     return {"schema": 1}
 
 
+def _parse_trace_line(line: str) -> Optional[TraceEvent]:
+    """One JSONL line -> event, or ``None`` for blanks / meta headers."""
+    line = line.strip()
+    if not line:
+        return None
+    record = json.loads(line)
+    if record.get("type") == TRACE_META_TYPE:
+        return None
+    return TraceEvent.from_dict(record)
+
+
+def _follow_lines(
+    path: str,
+    poll_interval_s: float,
+    should_stop: Optional[Callable[[], bool]],
+) -> Iterator[str]:
+    """Yield complete lines of *path*, tailing it as it grows.
+
+    Reads in binary mode and splits on newlines manually so a
+    partially written trailing line (the writer mid-``write``) is
+    buffered until its newline lands, never parsed early.  Stops when
+    *should_stop* returns true at EOF; otherwise sleeps
+    *poll_interval_s* and retries.  The caller stops consuming once it
+    sees ``sim_end``, so a finished trace terminates without a stop
+    callback.
+    """
+    buffer = b""
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(65536)
+            if chunk:
+                buffer += chunk
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = buffer[:newline]
+                    buffer = buffer[newline + 1:]
+                    yield line.decode("utf-8")
+                continue
+            if should_stop is not None and should_stop():
+                return
+            _time.sleep(poll_interval_s)
+
+
 def read_trace_iter(
-    path: str, type: Optional[str] = None
+    path: str,
+    type: Optional[str] = None,
+    *,
+    follow: bool = False,
+    poll_interval_s: float = 0.2,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Iterator[TraceEvent]:
     """Stream the events of a JSONL trace file, one at a time.
 
@@ -247,16 +339,29 @@ def read_trace_iter(
     on: one line is parsed per step and nothing is retained, so
     million-event traces cost O(1) reader memory.  Meta header lines
     and blanks are skipped; optionally filters to one event *type*.
+
+    With ``follow=True`` the reader tails the file as it grows (like
+    ``tail -f``): at EOF it polls every *poll_interval_s* seconds for
+    new complete lines instead of returning, handling partially
+    written trailing lines safely.  The iterator ends after yielding a
+    ``sim_end`` event (the trace's end-of-run anchor) or when
+    *should_stop* returns true while at EOF.
     """
+    if follow:
+        for raw in _follow_lines(path, poll_interval_s, should_stop):
+            event = _parse_trace_line(raw)
+            if event is None:
+                continue
+            if type is None or event.type == type:
+                yield event
+            if event.type == "sim_end":
+                return
+        return
     with open(path) as fh:
         for line in fh:
-            line = line.strip()
-            if not line:
+            event = _parse_trace_line(line)
+            if event is None:
                 continue
-            record = json.loads(line)
-            if record.get("type") == TRACE_META_TYPE:
-                continue
-            event = TraceEvent.from_dict(record)
             if type is None or event.type == type:
                 yield event
 

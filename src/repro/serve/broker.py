@@ -26,8 +26,15 @@ no protocol logic at all, only plumbing:
   is always complete and ``bsub analyze`` over it reproduces the live
   registry exactly.
 * **Live metrics.**  When ``spec.metrics_port`` is set, a minimal HTTP
-  responder serves the registry in Prometheus text exposition format
-  (any GET path answers, ``/metrics`` is conventional).
+  responder routes ``GET /metrics`` to the registry's Prometheus text
+  exposition and ``GET /healthz`` to a JSON liveness document; any
+  other path is a 404 and anything but a well-formed GET a 400.
+* **Live observability.**  ``spec.live`` subscribes a
+  :class:`~repro.obs.live.LiveTailer` to the trace recorder's
+  in-process event bus: the ``/metrics`` exposition grows ``live_*``
+  rolling series, and ``stop()`` cross-checks the tailer's running
+  totals against the dispatcher's parity counters
+  (``live_parity_ok`` in the summary).
 
 Run one with :func:`run_broker` (blocking, CLI-facing) or manage the
 lifecycle yourself with ``await BrokerServer(spec).start()``.
@@ -36,9 +43,11 @@ lifecycle yourself with ``await BrokerServer(spec).start()``.
 from __future__ import annotations
 
 import asyncio
+import json
 import time as _time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs.live import LiveTailer
 from ..obs.recorder import NULL_RECORDER, TraceRecorder
 from ..obs.registry import MetricsRegistry
 from ..pubsub.wire import Frame, StreamDecoder, encode_frame
@@ -47,7 +56,49 @@ from .eventloop import install_event_loop_policy
 from .spec import ServeSpec
 from .state_shard import StateShardStore
 
-__all__ = ["BrokerServer", "run_broker"]
+__all__ = [
+    "BrokerServer",
+    "run_broker",
+    "parse_request_path",
+    "http_response",
+]
+
+
+def parse_request_path(head: bytes) -> Optional[str]:
+    """The URL path of a well-formed HTTP GET request head, else None.
+
+    Only the request line is inspected (``GET <path> HTTP/1.x``); a
+    query string is stripped.  Anything else — another method, a
+    mangled request line — returns ``None`` and the caller answers 400.
+    """
+    line, _, _ = head.partition(b"\r\n")
+    parts = line.split()
+    if len(parts) != 3 or parts[0] != b"GET":
+        return None
+    try:
+        target = parts[1].decode("ascii")
+    except UnicodeDecodeError:
+        return None
+    if not target.startswith("/"):
+        return None
+    return target.split("?", 1)[0]
+
+
+def http_response(
+    status: int,
+    body: bytes,
+    content_type: str = "text/plain; charset=utf-8",
+) -> bytes:
+    """A complete ``Connection: close`` HTTP/1.1 response."""
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
+        status, "OK"
+    )
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii") + body
 
 #: Socket read size.  Large enough that a maximum-rate session rarely
 #: needs two syscalls per frame batch, small enough to share fairly.
@@ -112,6 +163,10 @@ class BrokerServer:
             else:
                 recorder = NULL_RECORDER
         self.recorder = recorder
+        self.tailer: Optional[LiveTailer] = None
+        if spec.live and isinstance(recorder, TraceRecorder):
+            self.tailer = LiveTailer(registry=self.registry)
+            recorder.subscribe(self.tailer.feed)
         origin = (
             clock_origin if clock_origin is not None else _time.monotonic()
         )
@@ -124,6 +179,7 @@ class BrokerServer:
             num_workers=num_workers,
             state_store=state_store,
         )
+        self._worker_index = worker_index
         self._num_workers = num_workers
         self._peer_send = peer_send
         self._server: Optional[asyncio.AbstractServer] = None
@@ -190,6 +246,17 @@ class BrokerServer:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._summary = self.core.shutdown()
+        if self.tailer is not None:
+            # The tailer saw every emitted event (sim_end included by
+            # now); its running totals must equal the dispatcher's own
+            # parity counters — the zero-file-IO parity checkpoint.
+            mismatches = self.tailer.check_parity(
+                self.core.parity_counters()
+            )
+            self._summary["live_parity_ok"] = not mismatches
+            if mismatches:
+                self._summary["live_parity_mismatches"] = mismatches
+            self._summary["live"] = self.tailer.snapshot()
         if self._trace_file is not None:
             self._trace_file.close()
             self._trace_file = None
@@ -342,10 +409,10 @@ class BrokerServer:
     async def _on_metrics_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Answer one HTTP GET with the Prometheus exposition text."""
+        """Answer one HTTP GET: /metrics, /healthz, 404 otherwise."""
         try:
             # Read the request head; the body of a GET is empty.
-            await asyncio.wait_for(
+            head = await asyncio.wait_for(
                 reader.readuntil(b"\r\n\r\n"), timeout=5.0
             )
         except (
@@ -356,19 +423,41 @@ class BrokerServer:
         ):
             writer.close()
             return
-        body = self.registry.to_prom().encode("utf-8")
-        head = (
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-            b"Connection: close\r\n\r\n"
-        )
+        path = parse_request_path(head)
+        if path is None:
+            response = http_response(400, b"bad request\n")
+        elif path == "/metrics":
+            if self.tailer is not None:
+                self.tailer.refresh_registry()
+            response = http_response(
+                200,
+                self.registry.to_prom().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/healthz":
+            response = http_response(
+                200,
+                json.dumps(self.healthz(), sort_keys=True).encode("utf-8")
+                + b"\n",
+                content_type="application/json",
+            )
+        else:
+            response = http_response(404, b"not found\n")
         try:
-            writer.write(head + body)
+            writer.write(response)
             await writer.drain()
         except ConnectionError:
             pass
         writer.close()
+
+    def healthz(self) -> dict:
+        """The liveness document served on ``GET /healthz``."""
+        return {
+            "status": "ok" if not self._stopping else "stopping",
+            "sessions_open": self.registry.gauge("serve_sessions_open").value,
+            "live": self.tailer is not None,
+            "workers": [{"worker": self._worker_index, "alive": True}],
+        }
 
 
 def run_broker(

@@ -81,8 +81,13 @@ def _opt_float(raw: str) -> Optional[float]:
     return None if raw.lower() in ("none", "off") else float(raw)
 
 
-def _opt_str(raw: str) -> Optional[str]:
-    return None if raw.lower() in ("none", "off") else raw
+def _parse_bool(raw: str) -> bool:
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {raw!r}")
 
 
 @dataclass(frozen=True)
@@ -148,6 +153,14 @@ class ServeSpec:
         default); a fleet without an explicit ``state_dir`` gets a
         supervisor-managed temporary directory so a restarted worker
         can rebuild its subscription index.
+    live:
+        Attach a :class:`~repro.obs.live.LiveTailer` to the broker's
+        trace recorder (requires ``trace_path``): the ``/metrics``
+        exposition grows ``live_*`` rolling series, and shutdown
+        cross-checks the tailer's running totals against the
+        dispatcher's parity counters (``live_parity_ok`` in the
+        summary).  Default off — the tailer costs one callback per
+        event on the emit path.
     """
 
     host: str = "127.0.0.1"
@@ -166,6 +179,7 @@ class ServeSpec:
     trace_path: Optional[str] = None
     workers: int = 1
     state_dir: Optional[str] = None
+    live: bool = False
 
     _PARSE_FIELDS = {
         "host": str,
@@ -184,6 +198,7 @@ class ServeSpec:
         "trace_path": _opt_str,
         "workers": int,
         "state_dir": _opt_str,
+        "live": _parse_bool,
     }
 
     def __post_init__(self) -> None:
@@ -267,6 +282,9 @@ class ServeSpec:
     ) -> "ServeSpec":
         return replace(self, workers=workers, state_dir=state_dir)
 
+    def with_live(self, live: bool = True) -> "ServeSpec":
+        return replace(self, live=live)
+
     def describe(self) -> str:
         """Compact human-readable summary (CLI banner / report label)."""
         parts = [
@@ -288,6 +306,8 @@ class ServeSpec:
             parts.append(f"workers={self.workers}")
         if self.state_dir:
             parts.append(f"state={self.state_dir}")
+        if self.live:
+            parts.append("live")
         return " ".join(parts)
 
 

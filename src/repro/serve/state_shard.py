@@ -26,12 +26,15 @@ not.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
 __all__ = ["StateShardStore", "SubscriptionRecord", "DEFAULT_NUM_SHARDS"]
+
+logger = logging.getLogger(__name__)
 
 #: Default shard-directory fan-out; 64 keeps directories small up to
 #: ~1M nodes while staying trivial to `ls` by hand.
@@ -73,15 +76,37 @@ class StateShardStore:
         Hash-shard fan-out; must match across every process sharing
         the store (it is part of the on-disk layout, so the supervisor
         passes one value to all workers).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  Corrupt
+        records found during recovery are still treated as absent (the
+        client resubscribes on reconnect) but are no longer silent:
+        each one bumps the ``state_shard_corrupt_records`` counter and
+        logs a warning, so operators can see recovery data loss.
     """
 
     def __init__(
-        self, root: os.PathLike, num_shards: int = DEFAULT_NUM_SHARDS
+        self,
+        root: os.PathLike,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        registry=None,
     ):
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.root = Path(root)
         self.num_shards = num_shards
+        self.registry = registry
+        self.corrupt_records = 0
+
+    def _note_corrupt(self, path: Path, error: Exception) -> None:
+        """Account one unreadable record (data loss an operator should see)."""
+        self.corrupt_records += 1
+        if self.registry is not None:
+            self.registry.counter("state_shard_corrupt_records").inc()
+        logger.warning(
+            "state shard record %s is corrupt (%s: %s); treating as absent "
+            "— the node must resubscribe on reconnect",
+            path, type(error).__name__, error,
+        )
 
     # -- layout -------------------------------------------------------------
 
@@ -119,17 +144,23 @@ class StateShardStore:
         return record
 
     def load(self, node_id: int) -> Optional[SubscriptionRecord]:
-        """The node's record, or ``None`` if it was never saved."""
+        """The node's record, or ``None`` if it was never saved.
+
+        A record caught mid-crash (unreadable JSON, wrong shape) is
+        treated as absent — counted and logged via
+        ``state_shard_corrupt_records``, never raised.
+        """
         path = self._record_path(node_id)
         try:
             doc = json.loads(path.read_text())
+            return SubscriptionRecord.from_dict(doc)
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, OSError):
-            # A record caught mid-crash is unreadable; treat as absent
-            # (the client will resubscribe on reconnect).
+        except (
+            json.JSONDecodeError, OSError, KeyError, TypeError, ValueError,
+        ) as error:
+            self._note_corrupt(path, error)
             return None
-        return SubscriptionRecord.from_dict(doc)
 
     def delete(self, node_id: int) -> bool:
         """Remove a node's record; ``True`` if one existed."""
@@ -144,7 +175,7 @@ class StateShardStore:
 
         Used by a restarted worker to rebuild its key index before
         accepting traffic; corrupt or half-written files are skipped
-        exactly as in :meth:`load`.
+        exactly as in :meth:`load` — counted and logged, never raised.
         """
         records = []
         if not self.root.is_dir():
@@ -157,7 +188,11 @@ class StateShardStore:
                             json.loads(path.read_text())
                         )
                     )
-                except (json.JSONDecodeError, OSError, KeyError, ValueError):
+                except (
+                    json.JSONDecodeError, OSError, KeyError, TypeError,
+                    ValueError,
+                ) as error:
+                    self._note_corrupt(path, error)
                     continue
         records.sort(key=lambda r: r.node_id)
         return iter(records)

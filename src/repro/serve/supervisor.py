@@ -28,7 +28,8 @@
 * Metrics: with ``spec.metrics_port`` set, each worker serves its own
   Prometheus endpoint on an ephemeral port (reported in the summary)
   and the supervisor serves the fleet-wide *aggregated* registry on
-  ``spec.metrics_port``, summing worker snapshots on every scrape.
+  ``spec.metrics_port`` (``GET /metrics``, summing worker snapshots on
+  every scrape) plus ``GET /healthz`` reporting per-worker liveness.
 
 The control plane is one duplex pipe per worker carrying small
 ``(kind, payload)`` tuples: ``ready`` / ``peers`` / ``metrics`` /
@@ -50,7 +51,7 @@ from typing import Dict, List, Optional
 
 from ..obs.recorder import merge_traces
 from ..obs.registry import MetricsRegistry
-from .broker import BrokerServer
+from .broker import BrokerServer, http_response, parse_request_path
 from .eventloop import event_loop_name, install_event_loop_policy
 from .spec import ServeSpec
 from .state_shard import StateShardStore
@@ -222,9 +223,14 @@ async def _worker_async(
     worker_index: int, spec: ServeSpec, conn, origin: float
 ) -> None:
     loop = asyncio.get_running_loop()
-    store = StateShardStore(spec.state_dir)
+    registry = MetricsRegistry()
+    # Store and broker share one registry so shard-store health
+    # counters (corrupt records seen during recovery) surface on the
+    # same /metrics the broker serves.
+    store = StateShardStore(spec.state_dir, registry=registry)
     server = BrokerServer(
         spec,
+        registry=registry,
         clock_origin=origin,
         worker_index=worker_index,
         num_workers=spec.workers,
@@ -566,8 +572,11 @@ class BrokerFleet:
     async def _on_metrics_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Answer one HTTP GET: /metrics (aggregated), /healthz, 404."""
         try:
-            await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
         except (
             asyncio.TimeoutError,
             asyncio.IncompleteReadError,
@@ -576,20 +585,52 @@ class BrokerFleet:
         ):
             writer.close()
             return
-        merged = await self.scrape_metrics()
-        body = merged.to_prom().encode("utf-8")
-        head = (
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-            b"Connection: close\r\n\r\n"
-        )
+        path = parse_request_path(head)
+        if path is None:
+            response = http_response(400, b"bad request\n")
+        elif path == "/metrics":
+            merged = await self.scrape_metrics()
+            response = http_response(
+                200,
+                merged.to_prom().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/healthz":
+            response = http_response(
+                200,
+                json.dumps(self.healthz(), sort_keys=True).encode("utf-8")
+                + b"\n",
+                content_type="application/json",
+            )
+        else:
+            response = http_response(404, b"not found\n")
         try:
-            writer.write(head + body)
+            writer.write(response)
             await writer.drain()
         except ConnectionError:
             pass
         writer.close()
+
+    def healthz(self) -> dict:
+        """Fleet liveness: per-worker alive/pid/restarts, overall status."""
+        workers = [
+            {
+                "worker": w.index,
+                "alive": w.proc.is_alive(),
+                "pid": w.proc.pid,
+                "restarts": w.restarts,
+            }
+            for w in self._workers
+        ]
+        all_alive = all(w["alive"] for w in workers)
+        return {
+            "status": (
+                "stopping"
+                if self._stopping
+                else ("ok" if all_alive else "degraded")
+            ),
+            "workers": workers,
+        }
 
     # -- aggregation --------------------------------------------------------
 
@@ -608,8 +649,14 @@ class BrokerFleet:
             ]
             merged_events = merge_traces(shards, self.spec.trace_path)
         intended = parity["intended_pairs"]
+        live_parity_ok = None
+        if self.spec.live:
+            live_parity_ok = bool(results) and all(
+                r["summary"].get("live_parity_ok", False) for r in results
+            )
         return {
             "workers": self.spec.workers,
+            "live_parity_ok": live_parity_ok,
             "port": self._port,
             "event_loop": event_loop_name(),
             "end_time_s": max(

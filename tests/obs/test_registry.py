@@ -213,6 +213,32 @@ class TestMergeSnapshot:
         merged = MetricsRegistry.from_snapshots(snapshots)
         assert merged.counter("frames_total").value == 6
 
+    def test_disjoint_counter_key_sets_union(self):
+        # Fleet workers need not expose identical counters (e.g. only
+        # one worker saw a decode error): the merge must union the key
+        # sets, keeping each side's counts intact.
+        left = MetricsRegistry()
+        left.counter("frames_total").inc(3)
+        left.counter("only_left_total").inc(1)
+        right = MetricsRegistry()
+        right.counter("frames_total").inc(4)
+        right.counter("only_right_total").inc(9)
+        left.merge_snapshot(right.to_dict())
+        assert left.counter("frames_total").value == 7
+        assert left.counter("only_left_total").value == 1
+        assert left.counter("only_right_total").value == 9
+
+    def test_disjoint_gauges_and_histograms_union(self):
+        left = MetricsRegistry()
+        left.gauge("only_left").set(2.0)
+        right = MetricsRegistry()
+        right.gauge("only_right").set(5.0)
+        right.histogram("only_right_h", edges=[1.0]).observe(0.5)
+        left.merge_snapshot(right.to_dict())
+        assert left.gauge("only_left").value == 2.0
+        assert left.gauge("only_right").value == 5.0
+        assert left.histogram("only_right_h").count == 1
+
     def test_merge_survives_json_round_trip(self):
         snapshot = json.loads(
             json.dumps(self.make(counter=2, observations=[5.0]).to_dict())

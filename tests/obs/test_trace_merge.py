@@ -1,5 +1,7 @@
 """merge_traces: deterministic stitch of per-worker trace shards."""
 
+from pathlib import Path
+
 from repro.obs import merge_traces, read_trace_iter, read_trace_meta
 from repro.obs.events import TRACE_SCHEMA_VERSION
 from repro.obs.recorder import TraceRecorder
@@ -141,3 +143,64 @@ class TestMergeHeader:
         written = merge_traces([], str(out))
         assert written == 0
         assert list(read_trace_iter(str(out))) == []
+
+
+class TestMergeEdgeCases:
+    """Degenerate shard shapes a real fleet can produce."""
+
+    def test_empty_shard_among_populated_ones(self, tmp_path):
+        # A worker that served no traffic writes a meta-only shard; it
+        # must not perturb the merge of its busier siblings.
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2})],
+            sim_end=(5.0, {"contacts": 1}),
+        )
+        b = write_shard(tmp_path / "b.jsonl", [])
+        out = tmp_path / "merged.jsonl"
+        written = merge_traces([a, b], str(out))
+        assert written == 2
+        events = list(read_trace_iter(str(out)))
+        assert [e.type for e in events] == ["contact", "sim_end"]
+
+    def test_zero_byte_shard_tolerated(self, tmp_path):
+        a = write_shard(
+            tmp_path / "a.jsonl", [(1.0, "contact", {"a": 1, "b": 2})]
+        )
+        hollow = tmp_path / "hollow.jsonl"
+        hollow.write_text("")
+        out = tmp_path / "merged.jsonl"
+        assert merge_traces([a, str(hollow)], str(out)) == 1
+
+    def test_sim_end_only_shard_still_sums_into_anchor(self, tmp_path):
+        # An idle worker's shard is just its sim_end accounting; the
+        # merged anchor must still absorb its counters.
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2})],
+            sim_end=(5.0, {"contacts": 7}),
+        )
+        b = write_shard(
+            tmp_path / "b.jsonl", [], sim_end=(3.0, {"contacts": 2})
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a, b], str(out))
+        events = list(read_trace_iter(str(out)))
+        ends = [e for e in events if e.type == "sim_end"]
+        assert len(ends) == 1
+        assert ends[0].t == 5.0
+        assert ends[0].fields["contacts"] == 9
+
+    def test_single_worker_merge_is_byte_identical(self, tmp_path):
+        # workers=1 passes through the merge path; the merged file must
+        # be indistinguishable from the shard the worker wrote.
+        a = write_shard(
+            tmp_path / "a.jsonl",
+            [(1.0, "contact", {"a": 1, "b": 2}),
+             (2.0, "forward",
+              {"msg": 0, "kind": "direct", "src": 1, "dst": 2})],
+            sim_end=(9.0, {"contacts": 1, "messages": 1}),
+        )
+        out = tmp_path / "merged.jsonl"
+        merge_traces([a], str(out))
+        assert out.read_bytes() == Path(a).read_bytes()

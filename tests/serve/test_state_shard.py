@@ -116,3 +116,66 @@ class TestRobustness:
         reader = StateShardStore(str(tmp_path), num_shards=4)
         writer.save(8, {"shared"}, 5.0)
         assert reader.load(8).keys == ("shared",)
+
+
+class TestCorruptAccounting:
+    """Corrupt records are absent-but-visible: counted and logged."""
+
+    def make_store(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        return StateShardStore(
+            str(tmp_path), num_shards=4, registry=registry
+        ), registry
+
+    def corrupt(self, store, node):
+        store.save(node, {"k"}, 1.0)
+        with open(store._record_path(node), "w") as fh:
+            fh.write("{not json")
+
+    def test_load_bumps_counter_and_warns(self, tmp_path, caplog):
+        store, registry = self.make_store(tmp_path)
+        self.corrupt(store, 5)
+        with caplog.at_level("WARNING", logger="repro.serve.state_shard"):
+            assert store.load(5) is None
+        assert store.corrupt_records == 1
+        assert registry.counter("state_shard_corrupt_records").value == 1
+        assert any(
+            "corrupt" in record.message and "resubscribe" in record.message
+            for record in caplog.records
+        )
+
+    def test_load_all_counts_every_corrupt_record(self, tmp_path):
+        store, registry = self.make_store(tmp_path)
+        for node in range(6):
+            store.save(node, {"k"}, 0.0)
+        for node in (1, 3):
+            self.corrupt(store, node)
+        records = list(store.load_all())
+        assert [r.node_id for r in records] == [0, 2, 4, 5]
+        assert store.corrupt_records == 2
+        assert registry.counter("state_shard_corrupt_records").value == 2
+
+    def test_wrong_shape_json_counts_as_corrupt(self, tmp_path):
+        # Valid JSON, missing required fields: still recovery data loss.
+        store, registry = self.make_store(tmp_path)
+        store.save(2, {"k"}, 1.0)
+        with open(store._record_path(2), "w") as fh:
+            fh.write(json.dumps({"unexpected": True}))
+        assert store.load(2) is None
+        assert registry.counter("state_shard_corrupt_records").value == 1
+
+    def test_clean_reads_leave_counter_untouched(self, tmp_path):
+        store, registry = self.make_store(tmp_path)
+        store.save(7, {"k"}, 1.0)
+        assert store.load(7) is not None
+        assert store.load(999) is None  # missing != corrupt
+        assert store.corrupt_records == 0
+        assert registry.counter("state_shard_corrupt_records").value == 0
+
+    def test_no_registry_still_counts_locally(self, tmp_path):
+        store = StateShardStore(str(tmp_path), num_shards=4)
+        self.corrupt(store, 3)
+        assert store.load(3) is None
+        assert store.corrupt_records == 1
